@@ -1,0 +1,77 @@
+//! Criterion benchmarks for the §5 claim: once a workload is profiled,
+//! the mechanistic model evaluates a design point in (sub-)microseconds,
+//! which is what makes exploring hundreds of configurations "a few
+//! seconds" instead of simulator-months.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mim_core::{DesignSpace, MachineConfig, MechanisticModel, OooConfig, OooModel};
+use mim_pipeline::PipelineSim;
+use mim_profile::{Profiler, SweepProfiler};
+use mim_workloads::{mibench, WorkloadSize};
+
+fn bench_model_eval(c: &mut Criterion) {
+    let machine = MachineConfig::default_config();
+    let program = mibench::sha().program(WorkloadSize::Tiny);
+    let inputs = Profiler::new(&machine).profile(&program).expect("profile");
+    let model = MechanisticModel::new(&machine);
+
+    c.bench_function("model/predict_one_design_point", |b| {
+        b.iter(|| black_box(model.predict(black_box(&inputs))))
+    });
+
+    let ooo = OooModel::new(OooConfig::default_config());
+    c.bench_function("model/ooo_predict_one_design_point", |b| {
+        b.iter(|| black_box(ooo.predict(black_box(&inputs))))
+    });
+}
+
+fn bench_design_space_eval(c: &mut Criterion) {
+    let space = DesignSpace::paper_table2();
+    let profiler = SweepProfiler::for_design_space(&space);
+    let program = mibench::qsort().program(WorkloadSize::Tiny);
+    let profile = profiler.profile(&program, None).expect("profile");
+
+    c.bench_function("model/evaluate_192_point_space", |b| {
+        b.iter(|| {
+            let mut sum = 0.0;
+            for point in space.points() {
+                let inputs = profile.inputs_for(point.l2_index, point.predictor_index);
+                sum += MechanisticModel::new(&point.machine).predict(&inputs).cpi();
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_sim_vs_model(c: &mut Criterion) {
+    // The actual speedup comparison on one design point: detailed
+    // simulation vs model evaluation (profiling is a one-time cost
+    // amortized over the whole space).
+    let machine = MachineConfig::default_config();
+    let program = mibench::dijkstra().program(WorkloadSize::Tiny);
+    let inputs = Profiler::new(&machine).profile(&program).expect("profile");
+    let model = MechanisticModel::new(&machine);
+    let sim = PipelineSim::new(&machine);
+
+    let mut group = c.benchmark_group("speedup");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("detailed_simulation", "dijkstra-tiny"),
+        &program,
+        |b, p| b.iter(|| black_box(sim.simulate(p).expect("sim"))),
+    );
+    group.bench_function(BenchmarkId::new("model_evaluation", "dijkstra-tiny"), |b| {
+        b.iter(|| black_box(model.predict(black_box(&inputs))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_eval,
+    bench_design_space_eval,
+    bench_sim_vs_model
+);
+criterion_main!(benches);

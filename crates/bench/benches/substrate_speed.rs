@@ -1,0 +1,123 @@
+//! Criterion benchmarks for the substrate components: functional
+//! simulation rate, cache/TLB access cost, predictor update cost,
+//! single-pass multi-configuration profiling, and the cycle-accurate
+//! pipeline simulator's instruction rate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use mim_bpred::PredictorConfig;
+use mim_cache::{CacheConfig, HierarchyConfig, MemAccessKind, MultiConfig, SetAssocCache, StackDistance};
+use mim_core::MachineConfig;
+use mim_isa::Vm;
+use mim_pipeline::PipelineSim;
+use mim_profile::Profiler;
+use mim_workloads::{mibench, WorkloadSize};
+
+fn bench_vm(c: &mut Criterion) {
+    let program = mibench::sha().program(WorkloadSize::Tiny);
+    let mut group = c.benchmark_group("vm");
+    let n = {
+        let mut vm = Vm::new(&program);
+        vm.run(None).expect("run").instructions()
+    };
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("functional_execution", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&program);
+            black_box(vm.run(None).expect("run"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let machine = MachineConfig::default_config();
+    let program = mibench::sha().program(WorkloadSize::Tiny);
+    let sim = PipelineSim::new(&machine);
+    let n = sim.simulate(&program).expect("sim").instructions;
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("cycle_accurate_simulation", |b| {
+        b.iter(|| black_box(sim.simulate(&program).expect("sim")))
+    });
+    group.finish();
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let machine = MachineConfig::default_config();
+    let program = mibench::sha().program(WorkloadSize::Tiny);
+    let profiler = Profiler::new(&machine);
+    let n = profiler.profile(&program).expect("profile").num_insts;
+    let mut group = c.benchmark_group("profiler");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("single_config_profile", |b| {
+        b.iter(|| black_box(profiler.profile(&program).expect("profile")))
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+    let config = CacheConfig::new("L1D", 32 * 1024, 4, 64).expect("config");
+    let mut cache = SetAssocCache::new(config);
+    let mut addr: u64 = 0;
+    group.bench_function("set_assoc_access", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(64);
+            black_box(cache.access(addr % (1 << 20)))
+        })
+    });
+
+    let base = HierarchyConfig::default_hierarchy();
+    let l2s = mim_core::DesignSpace::paper_table2().l2_configs().to_vec();
+    let mut multi = MultiConfig::new(&base, l2s);
+    group.bench_function("multi_config_access_8_l2s", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(64);
+            multi.access(MemAccessKind::Load, addr % (1 << 22));
+            black_box(multi.num_configs())
+        })
+    });
+
+    let mut sd = StackDistance::new(64);
+    group.bench_function("stack_distance_access", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(64);
+            sd.access(addr % (1 << 22));
+            black_box(sd.accesses())
+        })
+    });
+    group.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bpred");
+    group.throughput(Throughput::Elements(1));
+    for config in [PredictorConfig::gshare_1k(), PredictorConfig::hybrid_3_5k()] {
+        let mut p = config.build();
+        let mut x: u64 = 1;
+        group.bench_function(format!("predict_update/{}", config.name()), |b| {
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(13);
+                let pc = (x >> 33) as u32 % 512;
+                let taken = (x >> 17) & 3 != 0;
+                let pred = p.predict(pc);
+                p.update(pc, taken);
+                black_box(pred)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vm,
+    bench_pipeline,
+    bench_profiler,
+    bench_cache,
+    bench_predictors
+);
+criterion_main!(benches);

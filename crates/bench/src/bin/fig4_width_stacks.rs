@@ -1,0 +1,104 @@
+//! Figure 4: model CPI stacks as a function of superscalar width for
+//! `sha` (scales best), `tiffdither` (middle), and `dijkstra` (scales
+//! worst), with the detailed-simulation CPI as reference.
+
+use mim_core::{MachineConfig, MechanisticModel, StackComponent};
+use mim_pipeline::PipelineSim;
+use mim_profile::Profiler;
+use mim_workloads::{mibench, WorkloadSize};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct StackRow {
+    benchmark: String,
+    width: u32,
+    base: f64,
+    mul_div: f64,
+    l2_access: f64,
+    l2_miss: f64,
+    bpred_miss: f64,
+    bpred_hit_taken: f64,
+    tlb_miss: f64,
+    dependencies: f64,
+    model_cpi: f64,
+    sim_cpi: f64,
+}
+
+fn main() {
+    let mut out = Vec::new();
+    println!("=== Figure 4: CPI stacks vs width ===");
+    println!(
+        "{:<12} {:>2} | {:>6} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6} {:>6} | {:>9} {:>8}",
+        "benchmark", "W", "base", "mul/div", "l2acc", "l2miss", "bpmiss", "bphitT", "tlb", "deps", "modelCPI", "simCPI"
+    );
+    for w in [mibench::sha(), mibench::tiffdither(), mibench::dijkstra()] {
+        let program = w.program(WorkloadSize::Small);
+        for width in 1..=4u32 {
+            let machine = MachineConfig {
+                width,
+                ..MachineConfig::default_config()
+            };
+            let inputs = Profiler::new(&machine).profile(&program).expect("profile");
+            let stack = MechanisticModel::new(&machine).predict(&inputs);
+            let sim = PipelineSim::new(&machine).simulate(&program).expect("sim");
+            let n = inputs.num_insts as f64;
+            let row = StackRow {
+                benchmark: w.name().to_string(),
+                width,
+                base: stack.cycles_of(StackComponent::Base) / n,
+                mul_div: stack.mul_div() / n,
+                l2_access: stack.l2_access() / n,
+                l2_miss: stack.l2_miss() / n,
+                bpred_miss: stack.cycles_of(StackComponent::BranchMiss) / n,
+                bpred_hit_taken: stack.cycles_of(StackComponent::TakenBranch) / n,
+                tlb_miss: stack.cycles_of(StackComponent::TlbMiss) / n,
+                dependencies: stack.dependencies() / n,
+                model_cpi: stack.cpi(),
+                sim_cpi: sim.cpi(),
+            };
+            println!(
+                "{:<12} {:>2} | {:>6.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>6.3} {:>6.3} | {:>9.3} {:>8.3}",
+                row.benchmark,
+                width,
+                row.base,
+                row.mul_div,
+                row.l2_access,
+                row.l2_miss,
+                row.bpred_miss,
+                row.bpred_hit_taken,
+                row.tlb_miss,
+                row.dependencies,
+                row.model_cpi,
+                row.sim_cpi
+            );
+            out.push(row);
+        }
+        println!();
+    }
+
+    // The paper's headline observations, asserted mechanically:
+    let cpi = |name: &str, w: u32| {
+        out.iter()
+            .find(|r| r.benchmark == name && r.width == w)
+            .map(|r| r.model_cpi)
+            .expect("row")
+    };
+    let speedup = |name: &str| cpi(name, 1) / cpi(name, 4);
+    println!("width-4 speedups: sha {:.2}x, tiffdither {:.2}x, dijkstra {:.2}x",
+        speedup("sha"), speedup("tiffdither"), speedup("dijkstra"));
+    assert!(
+        speedup("sha") > speedup("dijkstra"),
+        "sha must benefit more from width than dijkstra"
+    );
+    let dep = |name: &str, w: u32| {
+        out.iter()
+            .find(|r| r.benchmark == name && r.width == w)
+            .map(|r| r.dependencies)
+            .expect("row")
+    };
+    assert!(
+        dep("dijkstra", 4) > dep("dijkstra", 1),
+        "dijkstra's dependency component must grow with width"
+    );
+    mim_bench::write_json("fig4_width_stacks", &out);
+}

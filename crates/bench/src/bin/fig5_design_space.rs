@@ -1,0 +1,122 @@
+//! Figure 5: cumulative distribution of the model's CPI prediction error
+//! across the full 192-point design space × 19 MiBench benchmarks, plus
+//! the §5 exploration-speedup measurement.
+//!
+//! The paper reports: average error 2.5%, maximum 9.6%, and >90% of design
+//! points below 6% error; exploring the space with the model is three
+//! orders of magnitude faster than detailed simulation.
+//!
+//! Run with `--quick` to subsample the space (every 8th point).
+
+use std::time::Instant;
+
+use mim_bench::{write_json, SWEEP_LIMIT};
+use mim_core::{DesignSpace, MechanisticModel};
+use mim_pipeline::PipelineSim;
+use mim_profile::SweepProfiler;
+use mim_workloads::{mibench, WorkloadSize};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SpaceResult {
+    points_evaluated: usize,
+    avg_error_percent: f64,
+    max_error_percent: f64,
+    p90_error_percent: f64,
+    below_6_percent: f64,
+    cdf_percentiles: Vec<(u32, f64)>,
+    profile_seconds: f64,
+    model_eval_seconds: f64,
+    sim_seconds: f64,
+    speedup_model_vs_sim: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let stride = if quick { 8 } else { 1 };
+    let space = DesignSpace::paper_table2();
+    let profiler = SweepProfiler::for_design_space(&space);
+    let limit = Some(SWEEP_LIMIT);
+
+    // Phase 1: profile every benchmark once (the only workload-dependent
+    // cost of model-based exploration).
+    let t_profile = Instant::now();
+    let mut profiles = Vec::new();
+    for w in mibench::all() {
+        let program = w.program(WorkloadSize::Small);
+        let profile = profiler.profile(&program, limit).expect("profile");
+        profiles.push((w, program, profile));
+    }
+    let profile_seconds = t_profile.elapsed().as_secs_f64();
+
+    // Phase 2: model evaluation over the whole space (instantaneous).
+    let points: Vec<_> = space.points().step_by(stride).collect();
+    let t_model = Instant::now();
+    let mut model_cpis = vec![vec![0.0f64; points.len()]; profiles.len()];
+    for (bi, (_, _, profile)) in profiles.iter().enumerate() {
+        for (pi, point) in points.iter().enumerate() {
+            let inputs = profile.inputs_for(point.l2_index, point.predictor_index);
+            model_cpis[bi][pi] = MechanisticModel::new(&point.machine).predict(&inputs).cpi();
+        }
+    }
+    let model_eval_seconds = t_model.elapsed().as_secs_f64();
+
+    // Phase 3: the detailed-simulation reference (the expensive part the
+    // model replaces).
+    let t_sim = Instant::now();
+    let mut errors = Vec::new();
+    for (bi, (w, program, _)) in profiles.iter().enumerate() {
+        for (pi, point) in points.iter().enumerate() {
+            let sim = PipelineSim::new(&point.machine)
+                .simulate_limit(program, limit)
+                .expect("sim");
+            let err = 100.0 * (model_cpis[bi][pi] - sim.cpi()).abs() / sim.cpi();
+            errors.push(err);
+        }
+        eprintln!("  simulated {} across {} points", w.name(), points.len());
+    }
+    let sim_seconds = t_sim.elapsed().as_secs_f64();
+
+    errors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = errors.len();
+    let avg = errors.iter().sum::<f64>() / n as f64;
+    let max = *errors.last().expect("nonempty");
+    let pct = |p: usize| errors[(n * p / 100).min(n - 1)];
+    let below6 = 100.0 * errors.iter().filter(|&&e| e < 6.0).count() as f64 / n as f64;
+
+    println!("\n=== Figure 5: error CDF across the design space ===");
+    println!("evaluations: {n} (benchmarks x design points)");
+    println!("cumulative distribution of |error|:");
+    let mut cdf = Vec::new();
+    for p in [10u32, 25, 50, 75, 90, 95, 99] {
+        let v = pct(p as usize);
+        println!("  p{p:<3} {v:>6.2}%");
+        cdf.push((p, v));
+    }
+    println!("average |error| = {avg:.2}%   max = {max:.2}%");
+    println!("design points below 6% error: {below6:.1}%");
+    println!("paper reference: avg 2.5%, max 9.6%, 90% of points < 6%");
+
+    let speedup = sim_seconds / model_eval_seconds.max(1e-9);
+    println!("\n=== §5 exploration cost ===");
+    println!("profiling (once per benchmark): {profile_seconds:.2} s");
+    println!("model evaluation ({n} points):  {model_eval_seconds:.4} s");
+    println!("detailed simulation reference:  {sim_seconds:.2} s");
+    println!("model-vs-simulation speedup:    {speedup:.0}x (paper: ~3 orders of magnitude)");
+
+    write_json(
+        "fig5_design_space",
+        &SpaceResult {
+            points_evaluated: n,
+            avg_error_percent: avg,
+            max_error_percent: max,
+            p90_error_percent: pct(90),
+            below_6_percent: below6,
+            cdf_percentiles: cdf,
+            profile_seconds,
+            model_eval_seconds,
+            sim_seconds,
+            speedup_model_vs_sim: speedup,
+        },
+    );
+}

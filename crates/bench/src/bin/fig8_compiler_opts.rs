@@ -1,0 +1,124 @@
+//! Figure 8: normalized cycle stacks across compiler optimizations
+//! (the paper's second case study, §6.2): `nosched` (no instruction
+//! scheduling), `O3` (list-scheduled), and `unroll` (loop unrolling +
+//! scheduling), normalized to `O3`.
+
+use mim_core::{MachineConfig, MechanisticModel, StackComponent};
+use mim_profile::Profiler;
+use mim_workloads::{mibench, opt, WorkloadSize};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CycleStackRow {
+    benchmark: String,
+    variant: &'static str,
+    instructions: u64,
+    base: f64,
+    dependencies: f64,
+    bpred_hit_taken: f64,
+    bpred_miss: f64,
+    mul_div: f64,
+    l2: f64,
+    total_cycles: f64,
+    normalized: f64,
+}
+
+fn main() {
+    // The paper shows the five benchmarks with the largest compiler
+    // sensitivity; ours are chosen the same way (see EXPERIMENTS.md).
+    let workloads = [
+        mibench::gsm_c(),
+        mibench::sha(),
+        mibench::stringsearch(),
+        mibench::susan_s(),
+        mibench::tiffdither(),
+    ];
+    let machine = MachineConfig::default_config();
+    let model = MechanisticModel::new(&machine);
+    let profiler = Profiler::new(&machine);
+
+    println!("=== Figure 8: normalized cycle stacks across compiler options ===");
+    println!(
+        "{:<14} {:>8} {:>10} | {:>6} {:>6} {:>6} {:>6} {:>7} | {:>6}",
+        "benchmark", "variant", "insts", "base", "deps", "takenB", "bpmiss", "mul/div", "norm"
+    );
+    let mut out = Vec::new();
+    for w in &workloads {
+        let nosched = w.program(WorkloadSize::Small);
+        let o3 = opt::schedule(&nosched);
+        let unrolled = opt::schedule(&opt::unroll(&nosched, 4));
+        let mut o3_cycles = None;
+        // Profile O3 first to establish the normalization baseline.
+        let variants: [(&'static str, &mim_isa::Program); 3] =
+            [("O3", &o3), ("nosched", &nosched), ("unroll", &unrolled)];
+        for (label, program) in variants {
+            let inputs = profiler.profile(program).expect("profile");
+            let stack = model.predict(&inputs);
+            let cycles = stack.total_cycles();
+            let baseline = *o3_cycles.get_or_insert(cycles);
+            let row = CycleStackRow {
+                benchmark: w.name().to_string(),
+                variant: label,
+                instructions: inputs.num_insts,
+                base: stack.cycles_of(StackComponent::Base),
+                dependencies: stack.dependencies(),
+                bpred_hit_taken: stack.cycles_of(StackComponent::TakenBranch),
+                bpred_miss: stack.cycles_of(StackComponent::BranchMiss),
+                mul_div: stack.mul_div(),
+                l2: stack.l2_access() + stack.l2_miss(),
+                total_cycles: cycles,
+                normalized: cycles / baseline,
+            };
+            println!(
+                "{:<14} {:>8} {:>10} | {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>7.3} | {:>6.3}",
+                row.benchmark,
+                row.variant,
+                row.instructions,
+                row.base / baseline,
+                row.dependencies / baseline,
+                row.bpred_hit_taken / baseline,
+                row.bpred_miss / baseline,
+                row.mul_div / baseline,
+                row.normalized
+            );
+            out.push(row);
+        }
+        println!();
+    }
+
+    // §6.2 shape checks.
+    let get = |name: &str, variant: &str| {
+        out.iter()
+            .find(|r| r.benchmark == name && r.variant == variant)
+            .expect("row")
+    };
+    let mut sched_helped = 0;
+    let mut unroll_helped = 0;
+    let mut taken_reduced = 0;
+    for w in &workloads {
+        if get(w.name(), "O3").dependencies <= get(w.name(), "nosched").dependencies {
+            sched_helped += 1;
+        }
+        if get(w.name(), "unroll").total_cycles < get(w.name(), "nosched").total_cycles {
+            unroll_helped += 1;
+        }
+        if get(w.name(), "unroll").bpred_hit_taken < get(w.name(), "nosched").bpred_hit_taken {
+            taken_reduced += 1;
+        }
+        // Unrolling never increases dynamic instruction count.
+        assert!(
+            get(w.name(), "unroll").instructions <= get(w.name(), "nosched").instructions,
+            "{}: unrolling increased instruction count",
+            w.name()
+        );
+    }
+    println!("scheduling reduced the dependency component on {sched_helped}/5 benchmarks");
+    println!("unrolling reduced taken-branch cycles on {taken_reduced}/5 benchmarks");
+    println!("unrolling reduced total cycles on {unroll_helped}/5 benchmarks");
+    println!("(the paper likewise reports most but not all benchmarks improving, §6.2 —");
+    println!(" kernels whose loop bounds are recomputed in the body are not unrollable,");
+    println!(" exactly like loops gcc's unroller rejects)");
+    assert!(unroll_helped >= 3, "unrolling should help most benchmarks");
+    assert!(taken_reduced >= 3, "unrolling should remove taken branches on most benchmarks");
+    mim_bench::write_json("fig8_compiler_opts", &out);
+}

@@ -1,0 +1,37 @@
+//! Table 2: the architecture design space and default configuration.
+
+use mim_core::{DesignSpace, MachineConfig};
+
+fn main() {
+    let default = MachineConfig::default_config();
+    println!("=== Table 2: default configuration ===");
+    println!("  {default}");
+    println!("  L1I: {}", default.hierarchy.l1i);
+    println!("  L1D: {}", default.hierarchy.l1d);
+    println!("  L2:  {}", default.hierarchy.l2);
+    println!(
+        "  TLBs: {} entries x {} B pages (I and D)",
+        default.hierarchy.itlb.entries, default.hierarchy.itlb.page_bytes
+    );
+    println!("  predictor: {}", default.predictor.name());
+
+    let space = DesignSpace::paper_table2();
+    println!("\n=== Table 2: design space ===");
+    println!("  pipeline depth/frequency: 5 stages @ 600 MHz | 7 @ 800 MHz | 9 @ 1 GHz");
+    println!("  width: 1 | 2 | 3 | 4");
+    print!("  L2 candidates:");
+    for l2 in space.l2_configs() {
+        print!(" {}", l2.name());
+    }
+    println!();
+    print!("  predictors:");
+    for p in space.predictor_configs() {
+        print!(" {}", p.name());
+    }
+    println!();
+    println!("  total design points: {}", space.len());
+    assert_eq!(space.len(), 192, "paper's space has 192 points");
+
+    let ids: Vec<String> = space.points().map(|p| p.machine.id()).collect();
+    mim_bench::write_json("table2_design_points", &ids);
+}

@@ -1,0 +1,146 @@
+//! # mim-bench — experiment harness
+//!
+//! One binary per table/figure of the ISPASS 2012 paper (see DESIGN.md for
+//! the experiment index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table2` | the architecture design space (Table 2) |
+//! | `fig3_validation` | model vs detailed simulation, MiBench, default machine |
+//! | `fig4_width_stacks` | CPI stacks vs superscalar width |
+//! | `fig5_design_space` | error CDF over the 192-point space + speedup |
+//! | `fig6_spec` | validation on memory-intensive SPEC-like workloads |
+//! | `fig7_inorder_vs_ooo` | in-order vs out-of-order CPI stacks |
+//! | `fig8_compiler_opts` | normalized cycle stacks across compiler options |
+//! | `fig9_edp` | EDP design-space exploration, model vs simulation |
+//!
+//! Each binary prints the table/series the paper reports and writes a JSON
+//! record under `results/`. Criterion benches (`cargo bench -p mim-bench`)
+//! quantify the §5 claim that model evaluation is orders of magnitude
+//! faster than detailed simulation.
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use mim_core::{CpiStack, MachineConfig, MechanisticModel, ModelInputs};
+use mim_pipeline::{PipelineSim, SimResult};
+use mim_profile::Profiler;
+use mim_workloads::{Workload, WorkloadSize};
+use serde::Serialize;
+
+/// Instruction budget per workload for design-space sweeps, keeping the
+/// 192-point × 19-benchmark detailed-simulation reference tractable.
+pub const SWEEP_LIMIT: u64 = 400_000;
+
+/// Where experiment outputs are written.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Serializes `value` as pretty JSON into `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize");
+    fs::write(&path, json).expect("write results");
+    eprintln!("[wrote {}]", path.display());
+}
+
+/// One benchmark's model-vs-simulation comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct ValidationRow {
+    pub benchmark: String,
+    pub model_cpi: f64,
+    pub sim_cpi: f64,
+    pub error_percent: f64,
+}
+
+/// Runs (profile → model) and detailed simulation on one workload at one
+/// design point and returns the comparison row.
+pub fn validate_one(
+    machine: &MachineConfig,
+    workload: &Workload,
+    size: WorkloadSize,
+) -> ValidationRow {
+    let program = workload.program(size);
+    let inputs = Profiler::new(machine)
+        .profile(&program)
+        .expect("profiling failed");
+    let stack = MechanisticModel::new(machine).predict(&inputs);
+    let sim = PipelineSim::new(machine)
+        .simulate(&program)
+        .expect("simulation failed");
+    row_from(workload.name(), &stack, &sim)
+}
+
+/// Builds a comparison row from an already-computed stack and sim result.
+pub fn row_from(name: &str, stack: &CpiStack, sim: &SimResult) -> ValidationRow {
+    let error_percent = 100.0 * (stack.cpi() - sim.cpi()) / sim.cpi();
+    ValidationRow {
+        benchmark: name.to_string(),
+        model_cpi: stack.cpi(),
+        sim_cpi: sim.cpi(),
+        error_percent,
+    }
+}
+
+/// Prints a validation table and returns (average |error|, max |error|).
+pub fn print_validation(title: &str, rows: &[ValidationRow]) -> (f64, f64) {
+    println!("\n=== {title} ===");
+    println!("{:<18} {:>10} {:>10} {:>9}", "benchmark", "model CPI", "sim CPI", "error");
+    for r in rows {
+        println!(
+            "{:<18} {:>10.4} {:>10.4} {:>+8.2}%",
+            r.benchmark, r.model_cpi, r.sim_cpi, r.error_percent
+        );
+    }
+    let abs: Vec<f64> = rows.iter().map(|r| r.error_percent.abs()).collect();
+    let avg = abs.iter().sum::<f64>() / abs.len() as f64;
+    let max = abs.iter().cloned().fold(0.0, f64::max);
+    println!("{:<18} avg |error| = {avg:.2}%   max = {max:.2}%", "");
+    (avg, max)
+}
+
+/// Model inputs for a (possibly truncated) run; truncation must be applied
+/// identically to profiling and simulation for comparability.
+pub fn profile_limited(
+    machine: &MachineConfig,
+    program: &mim_isa::Program,
+    limit: Option<u64>,
+) -> ModelInputs {
+    let sweep = mim_profile::SweepProfiler::new(
+        machine.hierarchy.clone(),
+        vec![machine.hierarchy.l2.clone()],
+        vec![machine.predictor.clone()],
+    );
+    sweep
+        .profile(program, limit)
+        .expect("profiling failed")
+        .inputs_for(0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_one_produces_sane_row() {
+        let machine = MachineConfig::default_config();
+        let w = mim_workloads::mibench::qsort();
+        let row = validate_one(&machine, &w, WorkloadSize::Tiny);
+        assert_eq!(row.benchmark, "qsort");
+        assert!(row.model_cpi > 0.25);
+        assert!(row.sim_cpi > 0.25);
+        assert!(row.error_percent.abs() < 25.0);
+    }
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = results_dir();
+        assert!(d.exists());
+    }
+}

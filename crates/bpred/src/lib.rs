@@ -1,0 +1,47 @@
+//! # mim-bpred — branch predictors and single-pass multi-predictor profiling
+//!
+//! Branch-direction predictors used by the MIM toolkit, covering the two
+//! configurations of the paper's design space (Table 2):
+//!
+//! * a 1 KB **gshare** predictor with global history, and
+//! * a 3.5 KB **hybrid** predictor combining a 10-bit local-history
+//!   component with a 12-bit global-history component via a chooser.
+//!
+//! [`Bimodal`] and [`LocalPredictor`] are also exported as building blocks
+//! and baselines. [`MultiPredictor`] profiles many predictors over one
+//! branch stream in a single pass, mirroring the paper's profiler (§2.1):
+//! "we also collect branch misprediction rates for multiple branch
+//! predictors in a single run".
+//!
+//! ## Example
+//!
+//! ```
+//! use mim_bpred::{BranchPredictor, PredictorConfig};
+//!
+//! let mut p = PredictorConfig::gshare_1k().build();
+//! // An always-taken branch becomes predictable once the global history
+//! // register saturates (12 history bits -> all-ones after 12 outcomes).
+//! for _ in 0..20 {
+//!     p.update(0x40, true);
+//! }
+//! assert!(p.predict(0x40));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bimodal;
+mod counter;
+mod gshare;
+mod hybrid;
+mod local;
+mod multi;
+mod predictor;
+
+pub use bimodal::Bimodal;
+pub use counter::SatCounter;
+pub use gshare::Gshare;
+pub use hybrid::Hybrid;
+pub use local::LocalPredictor;
+pub use multi::{MultiPredictor, PredictorStats};
+pub use predictor::{BranchPredictor, PredictorConfig};

@@ -1,0 +1,186 @@
+//! The predictor trait and validated configurations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bimodal::Bimodal;
+use crate::gshare::Gshare;
+use crate::hybrid::Hybrid;
+use crate::local::LocalPredictor;
+
+/// A conditional-branch direction predictor.
+///
+/// Implementations are deterministic state machines; `predict` is
+/// side-effect-free and `update` trains on the resolved outcome. The trait
+/// is object-safe so heterogeneous predictor sets can be profiled together
+/// (see [`MultiPredictor`](crate::MultiPredictor)).
+pub trait BranchPredictor {
+    /// Predicts the direction of the conditional branch at `pc`
+    /// (an instruction index or byte address; implementations hash it).
+    fn predict(&self, pc: u32) -> bool;
+
+    /// Trains the predictor with the resolved direction of the branch at
+    /// `pc`.
+    fn update(&mut self, pc: u32, taken: bool);
+
+    /// Short human-readable description (e.g. `"gshare-1KB"`).
+    fn name(&self) -> &str;
+
+    /// Total predictor storage budget in bits (for reporting and the power
+    /// model).
+    fn storage_bits(&self) -> u64;
+}
+
+/// Validated, serializable predictor configuration.
+///
+/// Use the provided constructors for the paper's two design-space points
+/// ([`gshare_1k`](PredictorConfig::gshare_1k) and
+/// [`hybrid_3_5k`](PredictorConfig::hybrid_3_5k)) or build custom
+/// geometries; [`build`](PredictorConfig::build) instantiates the predictor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictorConfig {
+    /// PC-indexed table of 2-bit counters.
+    Bimodal {
+        /// log2 of the number of counters.
+        index_bits: u32,
+    },
+    /// Global-history XOR PC indexed table of 2-bit counters.
+    Gshare {
+        /// Number of global history bits (also log2 of the table size).
+        history_bits: u32,
+    },
+    /// Two-level local-history predictor.
+    Local {
+        /// log2 of the number of per-branch history registers.
+        index_bits: u32,
+        /// Bits of local history per branch (log2 of the pattern table).
+        history_bits: u32,
+    },
+    /// Hybrid (tournament) of a local and a global component with a
+    /// global-history-indexed chooser.
+    Hybrid {
+        /// Local component: log2 of the history-register table.
+        local_index_bits: u32,
+        /// Local component: history length / pattern-table log2 size.
+        local_history_bits: u32,
+        /// Global component and chooser history length.
+        global_history_bits: u32,
+    },
+}
+
+impl PredictorConfig {
+    /// The paper's "1KB global history" predictor: gshare with 12 bits of
+    /// global history, i.e. 4096 two-bit counters = 1 KB of storage.
+    pub fn gshare_1k() -> PredictorConfig {
+        PredictorConfig::Gshare { history_bits: 12 }
+    }
+
+    /// The paper's "3.5KB hybrid, 10b local and 12b global history"
+    /// predictor: 1024 x 10-bit local histories + 1024-entry local pattern
+    /// table (1.5 KB) + 4096-counter global component (1 KB) + 4096-counter
+    /// chooser (1 KB).
+    pub fn hybrid_3_5k() -> PredictorConfig {
+        PredictorConfig::Hybrid {
+            local_index_bits: 10,
+            local_history_bits: 10,
+            global_history_bits: 12,
+        }
+    }
+
+    /// Short name used in reports and config listings.
+    pub fn name(&self) -> String {
+        match self {
+            PredictorConfig::Bimodal { index_bits } => format!("bimodal-{index_bits}b"),
+            PredictorConfig::Gshare { history_bits } => format!("gshare-{history_bits}b"),
+            PredictorConfig::Local {
+                index_bits,
+                history_bits,
+            } => format!("local-{index_bits}b-{history_bits}h"),
+            PredictorConfig::Hybrid {
+                local_history_bits,
+                global_history_bits,
+                ..
+            } => format!("hybrid-{local_history_bits}l-{global_history_bits}g"),
+        }
+    }
+
+    /// Instantiates the predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bit-width parameter exceeds 24 (tables would be
+    /// unreasonably large); design-space configurations are far below this.
+    pub fn build(&self) -> Box<dyn BranchPredictor> {
+        match *self {
+            PredictorConfig::Bimodal { index_bits } => Box::new(Bimodal::new(index_bits)),
+            PredictorConfig::Gshare { history_bits } => Box::new(Gshare::new(history_bits)),
+            PredictorConfig::Local {
+                index_bits,
+                history_bits,
+            } => Box::new(LocalPredictor::new(index_bits, history_bits)),
+            PredictorConfig::Hybrid {
+                local_index_bits,
+                local_history_bits,
+                global_history_bits,
+            } => Box::new(Hybrid::new(
+                local_index_bits,
+                local_history_bits,
+                global_history_bits,
+            )),
+        }
+    }
+}
+
+pub(crate) fn check_bits(field: &str, bits: u32) -> usize {
+    assert!(
+        bits > 0 && bits <= 24,
+        "{field} must be in 1..=24, got {bits}"
+    );
+    1usize << bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_have_expected_storage() {
+        let g = PredictorConfig::gshare_1k().build();
+        assert_eq!(g.storage_bits(), 4096 * 2); // 1 KB
+        let h = PredictorConfig::hybrid_3_5k().build();
+        // 1024*10 (local histories) + 1024*2 (local PHT)
+        // + 4096*2 (global) + 4096*2 (chooser) = 28672 bits = 3.5 KB
+        assert_eq!(h.storage_bits(), 28_672);
+    }
+
+    #[test]
+    fn names_are_distinct_and_nonempty() {
+        let configs = [
+            PredictorConfig::Bimodal { index_bits: 10 },
+            PredictorConfig::gshare_1k(),
+            PredictorConfig::Local {
+                index_bits: 10,
+                history_bits: 10,
+            },
+            PredictorConfig::hybrid_3_5k(),
+        ];
+        let names: Vec<String> = configs.iter().map(|c| c.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in 1..=24")]
+    fn oversized_tables_are_rejected() {
+        let _ = PredictorConfig::Gshare { history_bits: 30 }.build();
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_usable() {
+        let mut p: Box<dyn BranchPredictor> = PredictorConfig::gshare_1k().build();
+        let before = p.predict(12);
+        p.update(12, !before);
+        assert!(!p.name().is_empty());
+    }
+}

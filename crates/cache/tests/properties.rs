@@ -1,0 +1,123 @@
+//! Property-based tests for the cache substrate.
+
+use mim_cache::{CacheConfig, Hierarchy, HierarchyConfig, MemAccessKind, MultiConfig, SetAssocCache, StackDistance, TlbConfig};
+use proptest::prelude::*;
+
+/// A reference fully-associative LRU cache (linear scan).
+struct NaiveLru {
+    stack: Vec<u64>,
+    capacity: usize,
+    misses: u64,
+}
+
+impl NaiveLru {
+    fn new(capacity: usize) -> NaiveLru {
+        NaiveLru {
+            stack: Vec::new(),
+            capacity,
+            misses: 0,
+        }
+    }
+    fn access(&mut self, block: u64) {
+        if let Some(pos) = self.stack.iter().position(|&b| b == block) {
+            self.stack.remove(pos);
+        } else {
+            self.misses += 1;
+            if self.stack.len() == self.capacity {
+                self.stack.pop();
+            }
+        }
+        self.stack.insert(0, block);
+    }
+}
+
+fn addr_stream() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..4096, 50..800)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A one-set W-way SetAssocCache is exactly a W-entry LRU stack.
+    #[test]
+    fn fully_associative_cache_matches_reference(blocks in addr_stream(), ways_log in 1u32..5) {
+        let ways = 1u32 << ways_log;
+        let config = CacheConfig::new("fa", 64 * u64::from(ways), ways, 64).unwrap();
+        let mut cache = SetAssocCache::new(config);
+        let mut reference = NaiveLru::new(ways as usize);
+        for &b in &blocks {
+            cache.access(b * 64);
+            reference.access(b);
+        }
+        prop_assert_eq!(cache.misses(), reference.misses);
+    }
+
+    /// Stack-distance profiling predicts the exact miss count of every
+    /// fully-associative LRU capacity.
+    #[test]
+    fn stack_distance_matches_reference(blocks in addr_stream(), capacity in 1usize..64) {
+        let mut sd = StackDistance::new(1);
+        let mut reference = NaiveLru::new(capacity);
+        for &b in &blocks {
+            sd.access(b);
+            reference.access(b);
+        }
+        prop_assert_eq!(sd.misses_for_capacity(capacity), reference.misses);
+    }
+
+    /// LRU inclusion: more ways at the same set count never miss more.
+    #[test]
+    fn associativity_inclusion(blocks in addr_stream()) {
+        let mut two = SetAssocCache::new(CacheConfig::new("2w", 8 * 64 * 2, 2, 64).unwrap());
+        let mut four = SetAssocCache::new(CacheConfig::new("4w", 8 * 64 * 4, 4, 64).unwrap());
+        for &b in &blocks {
+            two.access(b * 64);
+            four.access(b * 64);
+        }
+        prop_assert!(four.misses() <= two.misses());
+    }
+
+    /// The multi-configuration sweep agrees exactly with independent
+    /// hierarchies for arbitrary access streams.
+    #[test]
+    fn multi_config_equals_independent(accesses in proptest::collection::vec((0u64..3, 0u64..65_536), 100..600)) {
+        let base = HierarchyConfig {
+            l1i: CacheConfig::new("L1I", 1024, 2, 64).unwrap(),
+            l1d: CacheConfig::new("L1D", 1024, 2, 64).unwrap(),
+            l2: CacheConfig::new("L2", 8192, 4, 64).unwrap(),
+            itlb: TlbConfig { entries: 4, page_bytes: 4096 },
+            dtlb: TlbConfig { entries: 4, page_bytes: 4096 },
+        };
+        let l2a = CacheConfig::new("a", 4096, 4, 64).unwrap();
+        let l2b = CacheConfig::new("b", 16384, 8, 64).unwrap();
+        let mut multi = MultiConfig::new(&base, vec![l2a.clone(), l2b.clone()]);
+        let mut ha = Hierarchy::new(base.clone().with_l2(l2a));
+        let mut hb = Hierarchy::new(base.clone().with_l2(l2b));
+        for &(kind, addr) in &accesses {
+            let kind = match kind {
+                0 => MemAccessKind::Fetch,
+                1 => MemAccessKind::Load,
+                _ => MemAccessKind::Store,
+            };
+            let addr = addr & !7;
+            multi.access(kind, addr);
+            ha.access(kind, addr);
+            hb.access(kind, addr);
+        }
+        prop_assert_eq!(multi.counts(0), ha.counts());
+        prop_assert_eq!(multi.counts(1), hb.counts());
+    }
+
+    /// Histogram mass conservation: every access is either a cold miss or
+    /// appears in the reuse histogram.
+    #[test]
+    fn stack_distance_mass_conservation(blocks in addr_stream()) {
+        let mut sd = StackDistance::new(1);
+        for &b in &blocks {
+            sd.access(b);
+        }
+        let reuse: u64 = sd.histogram().iter().sum();
+        prop_assert_eq!(reuse + sd.cold_misses(), sd.accesses());
+        prop_assert_eq!(sd.misses_for_capacity(usize::MAX >> 8), sd.cold_misses());
+    }
+}

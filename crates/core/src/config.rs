@@ -1,0 +1,383 @@
+//! Machine parameters and the Table 2 design space.
+
+use std::error::Error;
+use std::fmt;
+
+use mim_bpred::PredictorConfig;
+use mim_cache::{CacheConfig, HierarchyConfig};
+use serde::{Deserialize, Serialize};
+
+/// Error produced by [`MachineConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Pipeline width outside the supported range.
+    BadWidth {
+        /// Offending width.
+        width: u32,
+    },
+    /// Front-end depth of zero.
+    BadDepth,
+    /// A latency parameter was zero or non-finite.
+    BadLatency {
+        /// Which latency was invalid.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadWidth { width } => {
+                write!(f, "pipeline width must be in 1..=8, got {width}")
+            }
+            ConfigError::BadDepth => write!(f, "front-end depth must be at least 1"),
+            ConfigError::BadLatency { field } => {
+                write!(f, "latency parameter {field} must be positive and finite")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Complete description of one superscalar in-order design point.
+///
+/// This bundles every machine parameter the model (and the detailed
+/// pipeline simulator) needs: pipeline geometry, functional-unit and
+/// memory latencies, the cache hierarchy, and the branch predictor.
+/// Time-domain latencies (`l2_hit_ns`, `mem_ns`) are converted to cycles
+/// with the configured clock frequency, so frequency points in the design
+/// space change cycle-domain behaviour exactly as in the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Pipeline width `W` (instructions per stage), 1–8.
+    pub width: u32,
+    /// Depth `D` of the front-end pipeline (fetch..decode stages).
+    /// The paper's 5/7/9-stage machines have `D` = 2/4/6 (the back end is
+    /// always execute + memory + writeback).
+    pub frontend_depth: u32,
+    /// Clock frequency in GHz.
+    pub frequency_ghz: f64,
+    /// Execute latency of integer multiply, in cycles (non-pipelined).
+    pub mul_latency: u32,
+    /// Execute latency of integer divide/remainder, in cycles.
+    pub div_latency: u32,
+    /// L1 data-cache hit latency in cycles (1 = result forwards from MEM).
+    pub l1_hit_cycles: u32,
+    /// Unified L2 hit latency in nanoseconds (10 ns in Table 2).
+    pub l2_hit_ns: f64,
+    /// Main-memory access latency in nanoseconds.
+    pub mem_ns: f64,
+    /// TLB miss (page-walk) latency in cycles.
+    pub tlb_walk_cycles: u32,
+    /// Cache hierarchy geometry.
+    pub hierarchy: HierarchyConfig,
+    /// Branch predictor configuration.
+    pub predictor: PredictorConfig,
+}
+
+impl MachineConfig {
+    /// The paper's default configuration (Table 2, "Default" column):
+    /// 4-wide, 9-stage (front-end depth 6), 1 GHz, 32 KB 4-way L1s,
+    /// 512 KB 8-way L2 at 10 ns, and the 1 KB gshare predictor.
+    pub fn default_config() -> MachineConfig {
+        MachineConfig {
+            width: 4,
+            frontend_depth: 6,
+            frequency_ghz: 1.0,
+            mul_latency: 4,
+            div_latency: 20,
+            l1_hit_cycles: 1,
+            l2_hit_ns: 10.0,
+            mem_ns: 60.0,
+            tlb_walk_cycles: 30,
+            hierarchy: HierarchyConfig::default_hierarchy(),
+            predictor: PredictorConfig::gshare_1k(),
+        }
+    }
+
+    /// Checks all parameters, returning the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the width is outside 1–8, the front-end
+    /// depth is zero, or any latency is non-positive/non-finite.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.width == 0 || self.width > 8 {
+            return Err(ConfigError::BadWidth { width: self.width });
+        }
+        if self.frontend_depth == 0 {
+            return Err(ConfigError::BadDepth);
+        }
+        for (field, ok) in [
+            ("frequency_ghz", self.frequency_ghz > 0.0 && self.frequency_ghz.is_finite()),
+            ("mul_latency", self.mul_latency >= 1),
+            ("div_latency", self.div_latency >= 1),
+            ("l1_hit_cycles", self.l1_hit_cycles >= 1),
+            ("l2_hit_ns", self.l2_hit_ns > 0.0 && self.l2_hit_ns.is_finite()),
+            ("mem_ns", self.mem_ns > 0.0 && self.mem_ns.is_finite()),
+            ("tlb_walk_cycles", self.tlb_walk_cycles >= 1),
+        ] {
+            if !ok {
+                return Err(ConfigError::BadLatency { field });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total pipeline depth (front end + execute + memory + writeback).
+    pub fn pipeline_stages(&self) -> u32 {
+        self.frontend_depth + 3
+    }
+
+    /// L2 hit latency in cycles at the configured frequency.
+    pub fn l2_hit_cycles(&self) -> u32 {
+        (self.l2_hit_ns * self.frequency_ghz).round().max(1.0) as u32
+    }
+
+    /// Main-memory latency in cycles at the configured frequency.
+    pub fn mem_cycles(&self) -> u32 {
+        (self.mem_ns * self.frequency_ghz).round().max(1.0) as u32
+    }
+
+    /// Clock period in seconds.
+    pub fn cycle_seconds(&self) -> f64 {
+        1e-9 / self.frequency_ghz
+    }
+
+    /// Short identifier, e.g. `"s9@1.0GHz-w4-L2-512K-8w-gshare-12b"`.
+    pub fn id(&self) -> String {
+        format!(
+            "s{}@{:.1}GHz-w{}-{}-{}",
+            self.pipeline_stages(),
+            self.frequency_ghz,
+            self.width,
+            self.hierarchy.l2.name(),
+            self.predictor.name(),
+        )
+    }
+}
+
+impl fmt::Display for MachineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (mul {}c, div {}c, L2 {}c, mem {}c, TLB walk {}c)",
+            self.id(),
+            self.mul_latency,
+            self.div_latency,
+            self.l2_hit_cycles(),
+            self.mem_cycles(),
+            self.tlb_walk_cycles,
+        )
+    }
+}
+
+/// One enumerated point of a [`DesignSpace`] with its position indices,
+/// used to look up per-configuration profile statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The full machine configuration.
+    pub machine: MachineConfig,
+    /// Index into [`DesignSpace::l2_configs`] for this point's L2.
+    pub l2_index: usize,
+    /// Index into [`DesignSpace::predictor_configs`] for this point's
+    /// predictor.
+    pub predictor_index: usize,
+}
+
+/// The paper's architecture design space (Table 2).
+///
+/// Three (depth, frequency) pairs x four widths x eight L2 geometries x two
+/// branch predictors = 192 design points. The space is deliberately
+/// factored so that the profiler can collect statistics for *all* L2 and
+/// predictor candidates in a single pass ([`l2_configs`]/
+/// [`predictor_configs`]), after which the model evaluates every point
+/// instantly.
+///
+/// [`l2_configs`]: DesignSpace::l2_configs
+/// [`predictor_configs`]: DesignSpace::predictor_configs
+///
+/// # Example
+///
+/// ```
+/// use mim_core::DesignSpace;
+///
+/// let space = DesignSpace::paper_table2();
+/// assert_eq!(space.points().count(), 192);
+/// assert_eq!(space.l2_configs().len(), 8);
+/// assert_eq!(space.predictor_configs().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    base: MachineConfig,
+    depth_freq: Vec<(u32, f64)>,
+    widths: Vec<u32>,
+    l2s: Vec<CacheConfig>,
+    predictors: Vec<PredictorConfig>,
+}
+
+impl DesignSpace {
+    /// The exact space of Table 2: pipeline depth 5/7/9 stages paired with
+    /// 600/800/1000 MHz, width 1–4, L2 in {128 KB, 256 KB, 512 KB, 1 MB} x
+    /// {8, 16}-way, and the two branch predictors.
+    pub fn paper_table2() -> DesignSpace {
+        let l2s = [128u64, 256, 512, 1024]
+            .iter()
+            .flat_map(|&kb| {
+                [8u32, 16].iter().map(move |&ways| {
+                    CacheConfig::new(format!("L2-{kb}K-{ways}w"), kb * 1024, ways, 64)
+                        .expect("valid L2 geometry")
+                })
+            })
+            .collect();
+        DesignSpace {
+            base: MachineConfig::default_config(),
+            depth_freq: vec![(2, 0.6), (4, 0.8), (6, 1.0)],
+            widths: vec![1, 2, 3, 4],
+            l2s,
+            predictors: vec![PredictorConfig::gshare_1k(), PredictorConfig::hybrid_3_5k()],
+        }
+    }
+
+    /// The L2 cache candidates (the axis the single-pass cache sweep
+    /// covers).
+    pub fn l2_configs(&self) -> &[CacheConfig] {
+        &self.l2s
+    }
+
+    /// The branch-predictor candidates (the axis the multi-predictor
+    /// profiler covers).
+    pub fn predictor_configs(&self) -> &[PredictorConfig] {
+        &self.predictors
+    }
+
+    /// Number of design points.
+    pub fn len(&self) -> usize {
+        self.depth_freq.len() * self.widths.len() * self.l2s.len() * self.predictors.len()
+    }
+
+    /// True if the space is degenerate (no points).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates every design point.
+    pub fn points(&self) -> impl Iterator<Item = DesignPoint> + '_ {
+        self.depth_freq.iter().flat_map(move |&(depth, freq)| {
+            self.widths.iter().flat_map(move |&width| {
+                self.l2s.iter().enumerate().flat_map(move |(l2_index, l2)| {
+                    self.predictors
+                        .iter()
+                        .enumerate()
+                        .map(move |(predictor_index, pred)| {
+                            let mut machine = self.base.clone();
+                            machine.frontend_depth = depth;
+                            machine.frequency_ghz = freq;
+                            machine.width = width;
+                            machine.hierarchy = machine.hierarchy.clone().with_l2(l2.clone());
+                            machine.predictor = pred.clone();
+                            DesignPoint {
+                                machine,
+                                l2_index,
+                                predictor_index,
+                            }
+                        })
+                })
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_matches_table2() {
+        let c = MachineConfig::default_config();
+        c.validate().unwrap();
+        assert_eq!(c.width, 4);
+        assert_eq!(c.pipeline_stages(), 9);
+        assert_eq!(c.l2_hit_cycles(), 10); // 10ns @ 1GHz
+        assert_eq!(c.mem_cycles(), 60);
+        assert_eq!(c.hierarchy.l2.size_bytes(), 512 * 1024);
+    }
+
+    #[test]
+    fn frequency_scales_cycle_latencies() {
+        let mut c = MachineConfig::default_config();
+        c.frequency_ghz = 0.6;
+        assert_eq!(c.l2_hit_cycles(), 6);
+        assert_eq!(c.mem_cycles(), 36);
+        assert!((c.cycle_seconds() - 1.0 / 0.6e9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let mut c = MachineConfig::default_config();
+        c.width = 0;
+        assert!(matches!(c.validate(), Err(ConfigError::BadWidth { .. })));
+        c.width = 9;
+        assert!(matches!(c.validate(), Err(ConfigError::BadWidth { .. })));
+        let mut c = MachineConfig::default_config();
+        c.frontend_depth = 0;
+        assert_eq!(c.validate(), Err(ConfigError::BadDepth));
+        let mut c = MachineConfig::default_config();
+        c.mem_ns = f64::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadLatency { field: "mem_ns" })
+        ));
+    }
+
+    #[test]
+    fn table2_space_has_192_points() {
+        let space = DesignSpace::paper_table2();
+        assert_eq!(space.len(), 192);
+        let points: Vec<DesignPoint> = space.points().collect();
+        assert_eq!(points.len(), 192);
+        for p in &points {
+            p.machine.validate().unwrap();
+        }
+        // All ids unique.
+        let mut ids: Vec<String> = points.iter().map(|p| p.machine.id()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 192);
+    }
+
+    #[test]
+    fn depth_and_frequency_are_paired() {
+        let space = DesignSpace::paper_table2();
+        for p in space.points() {
+            match p.machine.pipeline_stages() {
+                5 => assert!((p.machine.frequency_ghz - 0.6).abs() < 1e-12),
+                7 => assert!((p.machine.frequency_ghz - 0.8).abs() < 1e-12),
+                9 => assert!((p.machine.frequency_ghz - 1.0).abs() < 1e-12),
+                other => panic!("unexpected stage count {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn indices_point_into_config_lists() {
+        let space = DesignSpace::paper_table2();
+        for p in space.points() {
+            assert_eq!(
+                space.l2_configs()[p.l2_index],
+                p.machine.hierarchy.l2
+            );
+            assert_eq!(
+                space.predictor_configs()[p.predictor_index],
+                p.machine.predictor
+            );
+        }
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!ConfigError::BadDepth.to_string().is_empty());
+        assert!(!ConfigError::BadWidth { width: 0 }.to_string().is_empty());
+    }
+}

@@ -1,0 +1,462 @@
+//! An ergonomic assembler for constructing [`Program`]s.
+
+use crate::inst::{Cond, Inst, Opcode};
+use crate::program::{Program, WORD_BYTES};
+use crate::reg::Reg;
+
+/// A forward- or backward-referenceable code position.
+///
+/// Create one with [`ProgramBuilder::label`], attach it to the next emitted
+/// instruction with [`ProgramBuilder::bind`], and use it as a branch or jump
+/// target. [`ProgramBuilder::here`] creates and binds in one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incremental builder ("assembler") for [`Program`]s.
+///
+/// The builder offers one method per opcode, label-based control flow, and a
+/// word-granular data segment. Branch targets are resolved when
+/// [`build`](ProgramBuilder::build) is called.
+///
+/// # Example
+///
+/// ```
+/// use mim_isa::{ProgramBuilder, Reg, Vm};
+///
+/// # fn main() -> Result<(), mim_isa::VmError> {
+/// let mut b = ProgramBuilder::named("sum-array");
+/// let data = b.data_words(&[3, 1, 4, 1, 5]);
+/// let (ptr, end, acc, x) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
+/// b.li(ptr, data as i64);
+/// b.li(end, (data + 5 * 8) as i64);
+/// b.li(acc, 0);
+/// let top = b.here();
+/// b.ld(x, ptr, 0);
+/// b.add(acc, acc, x);
+/// b.addi(ptr, ptr, 8);
+/// b.blt(ptr, end, top);
+/// b.halt();
+///
+/// let program = b.build();
+/// let mut vm = Vm::new(&program);
+/// vm.run(None)?;
+/// assert_eq!(vm.reg(acc), 14);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    text: Vec<Inst>,
+    data: Vec<i64>,
+    /// Resolved instruction index per label, if bound.
+    labels: Vec<Option<u32>>,
+    /// Instructions whose `imm` must be patched with a label address.
+    fixups: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder with an empty program name.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Creates an empty builder with the given program name.
+    pub fn named(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            ..ProgramBuilder::default()
+        }
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// True if no instructions have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    // -- data segment -------------------------------------------------------
+
+    /// Appends `words` to the data segment and returns the byte address of
+    /// the first word.
+    pub fn data_words(&mut self, words: &[i64]) -> u64 {
+        let addr = self.data.len() as u64 * WORD_BYTES;
+        self.data.extend_from_slice(words);
+        addr
+    }
+
+    /// Reserves `n` zero-initialized words and returns the byte address of
+    /// the first.
+    pub fn alloc_words(&mut self, n: usize) -> u64 {
+        let addr = self.data.len() as u64 * WORD_BYTES;
+        self.data.resize(self.data.len() + n, 0);
+        addr
+    }
+
+    // -- labels ---------------------------------------------------------------
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the position of the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.text.len() as u32);
+    }
+
+    /// Creates a label and binds it to the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    // -- raw emission ---------------------------------------------------------
+
+    /// Appends a raw instruction and returns its index.
+    pub fn push(&mut self, inst: Inst) -> usize {
+        self.text.push(inst);
+        self.text.len() - 1
+    }
+
+    fn rrr(&mut self, opcode: Opcode, dst: Reg, src1: Reg, src2: Reg) {
+        self.push(Inst {
+            opcode,
+            dst,
+            src1,
+            src2,
+            imm: 0,
+        });
+    }
+
+    fn rri(&mut self, opcode: Opcode, dst: Reg, src1: Reg, imm: i64) {
+        self.push(Inst {
+            opcode,
+            dst,
+            src1,
+            src2: Reg::R0,
+            imm,
+        });
+    }
+
+    fn branch(&mut self, cond: Cond, a: Reg, b: Reg, target: Label) {
+        let idx = self.push(Inst {
+            opcode: Opcode::Br(cond),
+            dst: Reg::R0,
+            src1: a,
+            src2: b,
+            imm: 0,
+        });
+        self.fixups.push((idx, target));
+    }
+
+    // -- register-register ALU -------------------------------------------------
+
+    /// `dst = a + b`
+    pub fn add(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.rrr(Opcode::Add, dst, a, b);
+    }
+    /// `dst = a - b`
+    pub fn sub(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.rrr(Opcode::Sub, dst, a, b);
+    }
+    /// `dst = a & b`
+    pub fn and(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.rrr(Opcode::And, dst, a, b);
+    }
+    /// `dst = a | b`
+    pub fn or(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.rrr(Opcode::Or, dst, a, b);
+    }
+    /// `dst = a ^ b`
+    pub fn xor(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.rrr(Opcode::Xor, dst, a, b);
+    }
+    /// `dst = a << (b & 63)`
+    pub fn sll(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.rrr(Opcode::Sll, dst, a, b);
+    }
+    /// `dst = a >> (b & 63)` (logical)
+    pub fn srl(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.rrr(Opcode::Srl, dst, a, b);
+    }
+    /// `dst = a >> (b & 63)` (arithmetic)
+    pub fn sra(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.rrr(Opcode::Sra, dst, a, b);
+    }
+    /// `dst = (a < b) as i64` (signed)
+    pub fn slt(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.rrr(Opcode::Slt, dst, a, b);
+    }
+    /// `dst = (a <u b) as i64` (unsigned)
+    pub fn sltu(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.rrr(Opcode::SltU, dst, a, b);
+    }
+
+    // -- register-immediate ALU ---------------------------------------------
+
+    /// `dst = a + imm`
+    pub fn addi(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.rri(Opcode::Addi, dst, a, imm);
+    }
+    /// `dst = a & imm`
+    pub fn andi(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.rri(Opcode::Andi, dst, a, imm);
+    }
+    /// `dst = a | imm`
+    pub fn ori(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.rri(Opcode::Ori, dst, a, imm);
+    }
+    /// `dst = a ^ imm`
+    pub fn xori(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.rri(Opcode::Xori, dst, a, imm);
+    }
+    /// `dst = a << (imm & 63)`
+    pub fn slli(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.rri(Opcode::Slli, dst, a, imm);
+    }
+    /// `dst = a >> (imm & 63)` (logical)
+    pub fn srli(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.rri(Opcode::Srli, dst, a, imm);
+    }
+    /// `dst = a >> (imm & 63)` (arithmetic)
+    pub fn srai(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.rri(Opcode::Srai, dst, a, imm);
+    }
+    /// `dst = (a < imm) as i64` (signed)
+    pub fn slti(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.rri(Opcode::Slti, dst, a, imm);
+    }
+    /// `dst = imm`
+    pub fn li(&mut self, dst: Reg, imm: i64) {
+        self.rri(Opcode::Li, dst, Reg::R0, imm);
+    }
+    /// `dst = a` (register move; encoded as `addi dst, a, 0`)
+    pub fn mv(&mut self, dst: Reg, a: Reg) {
+        self.addi(dst, a, 0);
+    }
+
+    // -- long-latency arithmetic ------------------------------------------------
+
+    /// `dst = a * b` (multi-cycle multiply)
+    pub fn mul(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.rrr(Opcode::Mul, dst, a, b);
+    }
+    /// `dst = a / b` (multi-cycle divide; traps on `b == 0`)
+    pub fn div(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.rrr(Opcode::Div, dst, a, b);
+    }
+    /// `dst = a % b` (multi-cycle remainder; traps on `b == 0`)
+    pub fn rem(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.rrr(Opcode::Rem, dst, a, b);
+    }
+
+    // -- memory ------------------------------------------------------------------
+
+    /// `dst = mem[base + offset]` (8-byte load; byte offset)
+    pub fn ld(&mut self, dst: Reg, base: Reg, offset: i64) {
+        self.rri(Opcode::Ld, dst, base, offset);
+    }
+    /// `mem[base + offset] = value` (8-byte store; byte offset)
+    pub fn st(&mut self, value: Reg, base: Reg, offset: i64) {
+        self.push(Inst {
+            opcode: Opcode::St,
+            dst: Reg::R0,
+            src1: value,
+            src2: base,
+            imm: offset,
+        });
+    }
+
+    // -- control flow -------------------------------------------------------------
+
+    /// Branch to `target` if `cond(a, b)` — the generic form of
+    /// [`beq`](ProgramBuilder::beq)/[`blt`](ProgramBuilder::blt)/etc., used
+    /// by program transformations that manipulate conditions symbolically.
+    pub fn br(&mut self, cond: Cond, a: Reg, b: Reg, target: Label) {
+        self.branch(cond, a, b, target);
+    }
+
+    /// Branch to `target` if `a == b`.
+    pub fn beq(&mut self, a: Reg, b: Reg, target: Label) {
+        self.branch(Cond::Eq, a, b, target);
+    }
+    /// Branch to `target` if `a != b`.
+    pub fn bne(&mut self, a: Reg, b: Reg, target: Label) {
+        self.branch(Cond::Ne, a, b, target);
+    }
+    /// Branch to `target` if `a < b` (signed).
+    pub fn blt(&mut self, a: Reg, b: Reg, target: Label) {
+        self.branch(Cond::Lt, a, b, target);
+    }
+    /// Branch to `target` if `a >= b` (signed).
+    pub fn bge(&mut self, a: Reg, b: Reg, target: Label) {
+        self.branch(Cond::Ge, a, b, target);
+    }
+    /// Branch to `target` if `a < b` (unsigned).
+    pub fn bltu(&mut self, a: Reg, b: Reg, target: Label) {
+        self.branch(Cond::LtU, a, b, target);
+    }
+    /// Branch to `target` if `a >= b` (unsigned).
+    pub fn bgeu(&mut self, a: Reg, b: Reg, target: Label) {
+        self.branch(Cond::GeU, a, b, target);
+    }
+    /// Unconditional jump to `target`.
+    pub fn jmp(&mut self, target: Label) {
+        let idx = self.push(Inst {
+            opcode: Opcode::J,
+            dst: Reg::R0,
+            src1: Reg::R0,
+            src2: Reg::R0,
+            imm: 0,
+        });
+        self.fixups.push((idx, target));
+    }
+    /// No-operation.
+    pub fn nop(&mut self) {
+        self.push(Inst::NOP);
+    }
+    /// Stops the machine.
+    pub fn halt(&mut self) {
+        self.push(Inst {
+            opcode: Opcode::Halt,
+            dst: Reg::R0,
+            src1: Reg::R0,
+            src2: Reg::R0,
+            imm: 0,
+        });
+    }
+
+    // -- finalization -----------------------------------------------------------
+
+    /// Resolves all label references and produces the [`Program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label used as a branch target was never bound. Use
+    /// [`try_build`](ProgramBuilder::try_build) for a fallible variant.
+    pub fn build(self) -> Program {
+        self.try_build().expect("program has unbound labels")
+    }
+
+    /// Resolves labels and produces the [`Program`], or returns the index of
+    /// the first instruction referencing an unbound label.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(instruction_index)` if a branch or jump references a
+    /// label that was never [`bind`](ProgramBuilder::bind)ed.
+    pub fn try_build(mut self) -> Result<Program, usize> {
+        for &(idx, label) in &self.fixups {
+            match self.labels[label.0] {
+                Some(pos) => self.text[idx].imm = i64::from(pos),
+                None => return Err(idx),
+            }
+        }
+        Ok(Program::from_parts(self.name, self.text, self.data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::InstClass;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let fwd = b.label();
+        b.li(Reg::R1, 1);
+        let back = b.here();
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.beq(Reg::R0, Reg::R0, fwd); // forward reference
+        b.jmp(back); // backward reference
+        b.bind(fwd);
+        b.halt();
+        let p = b.build();
+        // beq at index 2 targets instruction 4 (halt)
+        assert_eq!(p.text()[2].target(), Some(4));
+        // jmp at index 3 targets instruction 1 (addi)
+        assert_eq!(p.text()[3].target(), Some(1));
+    }
+
+    #[test]
+    fn try_build_reports_unbound_label() {
+        let mut b = ProgramBuilder::new();
+        let dangling = b.label();
+        b.jmp(dangling);
+        let err = b.try_build().unwrap_err();
+        assert_eq!(err, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn data_segment_addresses_are_byte_granular() {
+        let mut b = ProgramBuilder::new();
+        let a = b.data_words(&[1, 2]);
+        let c = b.alloc_words(3);
+        let d = b.data_words(&[9]);
+        assert_eq!(a, 0);
+        assert_eq!(c, 16);
+        assert_eq!(d, 40);
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.data(), &[1, 2, 0, 0, 0, 9]);
+    }
+
+    #[test]
+    fn emitted_opcodes_have_expected_classes() {
+        let mut b = ProgramBuilder::new();
+        b.mul(Reg::R1, Reg::R2, Reg::R3);
+        b.div(Reg::R1, Reg::R2, Reg::R3);
+        b.ld(Reg::R1, Reg::R2, 8);
+        b.st(Reg::R1, Reg::R2, 8);
+        b.mv(Reg::R4, Reg::R5);
+        b.halt();
+        let p = b.build();
+        let classes: Vec<InstClass> = p.text().iter().map(|i| i.class()).collect();
+        assert_eq!(
+            classes,
+            vec![
+                InstClass::Mul,
+                InstClass::Div,
+                InstClass::Load,
+                InstClass::Store,
+                InstClass::IntAlu,
+                InstClass::Halt
+            ]
+        );
+    }
+
+    #[test]
+    fn store_operand_layout() {
+        let mut b = ProgramBuilder::new();
+        b.st(Reg::R7, Reg::R8, 16);
+        b.halt();
+        let p = b.build();
+        let st = &p.text()[0];
+        assert_eq!(st.src1, Reg::R7); // value
+        assert_eq!(st.src2, Reg::R8); // base
+        assert_eq!(st.imm, 16);
+    }
+}

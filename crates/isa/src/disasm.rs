@@ -1,0 +1,116 @@
+//! Human-readable disassembly via `Display` implementations.
+
+use std::fmt;
+
+use crate::inst::{Inst, Opcode};
+use crate::program::Program;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Opcode::*;
+        let (d, a, b, imm) = (self.dst, self.src1, self.src2, self.imm);
+        match self.opcode {
+            Add => write!(f, "add {d}, {a}, {b}"),
+            Sub => write!(f, "sub {d}, {a}, {b}"),
+            And => write!(f, "and {d}, {a}, {b}"),
+            Or => write!(f, "or {d}, {a}, {b}"),
+            Xor => write!(f, "xor {d}, {a}, {b}"),
+            Sll => write!(f, "sll {d}, {a}, {b}"),
+            Srl => write!(f, "srl {d}, {a}, {b}"),
+            Sra => write!(f, "sra {d}, {a}, {b}"),
+            Slt => write!(f, "slt {d}, {a}, {b}"),
+            SltU => write!(f, "sltu {d}, {a}, {b}"),
+            Addi => write!(f, "addi {d}, {a}, {imm}"),
+            Andi => write!(f, "andi {d}, {a}, {imm}"),
+            Ori => write!(f, "ori {d}, {a}, {imm}"),
+            Xori => write!(f, "xori {d}, {a}, {imm}"),
+            Slli => write!(f, "slli {d}, {a}, {imm}"),
+            Srli => write!(f, "srli {d}, {a}, {imm}"),
+            Srai => write!(f, "srai {d}, {a}, {imm}"),
+            Slti => write!(f, "slti {d}, {a}, {imm}"),
+            Li => write!(f, "li {d}, {imm}"),
+            Mul => write!(f, "mul {d}, {a}, {b}"),
+            Div => write!(f, "div {d}, {a}, {b}"),
+            Rem => write!(f, "rem {d}, {a}, {b}"),
+            Ld => write!(f, "ld {d}, {imm}({a})"),
+            St => write!(f, "st {a}, {imm}({b})"),
+            Br(c) => write!(f, "b{} {a}, {b}, @{imm}", c.mnemonic()),
+            J => write!(f, "j @{imm}"),
+            Nop => write!(f, "nop"),
+            Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    /// Disassembles the whole text segment, one instruction per line with
+    /// its index, e.g. for debugging workload kernels.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; program \"{}\" ({} insts, {} data words)",
+            self.name(), self.len(), self.data().len())?;
+        for (i, inst) in self.text().iter().enumerate() {
+            writeln!(f, "{i:6}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::reg::Reg;
+
+    #[test]
+    fn every_opcode_disassembles_distinctly() {
+        let mut b = ProgramBuilder::new();
+        b.add(Reg::R1, Reg::R2, Reg::R3);
+        b.sub(Reg::R1, Reg::R2, Reg::R3);
+        b.and(Reg::R1, Reg::R2, Reg::R3);
+        b.or(Reg::R1, Reg::R2, Reg::R3);
+        b.xor(Reg::R1, Reg::R2, Reg::R3);
+        b.sll(Reg::R1, Reg::R2, Reg::R3);
+        b.srl(Reg::R1, Reg::R2, Reg::R3);
+        b.sra(Reg::R1, Reg::R2, Reg::R3);
+        b.slt(Reg::R1, Reg::R2, Reg::R3);
+        b.sltu(Reg::R1, Reg::R2, Reg::R3);
+        b.addi(Reg::R1, Reg::R2, 1);
+        b.andi(Reg::R1, Reg::R2, 1);
+        b.ori(Reg::R1, Reg::R2, 1);
+        b.xori(Reg::R1, Reg::R2, 1);
+        b.slli(Reg::R1, Reg::R2, 1);
+        b.srli(Reg::R1, Reg::R2, 1);
+        b.srai(Reg::R1, Reg::R2, 1);
+        b.slti(Reg::R1, Reg::R2, 1);
+        b.li(Reg::R1, 1);
+        b.mul(Reg::R1, Reg::R2, Reg::R3);
+        b.div(Reg::R1, Reg::R2, Reg::R3);
+        b.rem(Reg::R1, Reg::R2, Reg::R3);
+        b.ld(Reg::R1, Reg::R2, 8);
+        b.st(Reg::R1, Reg::R2, 8);
+        let l = b.here();
+        b.beq(Reg::R1, Reg::R2, l);
+        b.jmp(l);
+        b.nop();
+        b.halt();
+        let p = b.build();
+        let lines: Vec<String> = p.text().iter().map(|i| i.to_string()).collect();
+        // all distinct mnemonics/line contents except none empty
+        for line in &lines {
+            assert!(!line.is_empty());
+        }
+        let mut sorted = lines.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), lines.len(), "disassembly lines collide");
+    }
+
+    #[test]
+    fn program_display_includes_header() {
+        let mut b = ProgramBuilder::named("demo");
+        b.halt();
+        let p = b.build();
+        let s = p.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains("halt"));
+    }
+}

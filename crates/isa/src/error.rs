@@ -1,0 +1,99 @@
+//! Error types for functional execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while functionally executing a program on the [`Vm`].
+///
+/// All variants carry enough context (program counter, offending address)
+/// to locate the fault in the program.
+///
+/// [`Vm`]: crate::Vm
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// A load or store addressed memory outside the data segment.
+    MemoryOutOfBounds {
+        /// Program counter of the faulting instruction.
+        pc: u32,
+        /// The faulting byte address.
+        addr: u64,
+        /// Size of the data segment in bytes.
+        memory_bytes: u64,
+    },
+    /// A load or store used an address that is not 8-byte aligned.
+    UnalignedAccess {
+        /// Program counter of the faulting instruction.
+        pc: u32,
+        /// The faulting byte address.
+        addr: u64,
+    },
+    /// A `div` or `rem` executed with a zero divisor.
+    DivideByZero {
+        /// Program counter of the faulting instruction.
+        pc: u32,
+    },
+    /// Control flow left the program text (bad branch target or fall-through
+    /// past the last instruction without `halt`).
+    PcOutOfRange {
+        /// The out-of-range program counter.
+        pc: u32,
+        /// Number of instructions in the program.
+        text_len: u32,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            VmError::MemoryOutOfBounds {
+                pc,
+                addr,
+                memory_bytes,
+            } => write!(
+                f,
+                "memory access at byte address {addr:#x} is outside the \
+                 {memory_bytes}-byte data segment (pc {pc})"
+            ),
+            VmError::UnalignedAccess { pc, addr } => {
+                write!(f, "unaligned 8-byte access at address {addr:#x} (pc {pc})")
+            }
+            VmError::DivideByZero { pc } => write!(f, "division by zero (pc {pc})"),
+            VmError::PcOutOfRange { pc, text_len } => write!(
+                f,
+                "program counter {pc} is outside the program text of {text_len} instructions"
+            ),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_informative() {
+        let errors: [VmError; 4] = [
+            VmError::MemoryOutOfBounds {
+                pc: 3,
+                addr: 0x100,
+                memory_bytes: 64,
+            },
+            VmError::UnalignedAccess { pc: 1, addr: 7 },
+            VmError::DivideByZero { pc: 9 },
+            VmError::PcOutOfRange { pc: 12, text_len: 10 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(format!("{e:?}").len() > 2);
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VmError>();
+    }
+}

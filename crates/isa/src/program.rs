@@ -1,0 +1,121 @@
+//! Executable programs: text segment, initial data image, and metadata.
+
+use crate::inst::Inst;
+
+/// Size of a machine word (and of every load/store access) in bytes.
+pub const WORD_BYTES: u64 = 8;
+
+/// Size of one instruction in bytes, for instruction-cache addressing.
+pub(crate) const INST_BYTES: u64 = 4;
+
+/// A complete executable program: instructions plus an initial data image.
+///
+/// Programs are produced by [`ProgramBuilder`](crate::ProgramBuilder) and
+/// consumed by the functional [`Vm`](crate::Vm), the profiler, and the
+/// pipeline simulator. Data memory is word-granular (8-byte words) but
+/// byte-addressed so that cache simulation sees realistic addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    text: Vec<Inst>,
+    data: Vec<i64>,
+    name: String,
+}
+
+impl Program {
+    /// Creates a program from raw parts.
+    ///
+    /// Prefer [`ProgramBuilder`](crate::ProgramBuilder) in application code;
+    /// this constructor exists for tests and for program transformations
+    /// (e.g. the compiler passes in `mim-workloads`).
+    pub fn from_parts(name: impl Into<String>, text: Vec<Inst>, data: Vec<i64>) -> Program {
+        Program {
+            text,
+            data,
+            name: name.into(),
+        }
+    }
+
+    /// Human-readable program name (benchmark name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction sequence (text segment).
+    pub fn text(&self) -> &[Inst] {
+        &self.text
+    }
+
+    /// The initial data image, in 8-byte words.
+    pub fn data(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// Number of instructions in the text segment.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// Size of the data segment in bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.data.len() as u64 * WORD_BYTES
+    }
+
+    /// Byte address of the instruction at index `pc`, for I-cache modeling.
+    ///
+    /// Instructions are 4 bytes each, so a 64-byte cache line holds 16
+    /// instructions — comparable to the RISC binaries the paper profiles.
+    #[inline]
+    pub fn inst_addr(pc: u32) -> u64 {
+        u64::from(pc) * INST_BYTES
+    }
+
+    /// Returns the instruction at `pc`, if in range.
+    #[inline]
+    pub fn fetch(&self, pc: u32) -> Option<&Inst> {
+        self.text.get(pc as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Inst, Opcode};
+    use crate::reg::Reg;
+
+    #[test]
+    fn accessors_reflect_parts() {
+        let text = vec![Inst::NOP, Inst {
+            opcode: Opcode::Halt,
+            dst: Reg::R0,
+            src1: Reg::R0,
+            src2: Reg::R0,
+            imm: 0,
+        }];
+        let p = Program::from_parts("t", text.clone(), vec![1, 2, 3]);
+        assert_eq!(p.name(), "t");
+        assert_eq!(p.text(), &text[..]);
+        assert_eq!(p.data(), &[1, 2, 3]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.data_bytes(), 24);
+    }
+
+    #[test]
+    fn inst_addresses_are_4_byte_spaced() {
+        assert_eq!(Program::inst_addr(0), 0);
+        assert_eq!(Program::inst_addr(1), 4);
+        assert_eq!(Program::inst_addr(16), 64); // next I-cache line
+    }
+
+    #[test]
+    fn fetch_checks_bounds() {
+        let p = Program::from_parts("t", vec![Inst::NOP], vec![]);
+        assert!(p.fetch(0).is_some());
+        assert!(p.fetch(1).is_none());
+    }
+}

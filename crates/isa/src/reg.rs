@@ -1,0 +1,145 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// Number of architectural general-purpose registers.
+pub const NUM_REGS: usize = 32;
+
+/// An architectural general-purpose register (`R0`–`R31`).
+///
+/// All registers are general purpose; `R0` is an ordinary register (it is
+/// *not* hardwired to zero). Workload kernels follow the loose convention
+/// that `R0` holds zero and low registers hold loop-carried state, but the
+/// ISA imposes no such rule.
+///
+/// # Example
+///
+/// ```
+/// use mim_isa::Reg;
+/// let r = Reg::R7;
+/// assert_eq!(r.index(), 7);
+/// assert_eq!(Reg::from_index(7), Some(Reg::R7));
+/// assert_eq!(r.to_string(), "r7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+#[repr(u8)]
+pub enum Reg {
+    R0 = 0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+    R16,
+    R17,
+    R18,
+    R19,
+    R20,
+    R21,
+    R22,
+    R23,
+    R24,
+    R25,
+    R26,
+    R27,
+    R28,
+    R29,
+    R30,
+    R31,
+}
+
+impl Reg {
+    /// All registers in index order, useful for iteration.
+    pub const ALL: [Reg; NUM_REGS] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+        Reg::R16,
+        Reg::R17,
+        Reg::R18,
+        Reg::R19,
+        Reg::R20,
+        Reg::R21,
+        Reg::R22,
+        Reg::R23,
+        Reg::R24,
+        Reg::R25,
+        Reg::R26,
+        Reg::R27,
+        Reg::R28,
+        Reg::R29,
+        Reg::R30,
+        Reg::R31,
+    ];
+
+    /// Returns the zero-based register index (0–31).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns the register with the given index, or `None` if `index >= 32`.
+    #[inline]
+    pub const fn from_index(index: usize) -> Option<Reg> {
+        if index < NUM_REGS {
+            Some(Self::ALL[index])
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), Some(*r));
+        }
+    }
+
+    #[test]
+    fn out_of_range_index_is_none() {
+        assert_eq!(Reg::from_index(NUM_REGS), None);
+        assert_eq!(Reg::from_index(usize::MAX), None);
+    }
+
+    #[test]
+    fn display_is_rn() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R31.to_string(), "r31");
+    }
+}

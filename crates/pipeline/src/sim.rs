@@ -1,0 +1,582 @@
+//! The timing model.
+//!
+//! Implemented as a single in-order pass over the dynamic instruction
+//! stream that propagates timing constraints (fetch cycle, execute-entry
+//! cycle, memory-stage occupancy, operand availability). For an in-order
+//! pipeline this is cycle-exact and much faster than a stage-by-stage
+//! simulator, because every instruction's stage timings follow from a
+//! handful of max-constraints over its predecessors.
+
+use mim_bpred::BranchPredictor;
+use mim_cache::{Hierarchy, MemAccessKind, MemLevel, MissCounts};
+use mim_core::MachineConfig;
+use mim_isa::{InstClass, Program, Vm, VmError, NUM_REGS};
+
+/// Outcome of a detailed simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimResult {
+    /// Workload name.
+    pub name: String,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Total execution cycles.
+    pub cycles: u64,
+    /// Cache/TLB miss counters observed during the run.
+    pub misses: MissCounts,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredicts: u64,
+    /// Correctly predicted taken branches.
+    pub taken_correct: u64,
+}
+
+impl SimResult {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Execution time in seconds at the given frequency.
+    pub fn time_seconds(&self, frequency_ghz: f64) -> f64 {
+        self.cycles as f64 * 1e-9 / frequency_ghz
+    }
+}
+
+/// Cycle-accurate simulator for one machine configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineSim {
+    machine: MachineConfig,
+}
+
+impl PipelineSim {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine configuration is invalid.
+    pub fn new(machine: &MachineConfig) -> PipelineSim {
+        machine.validate().expect("machine configuration must be valid");
+        PipelineSim {
+            machine: machine.clone(),
+        }
+    }
+
+    /// The simulated machine.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Simulates the program to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError`] if the program faults functionally.
+    pub fn simulate(&self, program: &Program) -> Result<SimResult, VmError> {
+        self.simulate_limit(program, None)
+    }
+
+    /// Simulates at most `limit` instructions (or to completion).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError`] if the program faults functionally.
+    pub fn simulate_limit(
+        &self,
+        program: &Program,
+        limit: Option<u64>,
+    ) -> Result<SimResult, VmError> {
+        let m = &self.machine;
+        let w = u64::from(m.width);
+        let depth = u64::from(m.frontend_depth);
+        let l2_lat = u64::from(m.l2_hit_cycles());
+        let mem_lat = u64::from(m.mem_cycles());
+        let tlb_lat = u64::from(m.tlb_walk_cycles);
+        let mul_lat = u64::from(m.mul_latency);
+        let div_lat = u64::from(m.div_latency);
+        let l1d_lat = u64::from(m.l1_hit_cycles);
+
+        let mut hierarchy = Hierarchy::new(m.hierarchy.clone());
+        let mut predictor: Box<dyn BranchPredictor> = m.predictor.build();
+
+        // --- fetch state -----------------------------------------------------
+        let mut fetch_cycle: u64 = 0; // cycle of the group being filled
+        let mut fetch_slots: u64 = 0; // instructions fetched in that group
+        let mut fetch_group: u64 = 0; // id of the group being filled
+        let mut fetch_min: u64 = 0; // earliest allowed next fetch (redirects)
+        // Front-end occupancy bound: the D front-end stages hold at most
+        // D*W instructions in flight ahead of execute (Little's law: this
+        // is exactly the occupancy needed to sustain W instructions per
+        // cycle through a D-deep front end). An instruction can be fetched
+        // only once the instruction `cap` ahead of it has entered execute.
+        let cap = (depth * w) as usize;
+        let mut ex_ring: Vec<u64> = vec![0; cap];
+
+        // --- execute/memory state -------------------------------------------
+        let mut avail = [0u64; NUM_REGS]; // operand availability for EX entry
+        let mut group_cycle: u64 = u64::MAX; // EX cycle of current issue group
+        let mut group_count: u64 = 0;
+        let mut group_fetch_id: u64 = u64::MAX; // fetch group feeding the EX group
+        let mut group_blocked = false; // mul/div issued: no younger joins
+        let mut group_leave: u64 = 0; // when current group exits EX to MEM
+        let mut group_mem_extra: u64 = 0; // serialized intra-group misses
+        let mut ex_free_at: u64 = 0; // earliest start of the next group
+        let mut mem_busy_until: u64 = 0; // memory stage availability
+        let mut last_completion: u64 = 0;
+
+        // --- statistics ------------------------------------------------------
+        let mut branches = 0u64;
+        let mut mispredicts = 0u64;
+        let mut taken_correct = 0u64;
+        let mut retired = 0u64;
+
+        let mut vm = Vm::new(program);
+        vm.run_with(limit, |ev| {
+            retired += 1;
+            let idx = (retired - 1) as usize % cap;
+
+            // ---------------- fetch ------------------------------------------
+            let mut fmin = fetch_min;
+            if retired > cap as u64 {
+                fmin = fmin.max(ex_ring[idx]); // backpressure
+            }
+            if fetch_slots >= w || fmin > fetch_cycle {
+                fetch_cycle = fmin.max(fetch_cycle + u64::from(fetch_slots > 0));
+                fetch_slots = 0;
+                fetch_group += 1;
+            }
+            // I-cache / ITLB access in program order.
+            let (level, itlb_miss) =
+                hierarchy.access(MemAccessKind::Fetch, Program::inst_addr(ev.pc));
+            let mut stall = match level {
+                MemLevel::L1 => 0,
+                MemLevel::L2 => l2_lat,
+                MemLevel::Memory => mem_lat,
+            };
+            if itlb_miss {
+                stall += tlb_lat;
+            }
+            if stall > 0 {
+                fetch_cycle += stall;
+                fetch_slots = 0;
+                fetch_group += 1;
+            }
+            let f = fetch_cycle;
+            fetch_slots += 1;
+
+            // ---------------- execute entry ----------------------------------
+            let mut earliest = f + depth;
+            for src in ev.sources.into_iter().flatten() {
+                earliest = earliest.max(avail[src.index()]);
+            }
+            let t;
+            // Stages shift as units (paper §2.2): instructions from
+            // different fetch groups never share an issue cycle, so
+            // taken-branch bubbles and miss-truncated fetch groups keep
+            // their slot cost through the pipeline.
+            if group_cycle != u64::MAX
+                && earliest <= group_cycle
+                && group_count < w
+                && !group_blocked
+            {
+                // Join the current issue group.
+                t = group_cycle;
+                group_count += 1;
+            } else {
+                // Start a new group.
+                t = earliest
+                    .max(ex_free_at)
+                    .max(if group_cycle == u64::MAX { 0 } else { group_cycle + 1 });
+                group_cycle = t;
+                group_count = 1;
+                group_blocked = false;
+                group_fetch_id = fetch_group;
+                group_leave = (t + 1).max(mem_busy_until);
+                group_mem_extra = 0;
+                ex_free_at = ex_free_at.max(group_leave);
+            }
+            ex_ring[idx] = t;
+            let mut completion = t + 1;
+
+            // ---------------- per-class effects --------------------------------
+            match ev.class {
+                InstClass::Mul | InstClass::Div => {
+                    let lat = if ev.class == InstClass::Mul {
+                        mul_lat
+                    } else {
+                        div_lat
+                    };
+                    if let Some(dst) = ev.dst {
+                        avail[dst.index()] = t + lat;
+                    }
+                    // Non-pipelined: blocks EX for the full latency and, by
+                    // in-order commit, all younger instructions.
+                    ex_free_at = ex_free_at.max(t + lat);
+                    group_blocked = true;
+                    completion = t + lat;
+                }
+                InstClass::Load | InstClass::Store => {
+                    let kind = if ev.class == InstClass::Load {
+                        MemAccessKind::Load
+                    } else {
+                        MemAccessKind::Store
+                    };
+                    let (dlevel, dtlb_miss) =
+                        hierarchy.access(kind, ev.eff_addr.expect("memory op has address"));
+                    let mut lat = match dlevel {
+                        MemLevel::L1 => l1d_lat,
+                        MemLevel::L2 => l2_lat,
+                        MemLevel::Memory => mem_lat,
+                    };
+                    if dtlb_miss {
+                        lat += tlb_lat;
+                    }
+                    // MEM entry: the group's EX-exit plus any misses already
+                    // serialized within this group.
+                    let mem_entry = group_leave + group_mem_extra;
+                    if lat > 1 {
+                        group_mem_extra += lat;
+                        mem_busy_until = mem_busy_until.max(mem_entry + lat);
+                    } else {
+                        mem_busy_until = mem_busy_until.max(mem_entry + 1);
+                    }
+                    if let Some(dst) = ev.dst {
+                        avail[dst.index()] = mem_entry + lat;
+                    }
+                    completion = mem_entry + lat;
+                }
+                InstClass::CondBranch => {
+                    branches += 1;
+                    let taken = ev.taken == Some(true);
+                    let pred = predictor.predict(ev.pc);
+                    predictor.update(ev.pc, taken);
+                    if pred != taken {
+                        mispredicts += 1;
+                        // Squash: fetch resumes after resolution in EX.
+                        fetch_min = fetch_min.max(t + 1);
+                        fetch_slots = w; // current fetch group ends
+                    } else if taken {
+                        taken_correct += 1;
+                        // Correct taken prediction: one fetch bubble.
+                        fetch_min = fetch_min.max(f + 2);
+                        fetch_slots = w;
+                    }
+                }
+                InstClass::Jump => {
+                    // Unconditional: always taken, one fetch bubble.
+                    fetch_min = fetch_min.max(f + 2);
+                    fetch_slots = w;
+                }
+                _ => {
+                    if let Some(dst) = ev.dst {
+                        avail[dst.index()] = t + 1;
+                    }
+                }
+            }
+            last_completion = last_completion.max(completion);
+        })?;
+
+        // Drain: memory + writeback stages after the last completion event.
+        let cycles = last_completion.max(mem_busy_until) + 2;
+        Ok(SimResult {
+            name: program.name().to_string(),
+            instructions: retired,
+            cycles,
+            misses: hierarchy.counts(),
+            branches,
+            mispredicts,
+            taken_correct,
+        })
+    }
+}
+
+#[cfg(test)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mim_isa::{Program, ProgramBuilder, Reg::*};
+
+    fn machine(width: u32) -> MachineConfig {
+        MachineConfig {
+            width,
+            ..MachineConfig::default_config()
+        }
+    }
+
+    /// Cycles spent on cache/TLB misses (model-style first-order estimate),
+    /// used to factor cold-cache effects out of microbenchmark expectations.
+    fn miss_cycles(r: &SimResult, m: &MachineConfig) -> f64 {
+        let l2 = f64::from(m.l2_hit_cycles());
+        let mem = f64::from(m.mem_cycles());
+        let tlb = f64::from(m.tlb_walk_cycles);
+        let c = &r.misses;
+        (c.l1i_l2_hits() + c.l1d_l2_hits()) as f64 * l2
+            + (c.l2i_misses + c.l2d_misses) as f64 * mem
+            + (c.itlb_misses + c.dtlb_misses) as f64 * tlb
+    }
+
+    fn adjusted_cycles(r: &SimResult, m: &MachineConfig) -> f64 {
+        r.cycles as f64 - miss_cycles(r, m)
+    }
+
+    #[test]
+    fn ideal_code_approaches_full_width() {
+        // A warm loop of independent ALU ops sustains close to W per
+        // cycle; the loop's taken branch adds a bubble per iteration.
+        let p = looped("ideal", |b| {
+            for i in 0..96usize {
+                let dst = mim_isa::Reg::from_index(1 + (i % 24)).unwrap();
+                b.li(dst, i as i64);
+            }
+        });
+        for w in [1u32, 2, 4] {
+            let m = machine(w);
+            let r = PipelineSim::new(&m).simulate(&p).unwrap();
+            // Per iteration: 98 instructions at width W, plus ~2 cycles of
+            // loop-branch bubble/redirect.
+            let ideal = 200.0 * (98.0 / f64::from(w) + 2.0);
+            assert!(
+                (r.cycles as f64 - ideal).abs() <= ideal * 0.08 + 100.0,
+                "W={w}: {} cycles vs ideal {ideal}",
+                r.cycles
+            );
+        }
+    }
+
+    /// Wraps `body` in a 200-iteration loop so the I-cache warms up after
+    /// the first pass and cold-miss effects become negligible.
+    fn looped(name: &str, body: impl Fn(&mut ProgramBuilder)) -> Program {
+        let mut b = ProgramBuilder::named(name);
+        b.li(R30, 0);
+        b.li(R31, 200);
+        let top = b.here();
+        body(&mut b);
+        b.addi(R30, R30, 1);
+        b.blt(R30, R31, top);
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn dependent_chain_serializes_regardless_of_width() {
+        // 50 dependent adds per iteration: a serial chain is ~1 IPC no
+        // matter the width.
+        let p = looped("chain", |b| {
+            for _ in 0..50 {
+                b.addi(R1, R1, 1);
+            }
+        });
+        let r1 = PipelineSim::new(&machine(1)).simulate(&p).unwrap();
+        let r4 = PipelineSim::new(&machine(4)).simulate(&p).unwrap();
+        assert!(r4.cycles >= 200 * 50, "chain broke serialization: {}", r4.cycles);
+        let rel = (r4.cycles as f64 - r1.cycles as f64).abs() / (r1.cycles as f64);
+        assert!(rel < 0.1, "width changed serial chain time: {} vs {}", r1.cycles, r4.cycles);
+    }
+
+    #[test]
+    fn multiply_latency_is_exposed() {
+        // 20 dependent multiplies per iteration ≈ 20 * mul_latency cycles.
+        let p = looped("mulchain", |b| {
+            b.li(R2, 1);
+            for _ in 0..20 {
+                b.mul(R1, R1, R2);
+            }
+        });
+        let m = machine(4);
+        let r = PipelineSim::new(&m).simulate(&p).unwrap();
+        let expected = 200.0 * 20.0 * f64::from(m.mul_latency);
+        assert!(
+            (r.cycles as f64 - expected).abs() / expected < 0.1,
+            "{} cycles vs expected ~{expected}",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn independent_multiplies_still_block_in_order_pipe() {
+        // Non-pipelined multiplier + in-order commit: independent muls
+        // serialize too.
+        let p = looped("muls", |b| {
+            b.li(R1, 1);
+            b.li(R2, 1);
+            for i in 0..20usize {
+                let dst = mim_isa::Reg::from_index(3 + (i % 20)).unwrap();
+                b.mul(dst, R1, R2);
+            }
+        });
+        let m = machine(4);
+        let r = PipelineSim::new(&m).simulate(&p).unwrap();
+        assert!(r.cycles as f64 >= 200.0 * 20.0 * f64::from(m.mul_latency) * 0.95);
+    }
+
+    #[test]
+    fn load_use_bubble_on_scalar_pipe() {
+        // ld; use costs 3 cycles/pair at W=1 (1 bubble); separating the
+        // pair with an independent instruction hides the bubble (3 cycles
+        // for 3 instructions).
+        let with_use = looped("loaduse", |b| {
+            b.data_words(&[1, 2, 3, 4]);
+            b.li(R1, 0);
+            for _ in 0..20 {
+                b.ld(R2, R1, 0);
+                b.addi(R3, R2, 1);
+            }
+        });
+        let separated = looped("separated", |b| {
+            b.data_words(&[1, 2, 3, 4]);
+            b.li(R1, 0);
+            for _ in 0..20 {
+                b.ld(R2, R1, 0);
+                b.addi(R4, R1, 1);
+                b.addi(R3, R2, 1);
+            }
+        });
+        let m = machine(1);
+        let ru = PipelineSim::new(&m).simulate(&with_use).unwrap();
+        let rs = PipelineSim::new(&m).simulate(&separated).unwrap();
+        // Each load-use pair costs 3 cycles (1 bubble); inserting an
+        // independent instruction into the pair hides the bubble, so both
+        // versions take the same time even though `separated` executes 20
+        // more instructions per iteration.
+        assert!(rs.instructions > ru.instructions);
+        let rel = (rs.cycles as f64 - ru.cycles as f64).abs() / (ru.cycles as f64);
+        assert!(
+            rel < 0.04,
+            "bubble not hidden: {} vs {} cycles",
+            ru.cycles,
+            rs.cycles
+        );
+        // And the pair version pays ~1.5 cycles/instruction (3 per pair).
+        let per_pair_u = ru.cycles as f64 / (200.0 * 20.0);
+        assert!(
+            (per_pair_u - 3.0).abs() < 0.4,
+            "load-use pair: {per_pair_u}"
+        );
+    }
+
+    #[test]
+    fn taken_branches_cost_one_bubble() {
+        let mut b = ProgramBuilder::named("jumps");
+        let mut labels = Vec::new();
+        for _ in 0..500 {
+            labels.push(b.label());
+        }
+        for i in 0..500 {
+            b.jmp(labels[i]);
+            b.bind(labels[i]);
+        }
+        b.halt();
+        let p = b.build();
+        let m = machine(1);
+        let r = PipelineSim::new(&m).simulate(&p).unwrap();
+        let per_jump = (adjusted_cycles(&r, &m) - 5.0) / 500.0;
+        assert!(
+            (per_jump - 2.0).abs() < 0.1,
+            "taken jump should cost 2 cycles at W=1, got {per_jump}"
+        );
+    }
+
+    #[test]
+    fn misprediction_costs_frontend_depth() {
+        // Data-dependent branch on genuinely unpredictable data (SplitMix64
+        // hash bits). Compare two machines differing only in front-end
+        // depth: extra cost per mispredict ≈ depth difference.
+        fn splitmix(seed: u64) -> u64 {
+            let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        let mut b = ProgramBuilder::named("bmiss");
+        let data: Vec<i64> = (0..4096u64).map(|i| (splitmix(i) & 1) as i64).collect();
+        let arr = b.data_words(&data);
+        b.li(R1, 0);
+        b.li(R2, 4096);
+        let top = b.here();
+        b.slli(R3, R1, 3);
+        b.addi(R3, R3, arr as i64);
+        b.ld(R4, R3, 0);
+        let skip = b.label();
+        b.beq(R4, R0, skip);
+        b.addi(R5, R5, 1);
+        b.bind(skip);
+        b.addi(R1, R1, 1);
+        b.blt(R1, R2, top);
+        b.halt();
+        let p = b.build();
+
+        let mut shallow = machine(4);
+        shallow.frontend_depth = 2;
+        let mut deep = machine(4);
+        deep.frontend_depth = 6;
+        let rs = PipelineSim::new(&shallow).simulate(&p).unwrap();
+        let rd = PipelineSim::new(&deep).simulate(&p).unwrap();
+        assert_eq!(rs.mispredicts, rd.mispredicts);
+        assert!(
+            rs.mispredicts > 1000,
+            "need plentiful mispredicts: {}",
+            rs.mispredicts
+        );
+        let delta = (rd.cycles - rs.cycles) as f64 / rs.mispredicts as f64;
+        assert!(
+            (delta - 4.0).abs() < 0.8,
+            "per-mispredict depth delta: {delta} (expected ~4)"
+        );
+    }
+
+    #[test]
+    fn l2_misses_cost_memory_latency() {
+        let p = mim_workloads::spec::mcf_like().program(mim_workloads::WorkloadSize::Tiny);
+        let m = machine(4);
+        let r = PipelineSim::new(&m).simulate(&p).unwrap();
+        assert!(
+            r.cpi() > 10.0,
+            "pointer chase should be memory bound, CPI = {}",
+            r.cpi()
+        );
+    }
+
+    #[test]
+    fn sim_and_profiler_agree_on_event_counts() {
+        use mim_profile::Profiler;
+        let m = machine(4);
+        for w in [
+            mim_workloads::mibench::sha(),
+            mim_workloads::mibench::dijkstra(),
+            mim_workloads::mibench::tiffdither(),
+        ] {
+            let p = w.program(mim_workloads::WorkloadSize::Tiny);
+            let sim = PipelineSim::new(&m).simulate(&p).unwrap();
+            let prof = Profiler::new(&m).profile(&p).unwrap();
+            assert_eq!(sim.instructions, prof.num_insts, "{}", w.name());
+            assert_eq!(sim.misses, prof.misses, "{}", w.name());
+            assert_eq!(sim.mispredicts, prof.branch.mispredicts, "{}", w.name());
+            assert_eq!(sim.taken_correct, prof.branch.taken_correct, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn wider_machines_are_never_slower() {
+        for w in [
+            mim_workloads::mibench::sha(),
+            mim_workloads::mibench::qsort(),
+        ] {
+            let p = w.program(mim_workloads::WorkloadSize::Tiny);
+            let mut prev = u64::MAX;
+            for width in 1..=4 {
+                let r = PipelineSim::new(&machine(width)).simulate(&p).unwrap();
+                assert!(
+                    r.cycles <= prev,
+                    "{}: width {width} slower ({} > {prev})",
+                    w.name(),
+                    r.cycles
+                );
+                prev = r.cycles;
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Dependency-distance tracking (the `deps_*(d)` profiles of Table 1).
+
+use mim_core::{DepHistogram, ModelInputs};
+use mim_isa::{InstClass, TraceEvent, NUM_REGS};
+
+/// Producer class for dependency classification (paper §3.5): unit-latency
+/// ALU producers, long-latency producers (multiply/divide), and loads —
+/// loads are separate because they deliver in the memory stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProducerKind {
+    Unit,
+    LongLatency,
+    Load,
+}
+
+/// Streaming tracker of nearest-producer dependency distances.
+///
+/// For every retired instruction, the tracker finds the *closest* producer
+/// among its source registers (the paper counts the shortest dependency
+/// distance when there are two producers) and records the distance in the
+/// histogram matching that producer's class.
+///
+/// # Example
+///
+/// ```
+/// use mim_isa::{ProgramBuilder, Reg, Vm};
+/// use mim_profile::DepTracker;
+///
+/// # fn main() -> Result<(), mim_isa::VmError> {
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::R1, 5);
+/// b.addi(Reg::R2, Reg::R1, 1); // depends on li at distance 1
+/// b.halt();
+/// let p = b.build();
+/// let mut tracker = DepTracker::new();
+/// Vm::new(&p).run_with(None, |ev| tracker.observe(ev))?;
+/// let (unit, _ll, _load) = tracker.into_histograms();
+/// assert_eq!(unit.at(1), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DepTracker {
+    /// Per-register: sequence number and class of the last producer.
+    last_writer: [Option<(u64, ProducerKind)>; NUM_REGS],
+    seq: u64,
+    unit: DepHistogram,
+    ll: DepHistogram,
+    load: DepHistogram,
+}
+
+impl Default for DepTracker {
+    fn default() -> DepTracker {
+        DepTracker::new()
+    }
+}
+
+impl DepTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> DepTracker {
+        DepTracker {
+            last_writer: [None; NUM_REGS],
+            seq: 0,
+            unit: DepHistogram::new(),
+            ll: DepHistogram::new(),
+            load: DepHistogram::new(),
+        }
+    }
+
+    /// Observes one retired instruction.
+    pub fn observe(&mut self, ev: &TraceEvent) {
+        self.seq += 1;
+        let t = self.seq;
+
+        // Find the nearest producer among the sources. On a distance tie,
+        // prefer the more constraining producer class (load, then
+        // long-latency, then unit) — matching the pipeline, where the
+        // later-delivering producer determines the stall.
+        let mut nearest: Option<(u64, ProducerKind)> = None;
+        for src in ev.sources.into_iter().flatten() {
+            if let Some((wseq, kind)) = self.last_writer[src.index()] {
+                let d = t - wseq;
+                nearest = match nearest {
+                    None => Some((d, kind)),
+                    Some((best_d, best_kind)) => {
+                        if d < best_d || (d == best_d && rank(kind) > rank(best_kind)) {
+                            Some((d, kind))
+                        } else {
+                            Some((best_d, best_kind))
+                        }
+                    }
+                };
+            }
+        }
+        if let Some((d, kind)) = nearest {
+            let d = d as usize;
+            match kind {
+                ProducerKind::Unit => self.unit.record(d),
+                ProducerKind::LongLatency => self.ll.record(d),
+                ProducerKind::Load => self.load.record(d),
+            }
+        }
+
+        if let Some(dst) = ev.dst {
+            let kind = match ev.class {
+                InstClass::Load => ProducerKind::Load,
+                InstClass::Mul | InstClass::Div => ProducerKind::LongLatency,
+                _ => ProducerKind::Unit,
+            };
+            self.last_writer[dst.index()] = Some((t, kind));
+        }
+    }
+
+    /// Consumes the tracker, returning `(deps_unit, deps_LL, deps_ld)`.
+    pub fn into_histograms(self) -> (DepHistogram, DepHistogram, DepHistogram) {
+        (self.unit, self.ll, self.load)
+    }
+
+    /// Writes the histograms into a [`ModelInputs`].
+    pub fn fill(self, inputs: &mut ModelInputs) {
+        let (unit, ll, load) = self.into_histograms();
+        inputs.deps_unit = unit;
+        inputs.deps_ll = ll;
+        inputs.deps_load = load;
+    }
+}
+
+fn rank(kind: ProducerKind) -> u8 {
+    match kind {
+        ProducerKind::Unit => 0,
+        ProducerKind::LongLatency => 1,
+        ProducerKind::Load => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mim_isa::{ProgramBuilder, Reg::*, Vm};
+
+    fn histograms_of(build: impl FnOnce(&mut ProgramBuilder)) -> (DepHistogram, DepHistogram, DepHistogram) {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        b.halt();
+        let p = b.build();
+        let mut t = DepTracker::new();
+        Vm::new(&p).run_with(None, |ev| t.observe(ev)).unwrap();
+        t.into_histograms()
+    }
+
+    #[test]
+    fn classifies_producers_by_class() {
+        let (unit, ll, load) = histograms_of(|b| {
+            let a = b.data_words(&[7]);
+            b.li(R1, a as i64);
+            b.ld(R2, R1, 0); // consumer of li (unit) at d=1
+            b.addi(R3, R2, 1); // consumer of load at d=1
+            b.mul(R4, R3, R3); // consumer of unit at d=1
+            b.addi(R5, R4, 1); // consumer of mul (LL) at d=1
+        });
+        assert_eq!(unit.at(1), 2); // ld<-li and mul<-addi
+        assert_eq!(load.at(1), 1);
+        assert_eq!(ll.at(1), 1);
+    }
+
+    #[test]
+    fn takes_nearest_producer() {
+        let (unit, _, _) = histograms_of(|b| {
+            b.li(R1, 1); // producer A (distance 2 from consumer)
+            b.li(R2, 2); // producer B (distance 1 from consumer)
+            b.add(R3, R1, R2); // nearest is R2 at d=1
+        });
+        assert_eq!(unit.at(1), 1); // only the shortest distance is recorded
+        assert_eq!(unit.at(2), 0);
+    }
+
+    #[test]
+    fn nearest_producer_class_wins() {
+        let (unit, _, load) = histograms_of(|b| {
+            let a = b.data_words(&[3]);
+            b.li(R1, a as i64);
+            b.li(R2, 5); // unit producer, d=2 from consumer
+            b.ld(R3, R1, 0); // load producer, d=1 from consumer
+            b.add(R4, R2, R3); // min distance 1 via the load
+        });
+        assert_eq!(load.at(1), 1);
+        assert_eq!(unit.at(2), 1); // the ld itself consumed R1 at d=2
+    }
+
+    #[test]
+    fn rewritten_register_hides_older_producer() {
+        let (unit, _, load) = histograms_of(|b| {
+            let a = b.data_words(&[3]);
+            b.li(R1, a as i64);
+            b.ld(R2, R1, 0); // load consumes R1 (unit producer, d=1)
+            b.li(R2, 9); // overwrites the load's result
+            b.addi(R3, R2, 1); // consumer sees the li, not the load
+        });
+        assert_eq!(load.total(), 0); // nothing ever consumed a load result
+        assert_eq!(unit.at(1), 2); // ld<-li(R1) and addi<-li(R2)
+    }
+
+    #[test]
+    fn distances_beyond_max_are_dropped() {
+        let (unit, _, _) = histograms_of(|b| {
+            b.li(R1, 1);
+            for _ in 0..100 {
+                b.li(R2, 0); // padding, no deps on R1
+            }
+            b.addi(R3, R1, 1); // d=101 > MAX_DEP_DISTANCE
+        });
+        assert_eq!(unit.total(), 0);
+    }
+}

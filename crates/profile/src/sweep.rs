@@ -1,0 +1,315 @@
+//! The one-pass profiler and its design-space sweep variant.
+
+use mim_bpred::{MultiPredictor, PredictorConfig, PredictorStats};
+use mim_cache::{CacheConfig, HierarchyConfig, MemAccessKind, MissCounts, MultiConfig};
+use mim_core::{BranchStats, InstMix, MachineConfig, ModelInputs};
+use mim_isa::{InstClass, Program, Vm, VmError};
+use serde::{Deserialize, Serialize};
+
+use crate::deps::DepTracker;
+
+/// Everything one profiling pass learns about a workload: the
+/// machine-independent program statistics plus per-candidate miss and
+/// misprediction counts for every L2 cache and branch predictor in the
+/// sweep.
+///
+/// Extract the mechanistic-model inputs for a specific design point with
+/// [`inputs_for`](WorkloadProfile::inputs_for).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Workload name.
+    pub name: String,
+    /// Dynamic instruction count.
+    pub num_insts: u64,
+    /// Dynamic instruction mix.
+    pub mix: InstMix,
+    /// Dependency histograms (unit / long-latency / load producers).
+    pub deps_unit: mim_core::DepHistogram,
+    /// Dependencies on multiply/divide producers.
+    pub deps_ll: mim_core::DepHistogram,
+    /// Dependencies on load producers.
+    pub deps_load: mim_core::DepHistogram,
+    /// Miss counts per L2 candidate (indexed like the sweep's L2 list).
+    pub misses: Vec<MissCounts>,
+    /// Prediction statistics per predictor candidate.
+    pub branch: Vec<PredictorStats>,
+}
+
+impl WorkloadProfile {
+    /// Builds [`ModelInputs`] for the design point using the
+    /// `l2_index`-th cache candidate and `predictor_index`-th predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range for the profiled sweep.
+    pub fn inputs_for(&self, l2_index: usize, predictor_index: usize) -> ModelInputs {
+        let b = &self.branch[predictor_index];
+        ModelInputs {
+            name: self.name.clone(),
+            num_insts: self.num_insts,
+            mix: self.mix,
+            deps_unit: self.deps_unit.clone(),
+            deps_ll: self.deps_ll.clone(),
+            deps_load: self.deps_load.clone(),
+            misses: self.misses[l2_index],
+            branch: BranchStats {
+                branches: b.branches,
+                mispredicts: b.mispredicts,
+                taken_correct: b.taken_correct,
+            },
+        }
+    }
+}
+
+/// Profiles a workload once for an entire design space: all L2 cache
+/// candidates via single-pass multi-configuration simulation and all
+/// branch predictors via multi-predictor profiling (paper §2.1).
+///
+/// # Example
+///
+/// ```
+/// use mim_bpred::PredictorConfig;
+/// use mim_cache::{CacheConfig, HierarchyConfig};
+/// use mim_profile::SweepProfiler;
+/// use mim_workloads::{mibench, WorkloadSize};
+///
+/// # fn main() -> Result<(), mim_isa::VmError> {
+/// let profiler = SweepProfiler::new(
+///     HierarchyConfig::default_hierarchy(),
+///     vec![CacheConfig::new("L2-256K", 256 * 1024, 8, 64).unwrap()],
+///     vec![PredictorConfig::gshare_1k()],
+/// );
+/// let program = mibench::dijkstra().program(WorkloadSize::Tiny);
+/// let profile = profiler.profile(&program, None)?;
+/// assert_eq!(profile.misses.len(), 1);
+/// assert!(profile.num_insts > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepProfiler {
+    base: HierarchyConfig,
+    l2s: Vec<CacheConfig>,
+    predictors: Vec<PredictorConfig>,
+}
+
+impl SweepProfiler {
+    /// Creates a profiler for the given L1/TLB geometry and candidate
+    /// lists.
+    pub fn new(
+        base: HierarchyConfig,
+        l2s: Vec<CacheConfig>,
+        predictors: Vec<PredictorConfig>,
+    ) -> SweepProfiler {
+        SweepProfiler {
+            base,
+            l2s,
+            predictors,
+        }
+    }
+
+    /// Convenience constructor covering the paper's Table 2 design space.
+    pub fn for_design_space(space: &mim_core::DesignSpace) -> SweepProfiler {
+        SweepProfiler::new(
+            HierarchyConfig::default_hierarchy(),
+            space.l2_configs().to_vec(),
+            space.predictor_configs().to_vec(),
+        )
+    }
+
+    /// Runs the workload functionally once, collecting all statistics.
+    ///
+    /// `limit` bounds the number of retired instructions (useful for
+    /// sampling long workloads); `None` runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError`] if the program faults.
+    pub fn profile(&self, program: &Program, limit: Option<u64>) -> Result<WorkloadProfile, VmError> {
+        let mut caches = MultiConfig::new(&self.base, self.l2s.clone());
+        let mut preds = MultiPredictor::new(&self.predictors);
+        let mut deps = DepTracker::new();
+        let mut mix = InstMix::default();
+
+        let mut vm = Vm::new(program);
+        vm.run_with(limit, |ev| {
+            // Instruction mix.
+            match ev.class {
+                InstClass::Mul => mix.mul += 1,
+                InstClass::Div => mix.div += 1,
+                InstClass::Load => mix.load += 1,
+                InstClass::Store => mix.store += 1,
+                InstClass::CondBranch => mix.cond_branch += 1,
+                InstClass::Jump => mix.jump += 1,
+                _ => mix.alu += 1,
+            }
+            // Dependencies.
+            deps.observe(ev);
+            // Caches: one fetch access per instruction, plus data accesses.
+            caches.access(MemAccessKind::Fetch, Program::inst_addr(ev.pc));
+            if let Some(addr) = ev.eff_addr {
+                let kind = if ev.class == InstClass::Load {
+                    MemAccessKind::Load
+                } else {
+                    MemAccessKind::Store
+                };
+                caches.access(kind, addr);
+            }
+            // Branch predictors (conditional branches only — jumps are
+            // always-taken and handled analytically by the model).
+            if ev.class == InstClass::CondBranch {
+                preds.observe(ev.pc, ev.taken == Some(true));
+            }
+        })?;
+
+        let (deps_unit, deps_ll, deps_load) = deps.into_histograms();
+        let misses = (0..self.l2s.len()).map(|i| caches.counts(i)).collect();
+        Ok(WorkloadProfile {
+            name: program.name().to_string(),
+            num_insts: mix.total(),
+            mix,
+            deps_unit,
+            deps_ll,
+            deps_load,
+            misses,
+            branch: preds.into_stats(),
+        })
+    }
+}
+
+/// Single-configuration convenience profiler: profiles a program for one
+/// [`MachineConfig`] and returns ready-to-use [`ModelInputs`].
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    sweep: SweepProfiler,
+}
+
+impl Profiler {
+    /// Creates a profiler matching one machine configuration.
+    pub fn new(machine: &MachineConfig) -> Profiler {
+        Profiler {
+            sweep: SweepProfiler::new(
+                machine.hierarchy.clone(),
+                vec![machine.hierarchy.l2.clone()],
+                vec![machine.predictor.clone()],
+            ),
+        }
+    }
+
+    /// Profiles the program to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError`] if the program faults.
+    pub fn profile(&self, program: &Program) -> Result<ModelInputs, VmError> {
+        Ok(self.sweep.profile(program, None)?.inputs_for(0, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mim_core::DesignSpace;
+    use mim_workloads::{mibench, WorkloadSize};
+
+    #[test]
+    fn mix_sums_to_instruction_count() {
+        let machine = MachineConfig::default_config();
+        let p = mibench::sha().program(WorkloadSize::Tiny);
+        let inputs = Profiler::new(&machine).profile(&p).unwrap();
+        assert_eq!(inputs.mix.total(), inputs.num_insts);
+        assert!(inputs.mix.cond_branch > 0);
+        assert!(inputs.mix.load > 0);
+        assert!(inputs.num_insts > 10_000);
+    }
+
+    #[test]
+    fn sweep_covers_all_candidates_consistently() {
+        let space = DesignSpace::paper_table2();
+        let profiler = SweepProfiler::for_design_space(&space);
+        let p = mibench::qsort().program(WorkloadSize::Tiny);
+        let profile = profiler.profile(&p, None).unwrap();
+        assert_eq!(profile.misses.len(), 8);
+        assert_eq!(profile.branch.len(), 2);
+        // L1-side counts identical across L2 candidates.
+        for m in &profile.misses {
+            assert_eq!(m.l1d_misses, profile.misses[0].l1d_misses);
+            assert_eq!(m.l1i_misses, profile.misses[0].l1i_misses);
+            // L2 misses bounded by L1 misses.
+            assert!(m.l2d_misses <= m.l1d_misses);
+            assert!(m.l2i_misses <= m.l1i_misses);
+        }
+        // Larger same-associativity L2s never miss more (inclusion).
+        // Candidates are ordered 128K-8w, 128K-16w, 256K-8w, ...
+        let eight_way: Vec<&MissCounts> = profile.misses.iter().step_by(2).collect();
+        for w in eight_way.windows(2) {
+            assert!(w[1].l2d_misses + w[1].l2i_misses <= w[0].l2d_misses + w[0].l2i_misses);
+        }
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let machine = MachineConfig::default_config();
+        let p = mibench::patricia().program(WorkloadSize::Tiny);
+        let a = Profiler::new(&machine).profile(&p).unwrap();
+        let b = Profiler::new(&machine).profile(&p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memory_bound_kernel_has_more_misses_than_compute_kernel() {
+        let machine = MachineConfig::default_config();
+        let profiler = Profiler::new(&machine);
+        let mcf = profiler
+            .profile(&mim_workloads::spec::mcf_like().program(WorkloadSize::Tiny))
+            .unwrap();
+        let sha = profiler
+            .profile(&mibench::sha().program(WorkloadSize::Tiny))
+            .unwrap();
+        let rate = |m: &ModelInputs| {
+            m.misses.l2d_misses as f64 / m.num_insts.max(1) as f64
+        };
+        assert!(
+            rate(&mcf) > 10.0 * rate(&sha),
+            "mcf {} vs sha {}",
+            rate(&mcf),
+            rate(&sha)
+        );
+    }
+
+    #[test]
+    fn limit_truncates_profiling() {
+        let machine = MachineConfig::default_config();
+        let p = mibench::dijkstra().program(WorkloadSize::Small);
+        let profiler = SweepProfiler::new(
+            machine.hierarchy.clone(),
+            vec![machine.hierarchy.l2.clone()],
+            vec![machine.predictor.clone()],
+        );
+        let profile = profiler.profile(&p, Some(5_000)).unwrap();
+        assert_eq!(profile.num_insts, 5_000);
+    }
+
+    #[test]
+    fn scheduling_reduces_short_distance_dependencies() {
+        // The §6.2 premise: the list scheduler stretches dependency
+        // distances, visible directly in the profile.
+        let machine = MachineConfig::default_config();
+        let profiler = Profiler::new(&machine);
+        let p = mibench::tiff2bw().program(WorkloadSize::Tiny);
+        let s = mim_workloads::opt::schedule(&p);
+        let base = profiler.profile(&p).unwrap();
+        let sched = profiler.profile(&s).unwrap();
+        let short = |m: &ModelInputs| {
+            (1..4)
+                .map(|d| m.deps_unit.at(d) + m.deps_ll.at(d) + m.deps_load.at(d))
+                .sum::<u64>()
+        };
+        assert!(
+            short(&sched) < short(&base),
+            "scheduling did not reduce short dependencies: {} -> {}",
+            short(&base),
+            short(&sched)
+        );
+    }
+}

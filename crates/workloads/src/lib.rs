@@ -1,0 +1,51 @@
+//! # mim-workloads — benchmark kernels and compiler passes
+//!
+//! The ISPASS 2012 paper evaluates its model on 19 MiBench benchmarks
+//! (`large` inputs) plus a memory-intensive SPEC CPU2006 subset, and its
+//! second case study (§6.2) recompiles benchmarks with different gcc
+//! options. We cannot ship those binaries or a cross-compiler, so this
+//! crate rebuilds the equivalent substrate from scratch:
+//!
+//! * [`mibench`] — 19 kernels written directly in the MIM virtual ISA,
+//!   one per MiBench program, implementing the *same algorithm class*
+//!   (ADPCM codec, Dijkstra, SHA-1 rounds, Floyd–Steinberg dithering, …) so
+//!   that instruction mixes, dependency-distance profiles, branch behaviour
+//!   and locality are genuinely diverse;
+//! * [`spec`] — 6 memory-intensive SPEC-like kernels (pointer chasing,
+//!   streaming, block sorting, …) for the Figure 6 validation;
+//! * [`synth`] — statistical workload synthesis (generate a program from
+//!   an instruction mix + dependency-distance recipe, the §7.2
+//!   related-work technique); [`mibench::extended`] adds four kernels
+//!   beyond the paper's 19 (`basicmath`, `bitcount`, `crc32`, `fft`);
+//! * [`opt`] — compiler passes over ISA programs: a dependency-aware
+//!   basic-block **list scheduler** (the `-fschedule-insns` stand-in) and a
+//!   counted-loop **unroller with register renaming**
+//!   (`-funroll-loops`), used by the Figure 8 case study.
+//!
+//! Every kernel is exposed as a [`Workload`] that can be instantiated at
+//! three [`WorkloadSize`]s (unit tests use `Tiny`; the experiment harness
+//! uses `Small`/`Large`).
+//!
+//! ## Example
+//!
+//! ```
+//! use mim_workloads::{mibench, WorkloadSize};
+//! use mim_isa::Vm;
+//!
+//! let program = mibench::sha().program(WorkloadSize::Tiny);
+//! let mut vm = Vm::new(&program);
+//! let outcome = vm.run(Some(10_000_000)).expect("kernel must not fault");
+//! assert!(outcome.halted());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mibench;
+pub mod opt;
+pub mod spec;
+pub mod synth;
+mod util;
+mod workload;
+
+pub use workload::{Workload, WorkloadSize};

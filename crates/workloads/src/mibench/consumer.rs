@@ -1,0 +1,261 @@
+//! Consumer-domain kernels: `jpeg_c`, `jpeg_d`, `lame`.
+
+use mim_isa::{Program, ProgramBuilder, Reg::*};
+
+use crate::util::{synth_image, SplitMix64};
+use crate::workload::{Workload, WorkloadSize};
+
+/// Q10 fixed-point DCT-II basis: `C[u][x] = round(1024 * c(u) *
+/// cos((2x+1) u pi / 16))`, the kernel of JPEG's 8-point transform.
+fn dct_table() -> [i64; 64] {
+    let mut t = [0i64; 64];
+    for u in 0..8 {
+        for x in 0..8 {
+            let cu = if u == 0 {
+                1.0 / (2.0f64).sqrt()
+            } else {
+                1.0
+            };
+            let v = cu * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
+            t[u * 8 + x] = (v * 1024.0 / 2.0).round() as i64;
+        }
+    }
+    t
+}
+
+fn blocks(size: WorkloadSize) -> usize {
+    8 * size.scale() as usize
+}
+
+/// The `jpeg_c` workload: forward 8-point DCT with quantization over image
+/// blocks — dense multiply/accumulate with regular streaming access.
+pub fn jpeg_c() -> Workload {
+    Workload::new("jpeg_c", |size| build_jpeg(size, false))
+}
+
+/// The `jpeg_d` workload: inverse DCT with saturation clamping — the same
+/// arithmetic density as `jpeg_c` plus data-dependent clamp branches.
+pub fn jpeg_d() -> Workload {
+    Workload::new("jpeg_d", |size| build_jpeg(size, true))
+}
+
+fn build_jpeg(size: WorkloadSize, inverse: bool) -> Program {
+    let nblocks = blocks(size);
+    let n = nblocks * 64;
+    let img = synth_image(n, 1, if inverse { 0x1dc7 } else { 0xdc7 });
+    let table = dct_table();
+
+    let mut b = ProgramBuilder::named(if inverse { "jpeg_d" } else { "jpeg_c" });
+    let src = b.data_words(&img);
+    let tab = b.data_words(&table);
+    let dst = b.alloc_words(n);
+
+    let (blk, nblk, row) = (R1, R2, R3);
+    let (u, x, acc, tmp, addr) = (R4, R5, R6, R7, R8);
+    let (px, cf, base_in, base_out, zero) = (R9, R10, R11, R12, R0);
+    let (eight, out) = (R13, R14);
+
+    b.li(zero, 0);
+    b.li(eight, 8);
+    b.li(blk, 0);
+    b.li(nblk, nblocks as i64);
+
+    let blk_loop = b.here();
+    b.li(row, 0);
+    let row_loop = b.here();
+    // base_in = src + (blk*64 + row*8)*8
+    b.slli(base_in, blk, 6);
+    b.slli(tmp, row, 3);
+    b.add(base_in, base_in, tmp);
+    b.slli(base_in, base_in, 3);
+    b.addi(base_out, base_in, dst as i64);
+    b.addi(base_in, base_in, src as i64);
+    // for u in 0..8: acc = sum_x in[x] * C[u*8+x] (forward) or C[x*8+u]
+    b.li(u, 0);
+    let u_loop = b.here();
+    b.li(acc, 0);
+    b.li(x, 0);
+    let x_loop = b.here();
+    b.slli(addr, x, 3);
+    b.add(addr, addr, base_in);
+    b.ld(px, addr, 0);
+    if inverse {
+        // transposed basis: C[x][u]
+        b.slli(addr, x, 6);
+        b.slli(tmp, u, 3);
+        b.add(addr, addr, tmp);
+    } else {
+        b.slli(addr, u, 6);
+        b.slli(tmp, x, 3);
+        b.add(addr, addr, tmp);
+    }
+    b.addi(addr, addr, tab as i64);
+    b.ld(cf, addr, 0);
+    b.mul(px, px, cf);
+    b.add(acc, acc, px);
+    b.addi(x, x, 1);
+    b.blt(x, eight, x_loop);
+    // normalize
+    b.srai(acc, acc, 10);
+    if inverse {
+        // clamp to 0..255 (saturation branches)
+        let lo_ok = b.label();
+        b.bge(acc, zero, lo_ok);
+        b.li(acc, 0);
+        b.bind(lo_ok);
+        b.li(tmp, 255);
+        let hi_ok = b.label();
+        b.blt(acc, tmp, hi_ok);
+        b.mv(acc, tmp);
+        b.bind(hi_ok);
+    } else {
+        // quantize: round toward zero by a per-frequency step (u+1)
+        b.addi(tmp, u, 1);
+        b.div(acc, acc, tmp);
+    }
+    b.slli(out, u, 3);
+    b.add(out, out, base_out);
+    b.st(acc, out, 0);
+    b.addi(u, u, 1);
+    b.blt(u, eight, u_loop);
+    b.addi(row, row, 1);
+    b.blt(row, eight, row_loop);
+    b.addi(blk, blk, 1);
+    b.blt(blk, nblk, blk_loop);
+    b.halt();
+    b.build()
+}
+
+/// The `lame` workload: MP3-style analysis windowing — each granule of 32
+/// samples is projected onto 8 window functions (long multiply/accumulate
+/// loops over a coefficient table), the inner loop of MDCT/subband
+/// analysis in MP3 encoding.
+pub fn lame() -> Workload {
+    Workload::new("lame", build_lame)
+}
+
+fn granules(size: WorkloadSize) -> usize {
+    24 * size.scale() as usize
+}
+
+fn build_lame(size: WorkloadSize) -> Program {
+    let ngran = granules(size);
+    let n = ngran * 32;
+    let mut rng = SplitMix64::new(0x1a3e);
+    let mut v = 0i64;
+    let samples: Vec<i64> = (0..n)
+        .map(|_| {
+            v = (v + rng.signed(400)).clamp(-12000, 12000);
+            v
+        })
+        .collect();
+    // 8 windows x 32 taps, Q10 triangular-ish windows.
+    let mut win = Vec::with_capacity(256);
+    for k in 0..8i64 {
+        for i in 0..32i64 {
+            let tri = 1024 - ((i - 16).abs() * 64);
+            win.push((tri * (k + 1) / 8).max(1));
+        }
+    }
+
+    let mut b = ProgramBuilder::named("lame");
+    let src = b.data_words(&samples);
+    let wtab = b.data_words(&win);
+    let dst = b.alloc_words(ngran * 8);
+
+    let (g, ngr, base) = (R1, R2, R3);
+    let (k, i, acc, tmp, addr) = (R4, R5, R6, R7, R8);
+    let (x, wv, out) = (R9, R10, R11);
+    let (eight, thirty2) = (R12, R13);
+
+    b.li(eight, 8);
+    b.li(thirty2, 32);
+    b.li(g, 0);
+    b.li(ngr, ngran as i64);
+    b.li(out, dst as i64);
+
+    let g_loop = b.here();
+    b.slli(base, g, 8); // g*32*8
+    b.addi(base, base, src as i64);
+    b.li(k, 0);
+    let k_loop = b.here();
+    b.li(acc, 0);
+    b.li(i, 0);
+    let i_loop = b.here();
+    b.slli(addr, i, 3);
+    b.add(addr, addr, base);
+    b.ld(x, addr, 0);
+    b.slli(addr, k, 8);
+    b.slli(tmp, i, 3);
+    b.add(addr, addr, tmp);
+    b.addi(addr, addr, wtab as i64);
+    b.ld(wv, addr, 0);
+    b.mul(x, x, wv);
+    b.srai(x, x, 10);
+    b.add(acc, acc, x);
+    b.addi(i, i, 1);
+    b.blt(i, thirty2, i_loop);
+    b.st(acc, out, 0);
+    b.addi(out, out, 8);
+    b.addi(k, k, 1);
+    b.blt(k, eight, k_loop);
+    b.addi(g, g, 1);
+    b.blt(g, ngr, g_loop);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mim_isa::Vm;
+
+    #[test]
+    fn dct_of_constant_signal_concentrates_in_dc() {
+        // Verify against a Rust reference on the first block.
+        let p = build_jpeg(WorkloadSize::Tiny, false);
+        let nb = blocks(WorkloadSize::Tiny);
+        let mut vm = Vm::new(&p);
+        assert!(vm.run(Some(50_000_000)).unwrap().halted());
+        let mem = vm.memory();
+        let n = nb * 64;
+        let img = &mem[0..n];
+        let out = &mem[mem.len() - n..];
+        let table = dct_table();
+        // reference for block 0, row 0
+        for u in 0..8 {
+            let mut acc: i64 = 0;
+            for x in 0..8 {
+                acc += img[x] * table[u * 8 + x];
+            }
+            let expected = (acc >> 10) / (u as i64 + 1);
+            assert_eq!(out[u], expected, "coefficient {u}");
+        }
+    }
+
+    #[test]
+    fn idct_output_is_clamped() {
+        let p = build_jpeg(WorkloadSize::Tiny, true);
+        let nb = blocks(WorkloadSize::Tiny);
+        let mut vm = Vm::new(&p);
+        assert!(vm.run(Some(50_000_000)).unwrap().halted());
+        let mem = vm.memory();
+        let out = &mem[mem.len() - nb * 64..];
+        assert!(out.iter().all(|&v| (0..=255).contains(&v)));
+    }
+
+    #[test]
+    fn lame_subband_energies_reflect_window_gain() {
+        let p = build_lame(WorkloadSize::Tiny);
+        let ng = granules(WorkloadSize::Tiny);
+        let mut vm = Vm::new(&p);
+        assert!(vm.run(Some(50_000_000)).unwrap().halted());
+        let mem = vm.memory();
+        let out = &mem[mem.len() - ng * 8..];
+        // Windows scale with (k+1): band 7 magnitude >= band 0 magnitude
+        // on aggregate.
+        let e0: i64 = (0..ng).map(|g| out[g * 8].abs()).sum();
+        let e7: i64 = (0..ng).map(|g| out[g * 8 + 7].abs()).sum();
+        assert!(e7 >= e0, "band gains not monotone: e0={e0} e7={e7}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Office/auto kernels: `qsort` and `stringsearch`.
+
+use mim_isa::{Program, ProgramBuilder, Reg::*};
+
+use crate::util::SplitMix64;
+use crate::workload::{Workload, WorkloadSize};
+
+/// The `qsort` workload: iterative quicksort (Hoare partition, explicit
+/// stack) over a pseudo-random word array. Compare/swap with
+/// data-dependent, poorly predictable branches.
+pub fn qsort() -> Workload {
+    Workload::new("qsort", build_qsort)
+}
+
+fn qsort_len(size: WorkloadSize) -> usize {
+    200 * size.scale() as usize
+}
+
+fn build_qsort(size: WorkloadSize) -> Program {
+    let n = qsort_len(size);
+    let mut rng = SplitMix64::new(0x9507);
+    let array: Vec<i64> = (0..n).map(|_| rng.below(1 << 30) as i64).collect();
+
+    let mut b = ProgramBuilder::named("qsort");
+    let arr = b.data_words(&array);
+    // Explicit stack of (lo, hi) pairs; depth bound 2*log2(n)+margin.
+    let stack = b.alloc_words(128);
+
+    let (sp, lo, hi) = (R1, R2, R3);
+    let (i, j, pivot, tmp) = (R4, R5, R6, R7);
+    let (ai, aj, addri, addrj) = (R8, R9, R10, R11);
+    let (zero, mid) = (R0, R12);
+
+    b.li(zero, 0);
+    // push (0, n-1)
+    b.li(sp, stack as i64);
+    b.st(zero, sp, 0);
+    b.li(tmp, (n - 1) as i64);
+    b.st(tmp, sp, 8);
+    b.addi(sp, sp, 16);
+
+    let main_loop = b.here();
+    // stack empty?
+    let done = b.label();
+    b.li(tmp, stack as i64);
+    b.bge(tmp, sp, done);
+    // pop
+    b.addi(sp, sp, -16);
+    b.ld(lo, sp, 0);
+    b.ld(hi, sp, 8);
+    let next = b.label();
+    b.bge(lo, hi, next);
+    // pivot = arr[(lo+hi)/2]
+    b.add(mid, lo, hi);
+    b.srai(mid, mid, 1);
+    b.slli(tmp, mid, 3);
+    b.addi(tmp, tmp, arr as i64);
+    b.ld(pivot, tmp, 0);
+    // Hoare partition
+    b.addi(i, lo, -1);
+    b.addi(j, hi, 1);
+    let part = b.here();
+    let fwd = b.here();
+    b.addi(i, i, 1);
+    b.slli(addri, i, 3);
+    b.addi(addri, addri, arr as i64);
+    b.ld(ai, addri, 0);
+    b.blt(ai, pivot, fwd);
+    let back = b.here();
+    b.addi(j, j, -1);
+    b.slli(addrj, j, 3);
+    b.addi(addrj, addrj, arr as i64);
+    b.ld(aj, addrj, 0);
+    b.blt(pivot, aj, back);
+    // if i >= j: partition done at j
+    let partition_done = b.label();
+    b.bge(i, j, partition_done);
+    // swap
+    b.st(aj, addri, 0);
+    b.st(ai, addrj, 0);
+    b.jmp(part);
+    b.bind(partition_done);
+    // push (lo, j) and (j+1, hi)
+    b.st(lo, sp, 0);
+    b.st(j, sp, 8);
+    b.addi(sp, sp, 16);
+    b.addi(tmp, j, 1);
+    b.st(tmp, sp, 0);
+    b.st(hi, sp, 8);
+    b.addi(sp, sp, 16);
+    b.bind(next);
+    b.jmp(main_loop);
+    b.bind(done);
+    b.halt();
+    b.build()
+}
+
+/// The `stringsearch` workload: Boyer–Moore–Horspool substring search of
+/// several patterns over a synthetic text (one symbol per word). Table
+/// lookups, backward compare loops and shift arithmetic; highly
+/// branch-dependent on data.
+pub fn stringsearch() -> Workload {
+    Workload::new("stringsearch", build_stringsearch)
+}
+
+const ALPHABET: u64 = 32;
+const PAT_LEN: usize = 6;
+
+fn text_len(size: WorkloadSize) -> usize {
+    2500 * size.scale() as usize
+}
+
+fn build_stringsearch(size: WorkloadSize) -> Program {
+    let n = text_len(size);
+    let mut rng = SplitMix64::new(0x7357);
+    let mut text: Vec<i64> = (0..n).map(|_| rng.below(ALPHABET) as i64).collect();
+    // Plant a real pattern every ~500 symbols so hits occur.
+    let pattern: Vec<i64> = (0..PAT_LEN).map(|_| rng.below(ALPHABET) as i64).collect();
+    let mut k = 400;
+    while k + PAT_LEN < n {
+        text[k..k + PAT_LEN].copy_from_slice(&pattern);
+        k += 500;
+    }
+
+    let mut b = ProgramBuilder::named("stringsearch");
+    let txt = b.data_words(&text);
+    let pat = b.data_words(&pattern);
+    let skip = b.alloc_words(ALPHABET as usize);
+    let result = b.alloc_words(1);
+
+    let (i, tmp, addr, c) = (R1, R2, R3, R4);
+    let (pos, limit, j, count) = (R5, R6, R7, R8);
+    let (tc, pc, zero, m) = (R9, R10, R0, R11);
+    let shift = R12;
+
+    b.li(zero, 0);
+    b.li(m, PAT_LEN as i64);
+    b.li(count, 0);
+
+    // Build skip table: skip[c] = m; then skip[pat[i]] = m-1-i for i<m-1.
+    b.li(i, 0);
+    b.li(tmp, ALPHABET as i64);
+    let fill = b.here();
+    b.slli(addr, i, 3);
+    b.addi(addr, addr, skip as i64);
+    b.st(m, addr, 0);
+    b.addi(i, i, 1);
+    b.blt(i, tmp, fill);
+    b.li(i, 0);
+    b.li(tmp, (PAT_LEN - 1) as i64);
+    let fill2 = b.here();
+    b.slli(addr, i, 3);
+    b.addi(addr, addr, pat as i64);
+    b.ld(c, addr, 0);
+    b.slli(addr, c, 3);
+    b.addi(addr, addr, skip as i64);
+    b.sub(shift, m, i);
+    b.addi(shift, shift, -1);
+    b.st(shift, addr, 0);
+    b.addi(i, i, 1);
+    b.blt(i, tmp, fill2);
+
+    // Search: pos from 0 while pos <= n - m.
+    b.li(pos, 0);
+    b.li(limit, (n - PAT_LEN) as i64);
+    let search = b.here();
+    let done = b.label();
+    b.blt(limit, pos, done);
+    // compare backwards: j = m-1
+    b.addi(j, m, -1);
+    let cmp = b.here();
+    // tc = text[pos+j]; pc = pat[j]
+    b.add(tmp, pos, j);
+    b.slli(addr, tmp, 3);
+    b.addi(addr, addr, txt as i64);
+    b.ld(tc, addr, 0);
+    b.slli(addr, j, 3);
+    b.addi(addr, addr, pat as i64);
+    b.ld(pc, addr, 0);
+    let mismatch = b.label();
+    b.bne(tc, pc, mismatch);
+    b.addi(j, j, -1);
+    b.bge(j, zero, cmp);
+    // full match
+    b.addi(count, count, 1);
+    // advance by 1 on match
+    b.addi(pos, pos, 1);
+    b.jmp(search);
+    b.bind(mismatch);
+    // shift by skip[text[pos+m-1]]
+    b.add(tmp, pos, m);
+    b.addi(tmp, tmp, -1);
+    b.slli(addr, tmp, 3);
+    b.addi(addr, addr, txt as i64);
+    b.ld(tc, addr, 0);
+    b.slli(addr, tc, 3);
+    b.addi(addr, addr, skip as i64);
+    b.ld(shift, addr, 0);
+    b.add(pos, pos, shift);
+    b.jmp(search);
+    b.bind(done);
+    b.li(tmp, result as i64);
+    b.st(count, tmp, 0);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mim_isa::Vm;
+
+    #[test]
+    fn qsort_actually_sorts() {
+        let p = build_qsort(WorkloadSize::Tiny);
+        let n = qsort_len(WorkloadSize::Tiny);
+        let mut vm = Vm::new(&p);
+        assert!(vm.run(Some(50_000_000)).unwrap().halted());
+        let arr = &vm.memory()[0..n];
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]), "array is not sorted");
+        // Content preserved: same multiset as the original input.
+        let mut original: Vec<i64> = {
+            let mut rng = SplitMix64::new(0x9507);
+            (0..n).map(|_| rng.below(1 << 30) as i64).collect()
+        };
+        original.sort_unstable();
+        assert_eq!(arr, &original[..]);
+    }
+
+    #[test]
+    fn stringsearch_counts_match_reference() {
+        let p = build_stringsearch(WorkloadSize::Tiny);
+        let mut vm = Vm::new(&p);
+        assert!(vm.run(Some(50_000_000)).unwrap().halted());
+        let count = *vm.memory().last().unwrap();
+
+        // Reference: naive count of pattern occurrences on the same data.
+        let n = text_len(WorkloadSize::Tiny);
+        let mut rng = SplitMix64::new(0x7357);
+        let mut text: Vec<i64> = (0..n).map(|_| rng.below(ALPHABET) as i64).collect();
+        let pattern: Vec<i64> = (0..PAT_LEN).map(|_| rng.below(ALPHABET) as i64).collect();
+        let mut k = 400;
+        while k + PAT_LEN < n {
+            text[k..k + PAT_LEN].copy_from_slice(&pattern);
+            k += 500;
+        }
+        let expected = (0..=n - PAT_LEN)
+            .filter(|&i| text[i..i + PAT_LEN] == pattern[..])
+            .count() as i64;
+        assert_eq!(count, expected);
+        assert!(count > 0, "no matches found — data generation is broken");
+    }
+}

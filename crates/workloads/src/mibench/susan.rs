@@ -1,0 +1,214 @@
+//! SUSAN image kernels: smoothing, edge detection, corner detection.
+
+use mim_isa::{Program, ProgramBuilder, Reg::*};
+
+use crate::util::synth_image;
+use crate::workload::{Workload, WorkloadSize};
+
+fn dims(size: WorkloadSize) -> (usize, usize) {
+    match size {
+        WorkloadSize::Tiny => (24, 18),
+        WorkloadSize::Small => (72, 56),
+        WorkloadSize::Large => (176, 136),
+    }
+}
+
+/// The `susan_s` workload: 3x3 weighted smoothing. Per pixel: nine loads,
+/// nine multiplies by mask weights, and one divide by the weight sum — the
+/// mul/div-heavy member of the SUSAN trio.
+pub fn susan_s() -> Workload {
+    Workload::new("susan_s", |size| build_susan(size, Variant::Smooth))
+}
+
+/// The `susan_e` workload: edge response — sum of absolute differences
+/// against the center pixel with a threshold count (USAN area).
+pub fn susan_e() -> Workload {
+    Workload::new("susan_e", |size| build_susan(size, Variant::Edges))
+}
+
+/// The `susan_c` workload: corner response — like edges but with a tighter
+/// geometric test and more data-dependent branching per pixel.
+pub fn susan_c() -> Workload {
+    Workload::new("susan_c", |size| build_susan(size, Variant::Corners))
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Variant {
+    Smooth,
+    Edges,
+    Corners,
+}
+
+fn build_susan(size: WorkloadSize, variant: Variant) -> Program {
+    let (w, h) = dims(size);
+    let img = synth_image(w, h, 0x5a5a);
+    let name = match variant {
+        Variant::Smooth => "susan_s",
+        Variant::Edges => "susan_e",
+        Variant::Corners => "susan_c",
+    };
+    // 3x3 Gaussian-ish mask, weight sum 16.
+    let mask: [i64; 9] = [1, 2, 1, 2, 4, 2, 1, 2, 1];
+
+    let mut b = ProgramBuilder::named(name);
+    let src = b.data_words(&img);
+    let maskb = b.data_words(&mask);
+    let dst = b.alloc_words(w * h);
+
+    let (x, y, tmp, addr) = (R1, R2, R3, R4);
+    let (acc, px, center, k) = (R5, R6, R7, R8);
+    let (dx, dy, weight, zero) = (R9, R10, R11, R0);
+    let (wreg, hreg, row, thresh) = (R12, R13, R14, R15);
+    let (out, diff, cnt) = (R16, R17, R18);
+
+    b.li(zero, 0);
+    b.li(wreg, w as i64);
+    b.li(hreg, h as i64);
+    b.li(thresh, 20);
+
+    b.li(y, 1);
+    let row_loop = b.here();
+    b.li(x, 1);
+    let col_loop = b.here();
+    // row = (y*w + x)*8 + src
+    b.mul(row, y, wreg);
+    b.add(row, row, x);
+    b.slli(row, row, 3);
+    // center pixel
+    b.addi(addr, row, 0);
+    b.addi(addr, addr, src as i64);
+    b.ld(center, addr, 0);
+    b.li(acc, 0);
+    b.li(cnt, 0);
+    b.li(k, 0);
+    // 3x3 neighborhood scan: dy = k/3 - 1, dx = k%3 - 1.
+    b.li(dy, -1);
+    let dy_loop = b.here();
+    b.li(dx, -1);
+    let dx_loop = b.here();
+    // addr = src + row + (dy*w + dx)*8
+    b.mul(tmp, dy, wreg);
+    b.add(tmp, tmp, dx);
+    b.slli(tmp, tmp, 3);
+    b.add(tmp, tmp, row);
+    b.addi(tmp, tmp, src as i64);
+    b.ld(px, tmp, 0);
+    match variant {
+        Variant::Smooth => {
+            // weight = mask[k]; acc += px * weight
+            b.slli(tmp, k, 3);
+            b.addi(tmp, tmp, maskb as i64);
+            b.ld(weight, tmp, 0);
+            b.mul(px, px, weight);
+            b.add(acc, acc, px);
+        }
+        Variant::Edges | Variant::Corners => {
+            // diff = |px - center|; if diff < thresh { cnt += 1 } ; acc += diff
+            b.sub(diff, px, center);
+            let pos = b.label();
+            b.bge(diff, zero, pos);
+            b.sub(diff, zero, diff);
+            b.bind(pos);
+            b.add(acc, acc, diff);
+            let far = b.label();
+            b.bge(diff, thresh, far);
+            b.addi(cnt, cnt, 1);
+            b.bind(far);
+        }
+    }
+    b.addi(k, k, 1);
+    b.addi(dx, dx, 1);
+    b.li(tmp, 2);
+    b.blt(dx, tmp, dx_loop);
+    b.addi(dy, dy, 1);
+    b.blt(dy, tmp, dy_loop);
+
+    // Write the response.
+    b.addi(addr, row, dst as i64);
+    match variant {
+        Variant::Smooth => {
+            // out = acc / 16 via divide (the MiBench code divides by the
+            // accumulated weight, which is not a constant power of two).
+            b.li(tmp, 16);
+            b.div(out, acc, tmp);
+            b.st(out, addr, 0);
+        }
+        Variant::Edges => {
+            // Edge strength = total difference; mark if USAN area small.
+            let no_edge = b.label();
+            b.li(tmp, 6);
+            b.bge(cnt, tmp, no_edge);
+            b.st(acc, addr, 0);
+            b.bind(no_edge);
+        }
+        Variant::Corners => {
+            // Corner: very small USAN *and* strong response.
+            let no_corner = b.label();
+            b.li(tmp, 4);
+            b.bge(cnt, tmp, no_corner);
+            b.li(tmp, 100);
+            b.blt(acc, tmp, no_corner);
+            b.li(tmp, 1);
+            b.st(tmp, addr, 0);
+            b.bind(no_corner);
+        }
+    }
+    b.addi(x, x, 1);
+    b.addi(tmp, wreg, -1);
+    b.blt(x, tmp, col_loop);
+    b.addi(y, y, 1);
+    b.addi(tmp, hreg, -1);
+    b.blt(y, tmp, row_loop);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mim_isa::Vm;
+
+    fn run(variant: Variant) -> (Vec<i64>, usize, usize) {
+        let (w, h) = dims(WorkloadSize::Tiny);
+        let p = build_susan(WorkloadSize::Tiny, variant);
+        let mut vm = Vm::new(&p);
+        assert!(vm.run(Some(50_000_000)).unwrap().halted());
+        let mem = vm.memory();
+        (mem[mem.len() - w * h..].to_vec(), w, h)
+    }
+
+    #[test]
+    fn smoothing_matches_reference_filter() {
+        let (out, w, h) = run(Variant::Smooth);
+        let img = synth_image(w, h, 0x5a5a);
+        let mask: [i64; 9] = [1, 2, 1, 2, 4, 2, 1, 2, 1];
+        for y in 1..h - 1 {
+            for x in 1..w - 1 {
+                let mut acc = 0;
+                for dy in 0..3 {
+                    for dx in 0..3 {
+                        acc += img[(y + dy - 1) * w + (x + dx - 1)] * mask[dy * 3 + dx];
+                    }
+                }
+                assert_eq!(out[y * w + x], acc / 16, "pixel ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn edges_fire_somewhere_but_not_everywhere() {
+        let (out, w, h) = run(Variant::Edges);
+        let nonzero = out.iter().filter(|&&v| v != 0).count();
+        assert!(nonzero > 0, "no edges detected");
+        assert!(nonzero < w * h, "every pixel an edge");
+    }
+
+    #[test]
+    fn corners_are_sparser_than_edges() {
+        let (edges, _, _) = run(Variant::Edges);
+        let (corners, _, _) = run(Variant::Corners);
+        let ne = edges.iter().filter(|&&v| v != 0).count();
+        let nc = corners.iter().filter(|&&v| v != 0).count();
+        assert!(nc <= ne, "corners ({nc}) should be rarer than edges ({ne})");
+    }
+}

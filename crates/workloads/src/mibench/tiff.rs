@@ -1,0 +1,380 @@
+//! TIFF image-conversion kernels: `tiff2bw`, `tiff2rgba`, `tiffdither`,
+//! `tiffmedian`.
+
+use mim_isa::{Program, ProgramBuilder, Reg::*};
+
+use crate::util::{synth_image, SplitMix64};
+use crate::workload::{Workload, WorkloadSize};
+
+fn pixels(size: WorkloadSize) -> usize {
+    1500 * size.scale() as usize
+}
+
+/// The `tiff2bw` workload: RGB-to-grayscale with the ITU luma weights
+/// `(77 R + 150 G + 29 B) >> 8` — three multiplies per pixel over a pure
+/// streaming access pattern. The paper singles this benchmark out for its
+/// large mul/div CPI component on in-order cores (Figure 7).
+pub fn tiff2bw() -> Workload {
+    Workload::new("tiff2bw", build_tiff2bw)
+}
+
+fn build_tiff2bw(size: WorkloadSize) -> Program {
+    let n = pixels(size);
+    let mut rng = SplitMix64::new(0x2b3);
+    let r: Vec<i64> = (0..n).map(|_| rng.below(256) as i64).collect();
+    let g: Vec<i64> = (0..n).map(|_| rng.below(256) as i64).collect();
+    let bl: Vec<i64> = (0..n).map(|_| rng.below(256) as i64).collect();
+
+    let mut b = ProgramBuilder::named("tiff2bw");
+    let rp = b.data_words(&r);
+    let gp = b.data_words(&g);
+    let bp = b.data_words(&bl);
+    let out = b.alloc_words(n);
+
+    let (i, nreg, addr, tmp) = (R1, R2, R3, R4);
+    let (rv, gv, bv, acc) = (R5, R6, R7, R8);
+    let (wr, wg, wb) = (R9, R10, R11);
+
+    b.li(wr, 77);
+    b.li(wg, 150);
+    b.li(wb, 29);
+    b.li(i, 0);
+    b.li(nreg, n as i64);
+    let top = b.here();
+    b.slli(addr, i, 3);
+    b.addi(tmp, addr, rp as i64);
+    b.ld(rv, tmp, 0);
+    b.addi(tmp, addr, gp as i64);
+    b.ld(gv, tmp, 0);
+    b.addi(tmp, addr, bp as i64);
+    b.ld(bv, tmp, 0);
+    b.mul(rv, rv, wr);
+    b.mul(gv, gv, wg);
+    b.mul(bv, bv, wb);
+    b.add(acc, rv, gv);
+    b.add(acc, acc, bv);
+    b.srai(acc, acc, 8);
+    b.addi(tmp, addr, out as i64);
+    b.st(acc, tmp, 0);
+    b.addi(i, i, 1);
+    b.blt(i, nreg, top);
+    b.halt();
+    b.build()
+}
+
+/// The `tiff2rgba` workload: palette-indexed image to RGBA expansion —
+/// per pixel one indexed table load, three shift/mask unpacks, and four
+/// stores. Store-bandwidth bound with a large streaming footprint (the
+/// paper highlights its L2 component, Figure 7).
+pub fn tiff2rgba() -> Workload {
+    Workload::new("tiff2rgba", build_tiff2rgba)
+}
+
+fn build_tiff2rgba(size: WorkloadSize) -> Program {
+    let n = pixels(size);
+    let mut rng = SplitMix64::new(0x26ba);
+    let indices: Vec<i64> = (0..n).map(|_| rng.below(256) as i64).collect();
+    let palette: Vec<i64> = (0..256).map(|_| rng.below(1 << 24) as i64).collect();
+
+    let mut b = ProgramBuilder::named("tiff2rgba");
+    let idxp = b.data_words(&indices);
+    let pal = b.data_words(&palette);
+    let out = b.alloc_words(4 * n);
+
+    let (i, nreg, addr, tmp) = (R1, R2, R3, R4);
+    let (idx, packed, ch, outp) = (R5, R6, R7, R8);
+    let alpha = R9;
+
+    b.li(alpha, 255);
+    b.li(i, 0);
+    b.li(nreg, n as i64);
+    b.li(outp, out as i64);
+    let top = b.here();
+    b.slli(addr, i, 3);
+    b.addi(tmp, addr, idxp as i64);
+    b.ld(idx, tmp, 0);
+    b.slli(tmp, idx, 3);
+    b.addi(tmp, tmp, pal as i64);
+    b.ld(packed, tmp, 0);
+    // unpack R,G,B and store with alpha
+    b.srli(ch, packed, 16);
+    b.andi(ch, ch, 255);
+    b.st(ch, outp, 0);
+    b.srli(ch, packed, 8);
+    b.andi(ch, ch, 255);
+    b.st(ch, outp, 8);
+    b.andi(ch, packed, 255);
+    b.st(ch, outp, 16);
+    b.st(alpha, outp, 24);
+    b.addi(outp, outp, 32);
+    b.addi(i, i, 1);
+    b.blt(i, nreg, top);
+    b.halt();
+    b.build()
+}
+
+fn dither_dims(size: WorkloadSize) -> (usize, usize) {
+    // fixed width, height scales linearly
+    (64, 10 * size.scale() as usize + 6)
+}
+
+/// The `tiffdither` workload: Floyd–Steinberg error-diffusion dithering.
+/// The quantization error of each pixel feeds its right and lower
+/// neighbours **through memory**, producing the serial dependence chains
+/// that make this benchmark the suite's worst case for dependency stalls
+/// (and the one benchmark where the paper found scheduling to *hurt*,
+/// §6.2).
+pub fn tiffdither() -> Workload {
+    Workload::new("tiffdither", build_tiffdither)
+}
+
+fn build_tiffdither(size: WorkloadSize) -> Program {
+    let (w, h) = dither_dims(size);
+    let img = synth_image(w, h, 0xd17e);
+
+    let mut b = ProgramBuilder::named("tiffdither");
+    let src = b.data_words(&img);
+    let err = b.alloc_words(w * h + w + 2); // slack for edge writes
+    let out = b.alloc_words(w * h);
+
+    let (x, y, tmp, addr, base) = (R1, R2, R3, R4, R5);
+    let (v, e, bit, zero) = (R6, R7, R8, R0);
+    let (wreg, hreg, e7, e3) = (R9, R10, R11, R12);
+    let (e5, thresh, maxv, e1) = (R13, R14, R15, R16);
+
+    b.li(zero, 0);
+    b.li(wreg, w as i64);
+    b.li(hreg, h as i64);
+    b.li(thresh, 128);
+    b.li(maxv, 255);
+
+    b.li(y, 0);
+    let row = b.here();
+    b.li(x, 1);
+    let col = b.here();
+    // base = (y*w + x) * 8
+    b.mul(base, y, wreg);
+    b.add(base, base, x);
+    b.slli(base, base, 3);
+    // v = src[y][x] + err[y][x]
+    b.addi(addr, base, src as i64);
+    b.ld(v, addr, 0);
+    b.addi(addr, base, err as i64);
+    b.ld(tmp, addr, 0);
+    b.add(v, v, tmp);
+    // threshold
+    let dark = b.label();
+    let emit = b.label();
+    b.blt(v, thresh, dark);
+    b.li(bit, 1);
+    b.sub(e, v, maxv);
+    b.jmp(emit);
+    b.bind(dark);
+    b.li(bit, 0);
+    b.mv(e, v);
+    b.bind(emit);
+    b.addi(addr, base, out as i64);
+    b.st(bit, addr, 0);
+    // distribute error: right 7/16, below-left 3/16, below 5/16, below-right 1/16
+    b.addi(addr, base, err as i64);
+    // e7 = 7e/16 etc. via shifts/adds
+    b.srai(e1, e, 4); // e/16 (the 1/16 share)
+    b.slli(e7, e1, 3);
+    b.sub(e7, e7, e1); // 7 * (e/16)
+    b.slli(e3, e1, 1);
+    b.add(e3, e3, e1); // 3 * (e/16)
+    b.slli(e5, e1, 2);
+    b.add(e5, e5, e1); // 5 * (e/16)
+    // err[y][x+1] += e7
+    b.ld(v, addr, 8);
+    b.add(v, v, e7);
+    b.st(v, addr, 8);
+    // err[y+1][x-1..x+1]
+    b.slli(tmp, wreg, 3);
+    b.add(addr, addr, tmp);
+    b.ld(v, addr, -8);
+    b.add(v, v, e3);
+    b.st(v, addr, -8);
+    b.ld(v, addr, 0);
+    b.add(v, v, e5);
+    b.st(v, addr, 0);
+    b.ld(v, addr, 8);
+    b.add(v, v, e1);
+    b.st(v, addr, 8);
+    b.addi(x, x, 1);
+    b.addi(tmp, wreg, -1);
+    b.blt(x, tmp, col);
+    b.addi(y, y, 1);
+    b.addi(tmp, hreg, -1);
+    b.blt(y, tmp, row);
+    b.halt();
+    b.build()
+}
+
+fn median_pixels(size: WorkloadSize) -> usize {
+    1200 * size.scale() as usize
+}
+
+/// The `tiffmedian` workload: median-cut style color quantization —
+/// per-tile histogram construction (read-modify-write on histogram
+/// buckets) followed by a cumulative scan to locate the median bucket.
+pub fn tiffmedian() -> Workload {
+    Workload::new("tiffmedian", build_tiffmedian)
+}
+
+fn build_tiffmedian(size: WorkloadSize) -> Program {
+    let n = median_pixels(size);
+    let tile = 256usize;
+    let ntiles = n / tile;
+    let img = synth_image(n, 1, 0x3ed1);
+
+    let mut b = ProgramBuilder::named("tiffmedian");
+    let src = b.data_words(&img);
+    let hist = b.alloc_words(64);
+    let medians = b.alloc_words(ntiles);
+
+    let (t, nt, i, addr) = (R1, R2, R3, R4);
+    let (px, bucket, cum, half, base) = (R6, R7, R8, R9, R10);
+    let (cnt, out, sixty4, tile_reg) = (R11, R12, R13, R14);
+
+    b.li(sixty4, 64);
+    b.li(tile_reg, tile as i64);
+    b.li(half, (tile / 2) as i64);
+    b.li(t, 0);
+    b.li(nt, ntiles as i64);
+    b.li(out, medians as i64);
+
+    let tile_loop = b.here();
+    // clear histogram
+    b.li(i, 0);
+    let clear = b.here();
+    b.slli(addr, i, 3);
+    b.addi(addr, addr, hist as i64);
+    b.st(R0, addr, 0);
+    b.addi(i, i, 1);
+    b.blt(i, sixty4, clear);
+    // accumulate: bucket = px >> 2
+    b.mul(base, t, tile_reg);
+    b.slli(base, base, 3);
+    b.addi(base, base, src as i64);
+    b.li(i, 0);
+    let acc_loop = b.here();
+    b.slli(addr, i, 3);
+    b.add(addr, addr, base);
+    b.ld(px, addr, 0);
+    b.srai(bucket, px, 2);
+    b.slli(bucket, bucket, 3);
+    b.addi(bucket, bucket, hist as i64);
+    b.ld(cnt, bucket, 0);
+    b.addi(cnt, cnt, 1);
+    b.st(cnt, bucket, 0);
+    b.addi(i, i, 1);
+    b.blt(i, tile_reg, acc_loop);
+    // cumulative scan for the median bucket
+    b.li(cum, 0);
+    b.li(i, 0);
+    let scan = b.here();
+    b.slli(addr, i, 3);
+    b.addi(addr, addr, hist as i64);
+    b.ld(cnt, addr, 0);
+    b.add(cum, cum, cnt);
+    let found = b.label();
+    b.bge(cum, half, found);
+    b.addi(i, i, 1);
+    b.blt(i, sixty4, scan);
+    b.bind(found);
+    b.st(i, out, 0);
+    b.addi(out, out, 8);
+    b.addi(t, t, 1);
+    b.blt(t, nt, tile_loop);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mim_isa::Vm;
+
+    #[test]
+    fn tiff2bw_matches_luma_formula() {
+        let n = pixels(WorkloadSize::Tiny);
+        let p = build_tiff2bw(WorkloadSize::Tiny);
+        let mut vm = Vm::new(&p);
+        assert!(vm.run(Some(50_000_000)).unwrap().halted());
+        let mem = vm.memory();
+        let (r, g, bl) = (&mem[0..n], &mem[n..2 * n], &mem[2 * n..3 * n]);
+        let out = &mem[3 * n..4 * n];
+        for i in (0..n).step_by(97) {
+            let expected = (77 * r[i] + 150 * g[i] + 29 * bl[i]) >> 8;
+            assert_eq!(out[i], expected, "pixel {i}");
+        }
+        assert!(out.iter().all(|&v| (0..=255).contains(&v)));
+    }
+
+    #[test]
+    fn tiff2rgba_unpacks_palette_entries() {
+        let n = pixels(WorkloadSize::Tiny);
+        let p = build_tiff2rgba(WorkloadSize::Tiny);
+        let mut vm = Vm::new(&p);
+        assert!(vm.run(Some(50_000_000)).unwrap().halted());
+        let mem = vm.memory();
+        let indices = &mem[0..n];
+        let palette = &mem[n..n + 256];
+        let out = &mem[n + 256..n + 256 + 4 * n];
+        for i in (0..n).step_by(131) {
+            let packed = palette[indices[i] as usize];
+            assert_eq!(out[4 * i], (packed >> 16) & 255, "R of pixel {i}");
+            assert_eq!(out[4 * i + 1], (packed >> 8) & 255, "G of pixel {i}");
+            assert_eq!(out[4 * i + 2], packed & 255, "B of pixel {i}");
+            assert_eq!(out[4 * i + 3], 255, "alpha of pixel {i}");
+        }
+    }
+
+    #[test]
+    fn tiffdither_emits_bits_with_plausible_density() {
+        let (w, h) = dither_dims(WorkloadSize::Tiny);
+        let p = build_tiffdither(WorkloadSize::Tiny);
+        let mut vm = Vm::new(&p);
+        assert!(vm.run(Some(50_000_000)).unwrap().halted());
+        let mem = vm.memory();
+        let out = &mem[mem.len() - w * h..];
+        assert!(out.iter().all(|&v| v == 0 || v == 1));
+        let ones: i64 = out.iter().sum();
+        let frac = ones as f64 / (w * h) as f64;
+        // The gradient image averages mid-gray; dithering should produce
+        // an intermediate bit density.
+        assert!(
+            (0.2..=0.8).contains(&frac),
+            "implausible dither density {frac}"
+        );
+    }
+
+    #[test]
+    fn tiffmedian_finds_central_buckets() {
+        let p = build_tiffmedian(WorkloadSize::Tiny);
+        let n = median_pixels(WorkloadSize::Tiny);
+        let ntiles = n / 256;
+        let mut vm = Vm::new(&p);
+        assert!(vm.run(Some(50_000_000)).unwrap().halted());
+        let mem = vm.memory();
+        let medians = &mem[mem.len() - ntiles..];
+        assert!(medians.iter().all(|&m| (0..64).contains(&m)));
+        // Reference check on tile 0.
+        let img = &mem[0..256];
+        let mut hist = [0i64; 64];
+        for &px in img {
+            hist[(px >> 2) as usize] += 1;
+        }
+        let mut cum = 0;
+        let mut expected = 63;
+        for (i, &c) in hist.iter().enumerate() {
+            cum += c;
+            if cum >= 128 {
+                expected = i as i64;
+                break;
+            }
+        }
+        assert_eq!(medians[0], expected);
+    }
+}

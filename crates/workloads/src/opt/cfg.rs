@@ -1,0 +1,203 @@
+//! A minimal control-flow-graph IR for program transformations.
+
+use mim_isa::{Cond, Inst, InstClass, Program, ProgramBuilder, Reg};
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Term {
+    /// Conditional branch: taken to `target`, otherwise to `fallthrough`.
+    Branch {
+        cond: Cond,
+        a: Reg,
+        b: Reg,
+        target: usize,
+        fallthrough: usize,
+    },
+    /// Unconditional jump.
+    Jump { target: usize },
+    /// Fall into the next block.
+    FallThrough { next: usize },
+    /// Program stop.
+    Halt,
+}
+
+/// A basic block: straight-line body plus one terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Block {
+    pub body: Vec<Inst>,
+    pub term: Term,
+}
+
+/// Control-flow graph of a [`Program`], with blocks in original layout
+/// order. Round-trips losslessly for layout-preserving passes.
+#[derive(Debug, Clone)]
+pub(crate) struct Cfg {
+    pub name: String,
+    pub data: Vec<i64>,
+    pub blocks: Vec<Block>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a branch targets the middle of nowhere (outside the text),
+    /// which cannot happen for programs built via `ProgramBuilder`.
+    pub fn from_program(program: &Program) -> Cfg {
+        let text = program.text();
+        let n = text.len();
+        // Leaders: entry, every branch/jump target, every instruction after
+        // a control instruction or halt.
+        let mut leader = vec![false; n + 1];
+        leader[0] = true;
+        leader[n] = true;
+        for (i, inst) in text.iter().enumerate() {
+            if let Some(t) = inst.target() {
+                leader[t as usize] = true;
+            }
+            if inst.class().is_control() || inst.class() == InstClass::Halt {
+                leader[i + 1] = true;
+            }
+        }
+        let starts: Vec<usize> = (0..n).filter(|&i| leader[i]).collect();
+        let block_of = {
+            let mut map = vec![0usize; n];
+            for (b, &s) in starts.iter().enumerate() {
+                let end = starts.get(b + 1).copied().unwrap_or(n);
+                for slot in &mut map[s..end] {
+                    *slot = b;
+                }
+            }
+            map
+        };
+
+        let mut blocks = Vec::with_capacity(starts.len());
+        for (b, &s) in starts.iter().enumerate() {
+            let end = starts.get(b + 1).copied().unwrap_or(n);
+            let last = text[end - 1];
+            let (body_end, term) = match last.class() {
+                InstClass::CondBranch => (
+                    end - 1,
+                    Term::Branch {
+                        cond: match last.opcode {
+                            mim_isa::Opcode::Br(c) => c,
+                            _ => unreachable!("cond branch has Br opcode"),
+                        },
+                        a: last.src1,
+                        b: last.src2,
+                        target: block_of[last.imm as usize],
+                        fallthrough: b + 1,
+                    },
+                ),
+                InstClass::Jump => (
+                    end - 1,
+                    Term::Jump {
+                        target: block_of[last.imm as usize],
+                    },
+                ),
+                InstClass::Halt => (end - 1, Term::Halt),
+                _ => (end, Term::FallThrough { next: b + 1 }),
+            };
+            blocks.push(Block {
+                body: text[s..body_end].to_vec(),
+                term,
+            });
+        }
+        Cfg {
+            name: program.name().to_string(),
+            data: program.data().to_vec(),
+            blocks,
+        }
+    }
+
+    /// Re-emits the CFG as a program, inserting explicit jumps wherever a
+    /// fallthrough successor is not the next block in layout order and
+    /// eliding jumps to the next block.
+    pub fn into_program(self) -> Program {
+        let mut b = ProgramBuilder::named(self.name);
+        b.data_words(&self.data);
+        let labels: Vec<_> = self.blocks.iter().map(|_| b.label()).collect();
+        let nblocks = self.blocks.len();
+        for (i, block) in self.blocks.into_iter().enumerate() {
+            b.bind(labels[i]);
+            for inst in block.body {
+                b.push(inst);
+            }
+            match block.term {
+                Term::Branch {
+                    cond,
+                    a,
+                    b: rb,
+                    target,
+                    fallthrough,
+                } => {
+                    b.br(cond, a, rb, labels[target]);
+                    if fallthrough != i + 1 {
+                        assert!(fallthrough < nblocks, "fallthrough out of range");
+                        b.jmp(labels[fallthrough]);
+                    }
+                }
+                Term::Jump { target } => {
+                    if target != i + 1 {
+                        b.jmp(labels[target]);
+                    }
+                }
+                Term::FallThrough { next } => {
+                    if next != i + 1 {
+                        b.jmp(labels[next]);
+                    }
+                }
+                Term::Halt => b.halt(),
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mibench;
+    use crate::WorkloadSize;
+    use mim_isa::Vm;
+
+    #[test]
+    fn round_trip_preserves_program_exactly() {
+        for w in mibench::all() {
+            let p = w.program(WorkloadSize::Tiny);
+            let rt = Cfg::from_program(&p).into_program();
+            assert_eq!(
+                p.text(),
+                rt.text(),
+                "{}: CFG round-trip changed the text",
+                w.name()
+            );
+            assert_eq!(p.data(), rt.data());
+        }
+    }
+
+    #[test]
+    fn blocks_have_no_interior_control_flow() {
+        let p = mibench::dijkstra().program(WorkloadSize::Tiny);
+        let cfg = Cfg::from_program(&p);
+        assert!(cfg.blocks.len() > 3);
+        for block in &cfg.blocks {
+            for inst in &block.body {
+                assert!(!inst.class().is_control());
+                assert_ne!(inst.class(), InstClass::Halt);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_execution() {
+        let p = mibench::qsort().program(WorkloadSize::Tiny);
+        let rt = Cfg::from_program(&p).into_program();
+        let mut v1 = Vm::new(&p);
+        let mut v2 = Vm::new(&rt);
+        v1.run(Some(10_000_000)).unwrap();
+        v2.run(Some(10_000_000)).unwrap();
+        assert_eq!(v1.memory(), v2.memory());
+    }
+}

@@ -1,0 +1,37 @@
+//! Compiler passes over ISA programs (the §6.2 case-study substrate).
+//!
+//! The paper's second application recompiles benchmarks with
+//! `-O3 -fno-schedule-insns` and `-O3 -funroll-loops` and studies the CPI
+//! stacks. We reproduce the substrate with two real passes over our ISA:
+//!
+//! * [`schedule`] — a latency- and dependency-aware basic-block **list
+//!   scheduler** that reorders independent instructions to stretch
+//!   producer–consumer distances (the `-fschedule-insns` stand-in);
+//! * [`unroll`] — a counted-loop **unroller with per-copy register
+//!   renaming** (the `-funroll-loops` stand-in), which both removes taken
+//!   branches and, crucially, gives the scheduler independent work from
+//!   several iterations to interleave.
+//!
+//! Both passes are semantics-preserving: the transformed program computes
+//! the same architectural state, verified by differential VM execution in
+//! this crate's tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use mim_workloads::{mibench, opt, WorkloadSize};
+//!
+//! let nosched = mibench::sha().program(WorkloadSize::Tiny);
+//! let o3 = opt::schedule(&nosched);
+//! let unrolled = opt::schedule(&opt::unroll(&nosched, 4));
+//! assert_eq!(o3.len(), nosched.len()); // scheduling only reorders
+//! assert!(unrolled.len() > nosched.len()); // unrolling duplicates bodies
+//! ```
+
+mod cfg;
+mod sched;
+mod unroll;
+
+pub use sched::schedule;
+pub use unroll::unroll;
+

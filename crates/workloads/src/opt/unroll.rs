@@ -1,0 +1,365 @@
+//! Counted-loop unrolling with per-copy register renaming.
+
+use std::collections::HashSet;
+
+use mim_isa::{Cond, Inst, Opcode, Program, Reg, NUM_REGS};
+
+use super::cfg::{Cfg, Term};
+
+/// Unrolls every eligible counted loop `factor` times.
+///
+/// A loop is eligible when it is a single-block do-while of the canonical
+/// shape produced by our kernels (and by compilers for counted loops):
+///
+/// ```text
+/// L:  body                ; contains exactly one write to i: addi i,i,s (s > 0)
+///     blt i, n, L         ; n not written in the body
+/// ```
+///
+/// The transformed code guards each unrolled burst with a trip-count check
+/// (`i + (factor-1)*s < n`), runs `factor` copies of the body
+/// back-to-back, and falls back to the original loop for the remaining
+/// iterations — semantics are preserved for *any* trip count:
+///
+/// ```text
+/// L:  t = i + (factor-1)*s
+///     blt t, n, U         ; enough iterations left for a full burst?
+/// T:  body                ; original tail loop
+///     blt i, n, T
+///     j   F
+/// U:  body  (copy 1, temps renamed)
+///     ...
+///     body  (copy factor, original registers)
+///     blt i, n, L
+/// F:  ...
+/// ```
+///
+/// Pure-temporary registers (written before read in the body, i.e. not
+/// loop-carried) are renamed to free registers in all copies except the
+/// last, so a subsequent [`schedule`](super::schedule) pass can interleave
+/// the copies — this is where the paper's §6.2 observation comes from:
+/// "loop unrolling enables the instruction scheduler to better schedule
+/// instructions so that fewer inter-instruction dependencies have an
+/// impact".
+///
+/// Loops that do not match the shape (or when no scratch registers remain)
+/// are left untouched.
+///
+/// # Panics
+///
+/// Panics if `factor < 2`.
+///
+/// # Example
+///
+/// ```
+/// use mim_workloads::{mibench, opt, WorkloadSize};
+///
+/// let p = mibench::tiff2bw().program(WorkloadSize::Tiny);
+/// let u = opt::unroll(&p, 4);
+/// assert!(u.len() > p.len());
+/// ```
+pub fn unroll(program: &Program, factor: u32) -> Program {
+    assert!(factor >= 2, "unroll factor must be at least 2");
+    let mut cfg = Cfg::from_program(program);
+
+    // Registers never used anywhere are available as scratch/renaming pool.
+    let mut used = [false; NUM_REGS];
+    for inst in program.text() {
+        if let Some(d) = inst.writes() {
+            used[d.index()] = true;
+        }
+        for r in inst.sources().into_iter().flatten() {
+            used[r.index()] = true;
+        }
+    }
+    let mut free: Vec<Reg> = Reg::ALL.iter().copied().filter(|r| !used[r.index()]).collect();
+
+    // Collect candidate block ids first (we mutate the block list).
+    let candidates: Vec<usize> = (0..cfg.blocks.len())
+        .filter(|&b| candidate(&cfg, b).is_some())
+        .collect();
+
+    for &b in &candidates {
+        let Some(cand) = candidate(&cfg, b) else {
+            continue;
+        };
+        let Some(scratch) = free.pop() else { break };
+        apply(&mut cfg, b, cand, scratch, &mut free, factor);
+    }
+    cfg.into_program()
+}
+
+/// The matched counter pattern of an eligible loop.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    counter: Reg,
+    bound: Reg,
+    step: i64,
+}
+
+fn candidate(cfg: &Cfg, b: usize) -> Option<Candidate> {
+    let block = &cfg.blocks[b];
+    let Term::Branch {
+        cond: Cond::Lt,
+        a: counter,
+        b: bound,
+        target,
+        ..
+    } = block.term
+    else {
+        return None;
+    };
+    if target != b || block.body.is_empty() || block.body.len() > 120 {
+        return None;
+    }
+    // Exactly one write to the counter: `addi counter, counter, step`
+    // with positive step; no writes to the bound.
+    let mut step = None;
+    for inst in &block.body {
+        if inst.writes() == Some(bound) {
+            return None;
+        }
+        if inst.writes() == Some(counter) {
+            if step.is_some() {
+                return None; // multiple counter writes
+            }
+            if inst.opcode == Opcode::Addi && inst.src1 == counter && inst.imm > 0 {
+                step = Some(inst.imm);
+            } else {
+                return None;
+            }
+        }
+    }
+    step.map(|step| Candidate {
+        counter,
+        bound,
+        step,
+    })
+}
+
+/// Registers written before they are read in `body` (pure temporaries,
+/// not loop-carried) — safe to rename in non-final copies.
+fn renameable_temps(body: &[Inst]) -> Vec<Reg> {
+    let mut written: HashSet<Reg> = HashSet::new();
+    let mut carried: HashSet<Reg> = HashSet::new();
+    for inst in body {
+        for r in inst.sources().into_iter().flatten() {
+            if !written.contains(&r) {
+                carried.insert(r);
+            }
+        }
+        if let Some(d) = inst.writes() {
+            written.insert(d);
+        }
+    }
+    written
+        .into_iter()
+        .filter(|r| !carried.contains(r))
+        .collect()
+}
+
+fn rename(body: &[Inst], map: &[(Reg, Reg)]) -> Vec<Inst> {
+    let lookup = |r: Reg| map.iter().find(|&&(from, _)| from == r).map_or(r, |&(_, to)| to);
+    body.iter()
+        .map(|inst| {
+            let mut out = *inst;
+            if inst.writes().is_some() {
+                out.dst = lookup(inst.dst);
+            }
+            let srcs = inst.sources();
+            if srcs[0].is_some() {
+                out.src1 = lookup(inst.src1);
+            }
+            if srcs[1].is_some() {
+                out.src2 = lookup(inst.src2);
+            }
+            out
+        })
+        .collect()
+}
+
+fn apply(
+    cfg: &mut Cfg,
+    b: usize,
+    cand: Candidate,
+    scratch: Reg,
+    free: &mut Vec<Reg>,
+    factor: u32,
+) {
+    let body = cfg.blocks[b].body.clone();
+    let Term::Branch { cond, a, b: rb, .. } = cfg.blocks[b].term else {
+        unreachable!("candidate() checked the terminator");
+    };
+    let exit = match cfg.blocks[b].term {
+        Term::Branch { fallthrough, .. } => fallthrough,
+        _ => unreachable!(),
+    };
+
+    // Rename map shared by all non-final copies (a fresh register per temp,
+    // reused across copies — copies remain WAW-dependent on each other but
+    // independent of the final copy; with a larger pool we could rename
+    // per copy, at the cost of registers).
+    let temps = renameable_temps(&body);
+    let mut map = Vec::new();
+    for t in temps {
+        if let Some(f) = free.pop() {
+            map.push((t, f));
+        }
+    }
+
+    // New blocks appended at the end of the layout:
+    let tail_id = cfg.blocks.len();
+    let unrolled_id = tail_id + 1;
+
+    // Rewrite the original block into the trip-count check.
+    let check_body = vec![Inst {
+        opcode: Opcode::Addi,
+        dst: scratch,
+        src1: cand.counter,
+        src2: Reg::R0,
+        imm: (i64::from(factor) - 1) * cand.step,
+    }];
+    cfg.blocks[b].body = check_body;
+    cfg.blocks[b].term = Term::Branch {
+        cond: Cond::Lt,
+        a: scratch,
+        b: cand.bound,
+        target: unrolled_id,
+        fallthrough: tail_id,
+    };
+
+    // Tail loop: the original body and exit test, self-looping.
+    cfg.blocks.push(super::cfg::Block {
+        body: body.clone(),
+        term: Term::Branch {
+            cond,
+            a,
+            b: rb,
+            target: tail_id,
+            fallthrough: exit,
+        },
+    });
+
+    // Unrolled burst: factor copies, final copy unrenamed.
+    let mut burst = Vec::with_capacity(body.len() * factor as usize);
+    for copy in 0..factor {
+        if copy + 1 < factor && !map.is_empty() {
+            burst.extend(rename(&body, &map));
+        } else {
+            burst.extend_from_slice(&body);
+        }
+    }
+    cfg.blocks.push(super::cfg::Block {
+        body: burst,
+        term: Term::Branch {
+            cond,
+            a,
+            b: rb,
+            target: b,
+            fallthrough: exit,
+        },
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mibench, opt, WorkloadSize};
+    use mim_isa::{InstClass, ProgramBuilder, Reg::*, Vm};
+
+    fn sum_loop(n: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let data: Vec<i64> = (0..n).collect();
+        let arr = b.data_words(&data);
+        b.li(R1, 0); // i
+        b.li(R2, n); // bound
+        b.li(R3, 0); // acc
+        let top = b.here();
+        b.slli(R4, R1, 3);
+        b.addi(R4, R4, arr as i64);
+        b.ld(R5, R4, 0);
+        b.add(R3, R3, R5);
+        b.addi(R1, R1, 1);
+        b.blt(R1, R2, top);
+        b.halt();
+        b.build()
+    }
+
+    fn run_count_branches(p: &Program) -> (i64, u64, u64) {
+        let mut vm = Vm::new(p);
+        let mut taken = 0u64;
+        let mut total = 0u64;
+        vm.run_with(Some(50_000_000), |ev| {
+            total += 1;
+            if ev.class == InstClass::CondBranch && ev.taken == Some(true) {
+                taken += 1;
+            }
+        })
+        .unwrap();
+        (vm.reg(R3), total, taken)
+    }
+
+    #[test]
+    fn unrolled_sum_is_correct_for_various_trip_counts() {
+        for n in [1i64, 2, 3, 4, 5, 7, 8, 9, 100, 101, 102, 103] {
+            let p = sum_loop(n);
+            let u = unroll(&p, 4);
+            let (acc_p, _, _) = run_count_branches(&p);
+            let (acc_u, _, _) = run_count_branches(&u);
+            assert_eq!(acc_p, n * (n - 1) / 2, "baseline broken at n={n}");
+            assert_eq!(acc_u, acc_p, "unrolled result differs at n={n}");
+        }
+    }
+
+    #[test]
+    fn unrolling_reduces_taken_branches() {
+        let p = sum_loop(1000);
+        let u = unroll(&p, 4);
+        let (_, _, taken_p) = run_count_branches(&p);
+        let (_, _, taken_u) = run_count_branches(&u);
+        assert!(
+            taken_u * 2 < taken_p,
+            "taken branches: {taken_p} -> {taken_u}"
+        );
+    }
+
+    #[test]
+    fn unroll_then_schedule_preserves_semantics_on_all_kernels() {
+        for w in mibench::all() {
+            let p = w.program(WorkloadSize::Tiny);
+            let u = opt::schedule(&unroll(&p, 4));
+            let mut v1 = Vm::new(&p);
+            let mut v2 = Vm::new(&u);
+            let o1 = v1.run(Some(30_000_000)).unwrap();
+            let o2 = v2.run(Some(30_000_000)).unwrap();
+            assert!(o1.halted() && o2.halted(), "{}", w.name());
+            assert_eq!(
+                v1.memory(),
+                v2.memory(),
+                "{}: unroll+schedule changed the result",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn non_canonical_loops_are_left_alone() {
+        // Loop counting downward (bge) — not eligible; must be unchanged.
+        let mut b = ProgramBuilder::new();
+        b.li(R1, 10);
+        let top = b.here();
+        b.addi(R1, R1, -1);
+        b.bge(R1, R0, top);
+        b.halt();
+        let p = b.build();
+        let u = unroll(&p, 4);
+        assert_eq!(p.text(), u.text());
+    }
+
+    #[test]
+    #[should_panic(expected = "unroll factor must be at least 2")]
+    fn factor_one_is_rejected() {
+        let p = sum_loop(4);
+        let _ = unroll(&p, 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Deterministic data generation for kernel inputs.
+//!
+//! Kernels need reproducible input data (audio samples, images, graphs,
+//! text). A tiny SplitMix64 generator keeps the crate dependency-free and
+//! guarantees bit-identical programs across runs, which the modeling
+//! framework relies on (profile once, evaluate everywhere).
+
+/// SplitMix64 pseudo-random generator (public-domain algorithm).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Signed value in `[-amplitude, amplitude]`.
+    pub fn signed(&mut self, amplitude: i64) -> i64 {
+        (self.below(2 * amplitude as u64 + 1)) as i64 - amplitude
+    }
+
+}
+
+/// Generates a smooth synthetic grayscale "image" of `w x h` pixels in
+/// 0..256, as nested gradients plus deterministic noise — enough structure
+/// for edge/corner detectors to find features.
+pub fn synth_image(w: usize, h: usize, seed: u64) -> Vec<i64> {
+    let mut rng = SplitMix64::new(seed);
+    let mut img = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let gx = (x * 255 / w.max(1)) as i64;
+            let gy = (y * 255 / h.max(1)) as i64;
+            let blob = if (x / 8 + y / 8) % 2 == 0 { 60 } else { 0 };
+            let noise = rng.signed(10);
+            img.push(((gx + gy) / 2 + blob + noise).clamp(0, 255));
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = SplitMix64::new(43).next_u64();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+            let s = r.signed(5);
+            assert!((-5..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn image_pixels_in_range() {
+        let img = synth_image(32, 24, 3);
+        assert_eq!(img.len(), 32 * 24);
+        assert!(img.iter().all(|&p| (0..=255).contains(&p)));
+        // has some variation
+        assert!(img.iter().max() != img.iter().min());
+    }
+}

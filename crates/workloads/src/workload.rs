@@ -1,0 +1,106 @@
+//! The workload abstraction: named, size-parameterized program generators.
+
+use std::fmt;
+
+use mim_isa::Program;
+
+/// Input-size class of a workload, mirroring MiBench's small/large inputs.
+///
+/// `Tiny` keeps unit tests fast (thousands of dynamic instructions);
+/// `Small` is the default for experiments (hundreds of thousands);
+/// `Large` approaches the paper's run lengths (millions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WorkloadSize {
+    /// A few thousand dynamic instructions.
+    Tiny,
+    /// Hundreds of thousands of dynamic instructions (experiment default).
+    #[default]
+    Small,
+    /// Millions of dynamic instructions.
+    Large,
+}
+
+impl WorkloadSize {
+    /// A coarse scale factor kernels use to size loops and data.
+    pub fn scale(self) -> u64 {
+        match self {
+            WorkloadSize::Tiny => 1,
+            WorkloadSize::Small => 16,
+            WorkloadSize::Large => 96,
+        }
+    }
+}
+
+impl fmt::Display for WorkloadSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WorkloadSize::Tiny => "tiny",
+            WorkloadSize::Small => "small",
+            WorkloadSize::Large => "large",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named benchmark kernel that can generate a [`Program`] at any size.
+///
+/// # Example
+///
+/// ```
+/// use mim_workloads::{mibench, WorkloadSize};
+///
+/// let w = mibench::dijkstra();
+/// assert_eq!(w.name(), "dijkstra");
+/// let p = w.program(WorkloadSize::Tiny);
+/// assert!(!p.text().is_empty());
+/// ```
+#[derive(Clone)]
+pub struct Workload {
+    name: &'static str,
+    generator: fn(WorkloadSize) -> Program,
+}
+
+impl Workload {
+    /// Creates a workload from a name and generator function.
+    pub fn new(name: &'static str, generator: fn(WorkloadSize) -> Program) -> Workload {
+        Workload { name, generator }
+    }
+
+    /// The benchmark's name (matches the paper's figures, e.g. `"sha"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Instantiates the kernel at the given size.
+    pub fn program(&self, size: WorkloadSize) -> Program {
+        (self.generator)(size)
+    }
+
+    /// Shorthand for `program(WorkloadSize::Tiny)`.
+    pub fn tiny(&self) -> Program {
+        self.program(WorkloadSize::Tiny)
+    }
+}
+
+impl fmt::Debug for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workload").field("name", &self.name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_ordered() {
+        assert!(WorkloadSize::Tiny.scale() < WorkloadSize::Small.scale());
+        assert!(WorkloadSize::Small.scale() < WorkloadSize::Large.scale());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(WorkloadSize::Tiny.to_string(), "tiny");
+        assert_eq!(WorkloadSize::default(), WorkloadSize::Small);
+    }
+}

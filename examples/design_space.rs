@@ -1,0 +1,57 @@
+//! Design-space exploration: profile once, evaluate the model on all 192
+//! design points of the paper's Table 2 space, and report the
+//! energy-delay-product optimum (paper §6.3) — all without a single
+//! detailed simulation in the loop.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example design_space [benchmark]
+//! ```
+
+use std::time::Instant;
+
+use mim::core::{DesignSpace, MechanisticModel};
+use mim::power::{Activity, EnergyModel};
+use mim::profile::SweepProfiler;
+use mim::workloads::{mibench, WorkloadSize};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gsm_c".into());
+    let workload = mibench::all()
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let program = workload.program(WorkloadSize::Small);
+
+    // One profiling pass covers every L2 size/associativity and both
+    // branch predictors of the design space (single-pass sweeps, §2.1).
+    let space = DesignSpace::paper_table2();
+    let t0 = Instant::now();
+    let profile = SweepProfiler::for_design_space(&space).profile(&program, None)?;
+    let profile_time = t0.elapsed();
+
+    // Evaluate all 192 design points analytically.
+    let t1 = Instant::now();
+    let mut results: Vec<(String, f64, f64)> = Vec::new(); // (id, cpi, edp)
+    for point in space.points() {
+        let inputs = profile.inputs_for(point.l2_index, point.predictor_index);
+        let stack = MechanisticModel::new(&point.machine).predict(&inputs);
+        let activity = Activity::from_model(&inputs, stack.total_cycles());
+        let report = EnergyModel::new(&point.machine).evaluate(&activity);
+        results.push((point.machine.id(), stack.cpi(), report.edp()));
+    }
+    let eval_time = t1.elapsed();
+
+    results.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite EDP"));
+    println!(
+        "{name}: profiled once in {profile_time:?}, evaluated {} design points in {eval_time:?}\n",
+        results.len()
+    );
+    println!("best 5 configurations by energy-delay product:");
+    for (id, cpi, edp) in results.iter().take(5) {
+        println!("  {id:<44} CPI {cpi:>6.3}  EDP {edp:.3e} J*s");
+    }
+    println!("\nworst configuration: {}", results.last().expect("nonempty").0);
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: profile a benchmark once, predict its CPI stack with the
+//! mechanistic model, and validate against detailed simulation.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's default machine: 4-wide, 9-stage, 1 GHz, 32 KB L1s,
+    // 512 KB L2, 1 KB gshare predictor (Table 2).
+    let machine = MachineConfig::default_config();
+    println!("machine: {machine}\n");
+
+    // Pick a workload: the SHA-1-style digest kernel (MiBench `sha`).
+    let program = mim::workloads::mibench::sha().program(WorkloadSize::Small);
+    println!(
+        "workload: {} ({} static instructions)",
+        program.name(),
+        program.len()
+    );
+
+    // 1. Profile once — a single functional pass collects the instruction
+    //    mix, dependency-distance profiles, cache misses and branch
+    //    mispredictions (paper Figure 2).
+    let inputs = Profiler::new(&machine).profile(&program)?;
+    println!(
+        "profiled {} dynamic instructions ({:.1}% loads/stores, {} branch mispredicts)",
+        inputs.num_insts,
+        100.0 * inputs.mix.memory_fraction(),
+        inputs.branch.mispredicts
+    );
+
+    // 2. Evaluate the model: closed-form, microseconds per design point.
+    let stack = MechanisticModel::new(&machine).predict(&inputs);
+    println!("\n{stack}");
+
+    // 3. Compare against cycle-accurate simulation.
+    let sim = PipelineSim::new(&machine).simulate(&program)?;
+    let err = 100.0 * (stack.cpi() - sim.cpi()) / sim.cpi();
+    println!("detailed simulation: CPI = {:.4}", sim.cpi());
+    println!("model prediction:    CPI = {:.4}  (error {err:+.2}%)", stack.cpi());
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # mim — Mechanistic In-order Model
+//!
+//! A full reproduction of *"A Mechanistic Performance Model for Superscalar
+//! In-Order Processors"* (Breughe, Eyerman & Eeckhout, ISPASS 2012) as a
+//! Rust workspace. This facade crate re-exports every subsystem:
+//!
+//! * [`isa`] — virtual RISC-style ISA, program builder, functional VM
+//! * [`cache`] — set-associative caches, TLBs, single-pass multi-config sweeps
+//! * [`bpred`] — branch predictors and multi-predictor profiling
+//! * [`core`] — **the paper's mechanistic model**: Eq. 1–16, CPI stacks,
+//!   machine configurations, design spaces, and the out-of-order interval
+//!   model used as a comparator (paper §6.1)
+//! * [`workloads`] — MiBench-like and SPEC-like kernels plus compiler passes
+//! * [`profile`] — one-pass profiler producing the model's inputs (Table 1)
+//! * [`pipeline`] — cycle-accurate in-order pipeline simulator (the "M5")
+//! * [`power`] — McPAT-like energy model and EDP evaluation
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mim::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Pick a workload and a machine.
+//! let program = mim::workloads::mibench::sha().tiny();
+//! let machine = MachineConfig::default_config();
+//!
+//! // 2. Profile once (architecture-independent + per-config statistics).
+//! let profile = Profiler::new(&machine).profile(&program)?;
+//!
+//! // 3. Evaluate the mechanistic model: instantaneous CPI prediction.
+//! let stack = MechanisticModel::new(&machine).predict(&profile);
+//! assert!(stack.cpi() >= 1.0 / machine.width as f64);
+//!
+//! // 4. Compare against detailed cycle-accurate simulation.
+//! let sim = PipelineSim::new(&machine).simulate(&program)?;
+//! let err = (stack.cpi() - sim.cpi()).abs() / sim.cpi();
+//! assert!(err < 0.15, "model within 15% of detailed simulation");
+//! # Ok(())
+//! # }
+//! ```
+
+pub use mim_bpred as bpred;
+pub use mim_cache as cache;
+pub use mim_core as core;
+pub use mim_isa as isa;
+pub use mim_pipeline as pipeline;
+pub use mim_power as power;
+pub use mim_profile as profile;
+pub use mim_workloads as workloads;
+
+/// Convenient glob-import surface for applications.
+pub mod prelude {
+    pub use mim_core::{CpiStack, DesignSpace, MachineConfig, MechanisticModel, OooModel};
+    pub use mim_isa::{Program, ProgramBuilder, Reg, Vm};
+    pub use mim_pipeline::PipelineSim;
+    pub use mim_power::{EnergyModel, EnergyReport};
+    pub use mim_profile::Profiler;
+    pub use mim_workloads::WorkloadSize;
+}

@@ -1,0 +1,113 @@
+//! The §6.2 pipeline end-to-end: compiler passes change performance in the
+//! direction the paper reports, while preserving program semantics.
+
+use mim::core::{MachineConfig, MechanisticModel, StackComponent};
+use mim::prelude::*;
+use mim::workloads::{mibench, opt};
+
+/// All three variants of a kernel must compute identical memory state.
+#[test]
+fn all_variants_compute_identical_results() {
+    for w in mibench::all() {
+        let nosched = w.program(WorkloadSize::Tiny);
+        let o3 = opt::schedule(&nosched);
+        let unrolled = opt::schedule(&opt::unroll(&nosched, 4));
+        let run = |p: &mim::isa::Program| {
+            let mut vm = Vm::new(p);
+            let outcome = vm.run(Some(30_000_000)).expect("fault");
+            assert!(outcome.halted(), "{} variant did not halt", w.name());
+            vm.memory().to_vec()
+        };
+        let m0 = run(&nosched);
+        assert_eq!(m0, run(&o3), "{}: O3 changed results", w.name());
+        assert_eq!(m0, run(&unrolled), "{}: unroll changed results", w.name());
+    }
+}
+
+#[test]
+fn unrolling_reduces_dynamic_instructions_and_taken_branches() {
+    let machine = MachineConfig::default_config();
+    let profiler = Profiler::new(&machine);
+    let mut reduced_insts = 0;
+    let mut reduced_taken = 0;
+    let mut eligible = 0;
+    for w in mibench::all() {
+        let base = w.program(WorkloadSize::Tiny);
+        let unrolled = opt::unroll(&base, 4);
+        if unrolled.len() == base.len() {
+            continue; // no eligible loops
+        }
+        eligible += 1;
+        let pb = profiler.profile(&base).unwrap();
+        let pu = profiler.profile(&unrolled).unwrap();
+        if pu.num_insts < pb.num_insts {
+            reduced_insts += 1;
+        }
+        let taken = |p: &mim::core::ModelInputs| p.branch.taken_correct + p.mix.jump;
+        if taken(&pu) < taken(&pb) {
+            reduced_taken += 1;
+        }
+    }
+    assert!(eligible >= 8, "unroller found only {eligible} eligible kernels");
+    assert!(
+        reduced_taken * 2 > eligible,
+        "taken branches reduced on only {reduced_taken}/{eligible} kernels"
+    );
+    assert!(
+        reduced_insts * 2 > eligible,
+        "instruction count reduced on only {reduced_insts}/{eligible} kernels"
+    );
+}
+
+#[test]
+fn optimizations_speed_up_the_streaming_kernels_in_simulation() {
+    // Figure 8's five benchmarks include gsm_c and tiff-family kernels; at
+    // minimum the regular streaming kernels must not regress, and unroll
+    // must beat nosched on balance.
+    let machine = MachineConfig::default_config();
+    let sim = PipelineSim::new(&machine);
+    let mut improved = 0;
+    let mut total = 0;
+    for w in [
+        mibench::gsm_c(),
+        mibench::tiff2bw(),
+        mibench::tiff2rgba(),
+        mibench::lame(),
+        mibench::jpeg_c(),
+    ] {
+        let base = w.program(WorkloadSize::Tiny);
+        let unrolled = opt::schedule(&opt::unroll(&base, 4));
+        let tb = sim.simulate(&base).unwrap().cycles;
+        let tu = sim.simulate(&unrolled).unwrap().cycles;
+        total += 1;
+        if tu < tb {
+            improved += 1;
+        }
+    }
+    assert!(
+        improved >= total - 1,
+        "unroll+schedule improved only {improved}/{total} streaming kernels"
+    );
+}
+
+#[test]
+fn model_attributes_the_unrolling_win_to_the_right_components() {
+    // On tiff2bw (paper's mul-heavy streaming benchmark), unrolling must
+    // shrink base (fewer dynamic instructions), taken-branch, and
+    // dependency components while leaving mul/div work unchanged.
+    let machine = MachineConfig::default_config();
+    let profiler = Profiler::new(&machine);
+    let model = MechanisticModel::new(&machine);
+    let base_p = mibench::tiff2bw().program(WorkloadSize::Tiny);
+    let unrolled_p = opt::schedule(&opt::unroll(&base_p, 4));
+    let sb = model.predict(&profiler.profile(&base_p).unwrap());
+    let su = model.predict(&profiler.profile(&unrolled_p).unwrap());
+
+    assert!(su.cycles_of(StackComponent::Base) < sb.cycles_of(StackComponent::Base));
+    assert!(
+        su.cycles_of(StackComponent::TakenBranch) < 0.5 * sb.cycles_of(StackComponent::TakenBranch)
+    );
+    assert!(su.dependencies() < sb.dependencies());
+    // The same multiplies execute either way.
+    assert!((su.mul_div() - sb.mul_div()).abs() < 1e-9);
+}

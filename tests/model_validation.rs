@@ -1,0 +1,131 @@
+//! End-to-end validation: the mechanistic model against cycle-accurate
+//! simulation across the full workload suite (the paper's Figures 3 and 6
+//! in miniature — the `mim-bench` binaries run the full-size versions).
+
+use mim::prelude::*;
+use mim::core::MechanisticModel;
+
+fn validate(workloads: Vec<mim::workloads::Workload>, per_bench_bound: f64, avg_bound: f64) {
+    let machine = MachineConfig::default_config();
+    let model = MechanisticModel::new(&machine);
+    let profiler = Profiler::new(&machine);
+    let sim = PipelineSim::new(&machine);
+
+    let mut errors = Vec::new();
+    for w in workloads {
+        let program = w.program(WorkloadSize::Tiny);
+        let inputs = profiler.profile(&program).expect("profiling failed");
+        let predicted = model.predict(&inputs);
+        let simulated = sim.simulate(&program).expect("simulation failed");
+        let err = (predicted.cpi() - simulated.cpi()).abs() / simulated.cpi();
+        assert!(
+            err < per_bench_bound,
+            "{}: model {:.4} vs sim {:.4} ({:.1}% error)",
+            w.name(),
+            predicted.cpi(),
+            simulated.cpi(),
+            100.0 * err
+        );
+        errors.push(err);
+    }
+    let avg = errors.iter().sum::<f64>() / errors.len() as f64;
+    assert!(
+        avg < avg_bound,
+        "average error {:.2}% exceeds bound {:.2}%",
+        100.0 * avg,
+        100.0 * avg_bound
+    );
+}
+
+#[test]
+fn mibench_validation_default_machine() {
+    // The paper reports 3.1% average and 8.4% max on MiBench; at Tiny
+    // input sizes cold-cache effects are proportionally larger, so the
+    // bounds here are looser than the full-size experiment.
+    validate(mim::workloads::mibench::all(), 0.20, 0.06);
+}
+
+#[test]
+fn spec_validation_default_machine() {
+    // Paper: 4.1% average, 10.7% max on the memory-intensive suite.
+    validate(mim::workloads::spec::all(), 0.20, 0.08);
+}
+
+#[test]
+fn model_is_exact_for_straight_line_alu_code() {
+    // For code with no misses, branches, dependencies, or long-latency
+    // ops, both the model and the simulator must converge to N/W
+    // (up to cold misses and pipeline fill).
+    let machine = MachineConfig::default_config();
+    let mut b = mim::isa::ProgramBuilder::named("straightline");
+    for i in 0..2000usize {
+        b.li(mim::isa::Reg::from_index(1 + (i % 24)).unwrap(), 1);
+    }
+    b.halt();
+    let program = b.build();
+    let inputs = Profiler::new(&machine).profile(&program).unwrap();
+    let stack = MechanisticModel::new(&machine).predict(&inputs);
+    // Everything except base and the I-side cold misses must be zero.
+    assert_eq!(stack.dependencies(), 0.0);
+    assert_eq!(stack.mul_div(), 0.0);
+    assert_eq!(
+        stack.cycles_of(mim::core::StackComponent::BranchMiss),
+        0.0
+    );
+    assert!((stack.cycles_of(mim::core::StackComponent::Base) - 500.0).abs() < 1e-9);
+}
+
+#[test]
+fn model_tracks_width_scaling_like_the_simulator() {
+    // Figure 4's insight: sha scales with width, dijkstra saturates.
+    // Both the model and the simulator must agree on the *speedup* of
+    // W=4 over W=1 within a modest tolerance.
+    for w in [
+        mim::workloads::mibench::sha(),
+        mim::workloads::mibench::dijkstra(),
+    ] {
+        let program = w.program(WorkloadSize::Tiny);
+        let mut cpis = Vec::new();
+        for width in [1u32, 4] {
+            let machine = MachineConfig {
+                width,
+                ..MachineConfig::default_config()
+            };
+            let inputs = Profiler::new(&machine).profile(&program).unwrap();
+            let model_cpi = MechanisticModel::new(&machine).predict(&inputs).cpi();
+            let sim_cpi = PipelineSim::new(&machine).simulate(&program).unwrap().cpi();
+            cpis.push((model_cpi, sim_cpi));
+        }
+        let model_speedup = cpis[0].0 / cpis[1].0;
+        let sim_speedup = cpis[0].1 / cpis[1].1;
+        let rel = (model_speedup - sim_speedup).abs() / sim_speedup;
+        assert!(
+            rel < 0.15,
+            "{}: model speedup {:.2} vs sim speedup {:.2}",
+            w.name(),
+            model_speedup,
+            sim_speedup
+        );
+    }
+}
+
+#[test]
+fn sha_benefits_more_from_width_than_dijkstra() {
+    // The paper's Figure 4 headline.
+    let machine_w = |width| MachineConfig {
+        width,
+        ..MachineConfig::default_config()
+    };
+    let speedup = |w: &mim::workloads::Workload| {
+        let program = w.program(WorkloadSize::Tiny);
+        let narrow = PipelineSim::new(&machine_w(1)).simulate(&program).unwrap();
+        let wide = PipelineSim::new(&machine_w(4)).simulate(&program).unwrap();
+        narrow.cycles as f64 / wide.cycles as f64
+    };
+    let sha = speedup(&mim::workloads::mibench::sha());
+    let dijkstra = speedup(&mim::workloads::mibench::dijkstra());
+    assert!(
+        sha > dijkstra + 0.2,
+        "sha speedup {sha:.2} should clearly exceed dijkstra {dijkstra:.2}"
+    );
+}

@@ -1,0 +1,157 @@
+//! Property-based tests over randomly generated programs: structural
+//! invariants that must hold for *any* workload, not just the curated
+//! kernels.
+
+use mim::core::{MachineConfig, MechanisticModel};
+use mim::isa::{Program, ProgramBuilder, Reg, Vm};
+use mim::prelude::*;
+use proptest::prelude::*;
+
+/// A recipe for one random straight-line instruction.
+#[derive(Debug, Clone)]
+enum OpKind {
+    Alu,
+    Mul,
+    Div,
+    Load,
+    Store,
+}
+
+fn op_strategy() -> impl Strategy<Value = (OpKind, u8, u8, u8, u8)> {
+    // (kind, dst, src1, src2, mem_slot)
+    (
+        prop_oneof![
+            4 => Just(OpKind::Alu),
+            1 => Just(OpKind::Mul),
+            1 => Just(OpKind::Div),
+            2 => Just(OpKind::Load),
+            1 => Just(OpKind::Store),
+        ],
+        2u8..24,
+        1u8..24,
+        1u8..24,
+        0u8..32,
+    )
+}
+
+/// Builds a random but well-defined straight-line program: every register
+/// is initialized first, divides use a guaranteed-nonzero register, and
+/// memory operations stay inside a private 32-word arena.
+fn random_program(ops: Vec<(OpKind, u8, u8, u8, u8)>) -> Program {
+    let mut b = ProgramBuilder::named("random");
+    let arena = b.alloc_words(32);
+    let base = Reg::R30;
+    let nonzero = Reg::R31;
+    b.li(base, arena as i64);
+    b.li(nonzero, 7);
+    for i in 0..24 {
+        b.li(Reg::from_index(i).unwrap(), (i as i64) * 3 + 1);
+    }
+    for (kind, dst, s1, s2, slot) in ops {
+        let dst = Reg::from_index(dst as usize).unwrap();
+        let s1 = Reg::from_index(s1 as usize).unwrap();
+        let s2 = Reg::from_index(s2 as usize).unwrap();
+        let off = (slot as i64) * 8;
+        match kind {
+            OpKind::Alu => b.add(dst, s1, s2),
+            OpKind::Mul => b.mul(dst, s1, s2),
+            OpKind::Div => b.div(dst, s1, nonzero),
+            OpKind::Load => b.ld(dst, base, off),
+            OpKind::Store => b.st(s1, base, off),
+        }
+    }
+    b.halt();
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The simulator can never beat the model's base bound `N/W`, and the
+    /// model never predicts fewer than `N/W` cycles either.
+    #[test]
+    fn nothing_beats_n_over_w(ops in proptest::collection::vec(op_strategy(), 10..300)) {
+        let program = random_program(ops);
+        let machine = MachineConfig::default_config();
+        let n = program.len() as f64 - 1.0; // halt does not retire
+        let floor = n / f64::from(machine.width);
+        let sim = PipelineSim::new(&machine).simulate(&program).unwrap();
+        prop_assert!(sim.cycles as f64 >= floor);
+        let inputs = Profiler::new(&machine).profile(&program).unwrap();
+        let stack = MechanisticModel::new(&machine).predict(&inputs);
+        prop_assert!(stack.total_cycles() >= floor - 1e-9);
+    }
+
+    /// All model components are non-negative and sum to the total.
+    #[test]
+    fn stack_components_are_consistent(ops in proptest::collection::vec(op_strategy(), 10..200)) {
+        let program = random_program(ops);
+        let machine = MachineConfig::default_config();
+        let inputs = Profiler::new(&machine).profile(&program).unwrap();
+        let stack = MechanisticModel::new(&machine).predict(&inputs);
+        let mut sum = 0.0;
+        for (c, v) in stack.components() {
+            prop_assert!(v >= 0.0, "{} negative", c.label());
+            sum += v;
+        }
+        prop_assert!((sum - stack.total_cycles()).abs() < 1e-6);
+    }
+
+    /// Simulation and profiling observe identical event counts (they share
+    /// the cache and predictor components by construction).
+    #[test]
+    fn sim_and_profile_counts_agree(ops in proptest::collection::vec(op_strategy(), 10..200)) {
+        let program = random_program(ops);
+        let machine = MachineConfig::default_config();
+        let sim = PipelineSim::new(&machine).simulate(&program).unwrap();
+        let prof = Profiler::new(&machine).profile(&program).unwrap();
+        prop_assert_eq!(sim.instructions, prof.num_insts);
+        prop_assert_eq!(sim.misses, prof.misses);
+    }
+
+    /// Simulation is deterministic.
+    #[test]
+    fn simulation_is_deterministic(ops in proptest::collection::vec(op_strategy(), 10..150)) {
+        let program = random_program(ops);
+        let machine = MachineConfig::default_config();
+        let a = PipelineSim::new(&machine).simulate(&program).unwrap();
+        let b = PipelineSim::new(&machine).simulate(&program).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Widening the machine never slows it down materially. (Exact
+    /// monotonicity does not hold for arbitrary programs — fetch-group
+    /// alignment shifts with width — so a small tolerance is allowed.)
+    #[test]
+    fn geometry_monotonicity(ops in proptest::collection::vec(op_strategy(), 20..200)) {
+        let program = random_program(ops);
+        let mut prev = u64::MAX;
+        for width in 1..=4u32 {
+            let machine = MachineConfig { width, ..MachineConfig::default_config() };
+            let r = PipelineSim::new(&machine).simulate(&program).unwrap();
+            let bound = (prev as f64 * 1.03 + 20.0).min(u64::MAX as f64);
+            prop_assert!(
+                (r.cycles as f64) <= bound,
+                "width {width} slowed down: {} vs previous {prev}",
+                r.cycles
+            );
+            prev = prev.min(r.cycles);
+        }
+    }
+
+    /// The list scheduler preserves the architectural result of random
+    /// straight-line programs (beyond the curated kernels).
+    #[test]
+    fn scheduler_preserves_random_program_semantics(
+        ops in proptest::collection::vec(op_strategy(), 10..200)
+    ) {
+        let program = random_program(ops);
+        let scheduled = mim::workloads::opt::schedule(&program);
+        prop_assert_eq!(program.len(), scheduled.len());
+        let mut v1 = Vm::new(&program);
+        let mut v2 = Vm::new(&scheduled);
+        v1.run(None).unwrap();
+        v2.run(None).unwrap();
+        prop_assert_eq!(v1.memory(), v2.memory());
+    }
+}

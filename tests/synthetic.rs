@@ -1,0 +1,116 @@
+//! Statistical-simulation integration tests: the model and simulator must
+//! agree on synthetic workloads too (§7.2-style generated programs), and
+//! the extended MiBench kernels validate like the core 19.
+
+use mim::core::{MachineConfig, MechanisticModel};
+use mim::prelude::*;
+use mim::workloads::synth::SyntheticWorkload;
+
+#[test]
+fn model_validates_on_synthetic_workloads() {
+    let machine = MachineConfig::default_config();
+    let model = MechanisticModel::new(&machine);
+    let recipes = [
+        ("codec", SyntheticWorkload::codec_like()),
+        (
+            "serial",
+            SyntheticWorkload {
+                dep_distances: vec![100], // everything back-to-back
+                mix: (70, 10, 2, 12, 6),
+                seed: 7,
+                ..SyntheticWorkload::codec_like()
+            },
+        ),
+        (
+            "parallel",
+            SyntheticWorkload {
+                dep_distances: vec![0, 0, 0, 0, 0, 0, 0, 1, 1, 1],
+                mix: (80, 2, 0, 12, 6),
+                seed: 11,
+                ..SyntheticWorkload::codec_like()
+            },
+        ),
+    ];
+    for (name, recipe) in recipes {
+        let program = recipe.generate();
+        let inputs = Profiler::new(&machine).profile(&program).unwrap();
+        let stack = model.predict(&inputs);
+        let sim = PipelineSim::new(&machine).simulate(&program).unwrap();
+        let err = (stack.cpi() - sim.cpi()).abs() / sim.cpi();
+        // Dense synthetic blocks run at very low CPI, which amplifies the
+        // model's known first-order overlap bias (see EXPERIMENTS.md), so
+        // the band here is wider than for the curated kernels.
+        assert!(
+            err < 0.25,
+            "{name}: model {:.3} vs sim {:.3} ({:.1}%)",
+            stack.cpi(),
+            sim.cpi(),
+            100.0 * err
+        );
+    }
+}
+
+#[test]
+fn dependency_distance_controls_width_scaling() {
+    // The statistical generator exposes the paper's core mechanism
+    // directly: short dependency distances must suppress superscalar
+    // benefit, long distances enable it.
+    let speedup = |recipe: &SyntheticWorkload| {
+        let program = recipe.generate();
+        let mut cycles = Vec::new();
+        for width in [1u32, 4] {
+            let machine = MachineConfig {
+                width,
+                ..MachineConfig::default_config()
+            };
+            cycles.push(
+                PipelineSim::new(&machine)
+                    .simulate(&program)
+                    .unwrap()
+                    .cycles,
+            );
+        }
+        cycles[0] as f64 / cycles[1] as f64
+    };
+    let serial = SyntheticWorkload {
+        dep_distances: vec![100],
+        mix: (90, 0, 0, 6, 4),
+        iterations: 500,
+        seed: 3,
+        ..SyntheticWorkload::codec_like()
+    };
+    let parallel = SyntheticWorkload {
+        dep_distances: vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1],
+        mix: (90, 0, 0, 6, 4),
+        iterations: 500,
+        seed: 3,
+        ..SyntheticWorkload::codec_like()
+    };
+    let s_serial = speedup(&serial);
+    let s_parallel = speedup(&parallel);
+    assert!(
+        s_parallel > s_serial + 0.5,
+        "parallel recipe speedup {s_parallel:.2} vs serial {s_serial:.2}"
+    );
+}
+
+#[test]
+fn extended_mibench_kernels_validate() {
+    let machine = MachineConfig::default_config();
+    let model = MechanisticModel::new(&machine);
+    for w in mim::workloads::mibench::extended() {
+        let program = w.program(WorkloadSize::Tiny);
+        let inputs = Profiler::new(&machine).profile(&program).unwrap();
+        let stack = model.predict(&inputs);
+        let sim = PipelineSim::new(&machine).simulate(&program).unwrap();
+        let err = (stack.cpi() - sim.cpi()).abs() / sim.cpi();
+        assert!(
+            err < 0.20,
+            "{}: model {:.3} vs sim {:.3} ({:.1}%)",
+            w.name(),
+            stack.cpi(),
+            sim.cpi(),
+            100.0 * err
+        );
+    }
+}
