@@ -7,7 +7,9 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use mim_bpred::PredictorConfig;
-use mim_cache::{CacheConfig, HierarchyConfig, MemAccessKind, MultiConfig, SetAssocCache, StackDistance};
+use mim_cache::{
+    CacheConfig, HierarchyConfig, MemAccessKind, MultiConfig, SetAssocCache, StackDistance,
+};
 use mim_core::MachineConfig;
 use mim_isa::Vm;
 use mim_pipeline::PipelineSim;

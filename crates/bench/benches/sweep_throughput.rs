@@ -1,0 +1,67 @@
+//! Criterion benchmark for `Experiment` sweep throughput: the full
+//! 192-point Table 2 space × N workloads, serial (`threads(1)`) vs
+//! parallel (`threads(0)` = all cores), seeding the perf trajectory for
+//! the design-space exploration path.
+//!
+//! On a multi-core host the parallel sweep must be measurably faster than
+//! the serial one (the reports themselves are byte-identical either way);
+//! on a single-core host the two converge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mim_core::DesignSpace;
+use mim_runner::{EvalKind, Experiment};
+use mim_workloads::{mibench, Workload, WorkloadSize};
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        mibench::sha(),
+        mibench::qsort(),
+        mibench::dijkstra(),
+        mibench::gsm_c(),
+    ]
+}
+
+fn sweep(threads: usize, kinds: &[EvalKind]) -> usize {
+    let report = Experiment::new()
+        .workloads(workloads())
+        .size(WorkloadSize::Tiny)
+        .design_space(DesignSpace::paper_table2())
+        .evaluators(kinds.iter().copied())
+        .threads(threads)
+        .run()
+        .expect("sweep");
+    report.rows.len()
+}
+
+fn bench_model_sweep(c: &mut Criterion) {
+    // Model-only: the paper's exploration fast path. 192 points × 4
+    // workloads from four cached profiling passes.
+    let mut group = c.benchmark_group("sweep/model_192pt_4wl");
+    group.throughput(Throughput::Elements(192 * 4));
+    for threads in [1usize, 0] {
+        let label = if threads == 1 { "serial" } else { "parallel" };
+        group.bench_function(BenchmarkId::new(label, threads), |b| {
+            b.iter(|| sweep(threads, &[EvalKind::Model]))
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_vs_sim_sweep(c: &mut Criterion) {
+    // Model + detailed simulation: the validation grid, dominated by the
+    // cycle-accurate simulator — the work the thread pool actually targets.
+    let mut group = c.benchmark_group("sweep/model+sim_192pt_4wl");
+    group.throughput(Throughput::Elements(192 * 4 * 2));
+    group.measurement_time(std::time::Duration::from_secs(12));
+    for threads in [1usize, 0] {
+        let label = if threads == 1 { "serial" } else { "parallel" };
+        group.bench_function(BenchmarkId::new(label, threads), |b| {
+            b.iter(|| sweep(threads, &[EvalKind::Model, EvalKind::Sim]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_sweep, bench_model_vs_sim_sweep);
+criterion_main!(benches);

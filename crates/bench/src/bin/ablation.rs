@@ -4,13 +4,13 @@
 //! modeling of inter-instruction dependencies and non-unit latencies —
 //! mechanisms out-of-order models can ignore. This binary quantifies that
 //! claim on our substrate: it removes one group of penalty terms from the
-//! model at a time and reports how the average prediction error against
-//! detailed simulation degrades.
+//! model at a time (one custom [`ModelEvaluator`] per ablation, all
+//! sharing a single profiling pass) and reports how the average prediction
+//! error against detailed simulation degrades.
 
 use mim_bench::write_json;
-use mim_core::{MachineConfig, MechanisticModel, StackComponent};
-use mim_pipeline::PipelineSim;
-use mim_profile::Profiler;
+use mim_core::{MachineConfig, StackComponent};
+use mim_runner::{EvalKind, Experiment, ModelEvaluator};
 use mim_workloads::{mibench, WorkloadSize};
 use serde::Serialize;
 
@@ -22,21 +22,8 @@ struct AblationRow {
     degradation_vs_full: f64,
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let machine = MachineConfig::default_config();
-    let model = MechanisticModel::new(&machine);
-    let profiler = Profiler::new(&machine);
-    let sim = PipelineSim::new(&machine);
-
-    // Gather profiles and reference CPIs once.
-    let mut cases = Vec::new();
-    for w in mibench::all() {
-        let program = w.program(WorkloadSize::Small);
-        let inputs = profiler.profile(&program).expect("profile");
-        let reference = sim.simulate(&program).expect("sim").cpi();
-        cases.push((inputs, reference));
-    }
-
     let groups: [(&str, Vec<StackComponent>); 7] = [
         ("(none — full model)", vec![]),
         (
@@ -55,7 +42,10 @@ fn main() {
             "branch mispredictions (Eq. 4)",
             vec![StackComponent::BranchMiss],
         ),
-        ("taken-branch bubbles (§3.3)", vec![StackComponent::TakenBranch]),
+        (
+            "taken-branch bubbles (§3.3)",
+            vec![StackComponent::TakenBranch],
+        ),
         (
             "cache misses (Eq. 3)",
             vec![
@@ -68,7 +58,26 @@ fn main() {
         ("TLB misses", vec![StackComponent::TlbMiss]),
     ];
 
-    println!("=== Model-term ablation (19 MiBench kernels, default machine) ===");
+    // One experiment: the detailed simulator plus one ablated model
+    // evaluator per term group, all reusing the same cached profiles.
+    let mut experiment = Experiment::new()
+        .title("Model-term ablation (19 MiBench kernels, default machine)")
+        .workloads(mibench::all())
+        .size(WorkloadSize::Small)
+        .machine(machine.clone())
+        .evaluators([EvalKind::Sim]);
+    let cache = experiment.profile_cache();
+    for (label, disabled) in &groups {
+        experiment = experiment.evaluator(
+            ModelEvaluator::new(&machine)
+                .with_cache(cache.clone())
+                .with_name(*label)
+                .with_ablation(disabled.clone()),
+        );
+    }
+    let report = experiment.run().expect("experiment");
+
+    println!("=== {} ===", report.title);
     println!(
         "{:<32} {:>10} {:>10} {:>13}",
         "term removed", "avg |err|", "max |err|", "degradation"
@@ -76,11 +85,11 @@ fn main() {
     let mut rows = Vec::new();
     let mut full_avg = 0.0;
     for (label, disabled) in &groups {
-        let mut errs = Vec::new();
-        for (inputs, reference) in &cases {
-            let cpi = model.predict_ablated(inputs, disabled).cpi();
-            errs.push(100.0 * (cpi - reference).abs() / reference);
-        }
+        let errs: Vec<f64> = report
+            .compare(label, "sim")
+            .iter()
+            .map(|c| c.error_percent.abs())
+            .collect();
         let avg = errs.iter().sum::<f64>() / errs.len() as f64;
         let max = errs.iter().cloned().fold(0.0, f64::max);
         if disabled.is_empty() {
@@ -117,5 +126,6 @@ fn main() {
          central claim that in-order cores need dependency modeling (§1).",
         degradation_of("dependencies")
     );
-    write_json("ablation", &rows);
+    write_json("ablation", &rows)?;
+    Ok(())
 }

@@ -4,21 +4,22 @@
 //! The paper reports an average CPI prediction error of 3.1% with a
 //! maximum of 8.4% on this experiment.
 
-use mim_bench::{print_validation, validate_one, write_json};
-use mim_core::MachineConfig;
+use mim_bench::write_json;
+use mim_runner::{print_comparison, EvalKind, Experiment};
 use mim_workloads::{mibench, WorkloadSize};
 
-fn main() {
-    let machine = MachineConfig::default_config();
-    let rows: Vec<_> = mibench::all()
-        .iter()
-        .map(|w| validate_one(&machine, w, WorkloadSize::Small))
-        .collect();
-    let (avg, _max) = print_validation(
-        "Figure 3: MiBench CPI validation (default machine)",
-        &rows,
-    );
+fn main() -> std::io::Result<()> {
+    let report = Experiment::new()
+        .title("Figure 3: MiBench CPI validation (default machine)")
+        .workloads(mibench::all())
+        .size(WorkloadSize::Small)
+        .evaluators([EvalKind::Model, EvalKind::Sim])
+        .run()
+        .expect("experiment");
+    let rows = report.compare("model", "sim");
+    let (avg, _max) = print_comparison(&report.title, &rows);
     println!("\npaper reference: avg 3.1%, max 8.4%");
-    write_json("fig3_validation", &rows);
+    write_json("fig3_validation", &rows)?;
     assert!(avg < 8.0, "average error regressed: {avg:.2}%");
+    Ok(())
 }

@@ -2,9 +2,8 @@
 //! `sha` (scales best), `tiffdither` (middle), and `dijkstra` (scales
 //! worst), with the detailed-simulation CPI as reference.
 
-use mim_core::{MachineConfig, MechanisticModel, StackComponent};
-use mim_pipeline::PipelineSim;
-use mim_profile::Profiler;
+use mim_core::{DesignSpace, MachineConfig, StackComponent};
+use mim_runner::{EvalKind, Experiment};
 use mim_workloads::{mibench, WorkloadSize};
 use serde::Serialize;
 
@@ -24,26 +23,44 @@ struct StackRow {
     sim_cpi: f64,
 }
 
-fn main() {
-    let mut out = Vec::new();
-    println!("=== Figure 4: CPI stacks vs width ===");
+fn main() -> std::io::Result<()> {
+    let widths = [1u32, 2, 3, 4];
+    let report = Experiment::new()
+        .title("Figure 4: CPI stacks vs width")
+        .workloads([mibench::sha(), mibench::tiffdither(), mibench::dijkstra()])
+        .size(WorkloadSize::Small)
+        .design_space(
+            DesignSpace::new(MachineConfig::default_config()).with_widths(widths.to_vec()),
+        )
+        .evaluators([EvalKind::Model, EvalKind::Sim])
+        .run()
+        .expect("experiment");
+
+    println!("=== {} ===", report.title);
     println!(
         "{:<12} {:>2} | {:>6} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6} {:>6} | {:>9} {:>8}",
-        "benchmark", "W", "base", "mul/div", "l2acc", "l2miss", "bpmiss", "bphitT", "tlb", "deps", "modelCPI", "simCPI"
+        "benchmark",
+        "W",
+        "base",
+        "mul/div",
+        "l2acc",
+        "l2miss",
+        "bpmiss",
+        "bphitT",
+        "tlb",
+        "deps",
+        "modelCPI",
+        "simCPI"
     );
-    for w in [mibench::sha(), mibench::tiffdither(), mibench::dijkstra()] {
-        let program = w.program(WorkloadSize::Small);
-        for width in 1..=4u32 {
-            let machine = MachineConfig {
-                width,
-                ..MachineConfig::default_config()
-            };
-            let inputs = Profiler::new(&machine).profile(&program).expect("profile");
-            let stack = MechanisticModel::new(&machine).predict(&inputs);
-            let sim = PipelineSim::new(&machine).simulate(&program).expect("sim");
-            let n = inputs.num_insts as f64;
+    let mut out = Vec::new();
+    for benchmark in &report.workloads {
+        for (index, &width) in widths.iter().enumerate() {
+            let model = report.get(benchmark, index, "model").expect("model cell");
+            let sim = report.get(benchmark, index, "sim").expect("sim cell");
+            let stack = model.stack.as_ref().expect("model rows carry stacks");
+            let n = model.instructions as f64;
             let row = StackRow {
-                benchmark: w.name().to_string(),
+                benchmark: benchmark.clone(),
                 width,
                 base: stack.cycles_of(StackComponent::Base) / n,
                 mul_div: stack.mul_div() / n,
@@ -53,8 +70,8 @@ fn main() {
                 bpred_hit_taken: stack.cycles_of(StackComponent::TakenBranch) / n,
                 tlb_miss: stack.cycles_of(StackComponent::TlbMiss) / n,
                 dependencies: stack.dependencies() / n,
-                model_cpi: stack.cpi(),
-                sim_cpi: sim.cpi(),
+                model_cpi: model.cpi,
+                sim_cpi: sim.cpi,
             };
             println!(
                 "{:<12} {:>2} | {:>6.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>6.3} {:>6.3} | {:>9.3} {:>8.3}",
@@ -84,8 +101,12 @@ fn main() {
             .expect("row")
     };
     let speedup = |name: &str| cpi(name, 1) / cpi(name, 4);
-    println!("width-4 speedups: sha {:.2}x, tiffdither {:.2}x, dijkstra {:.2}x",
-        speedup("sha"), speedup("tiffdither"), speedup("dijkstra"));
+    println!(
+        "width-4 speedups: sha {:.2}x, tiffdither {:.2}x, dijkstra {:.2}x",
+        speedup("sha"),
+        speedup("tiffdither"),
+        speedup("dijkstra")
+    );
     assert!(
         speedup("sha") > speedup("dijkstra"),
         "sha must benefit more from width than dijkstra"
@@ -100,5 +121,6 @@ fn main() {
         dep("dijkstra", 4) > dep("dijkstra", 1),
         "dijkstra's dependency component must grow with width"
     );
-    mim_bench::write_json("fig4_width_stacks", &out);
+    mim_bench::write_json("fig4_width_stacks", &out)?;
+    Ok(())
 }

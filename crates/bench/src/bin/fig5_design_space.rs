@@ -8,12 +8,9 @@
 //!
 //! Run with `--quick` to subsample the space (every 8th point).
 
-use std::time::Instant;
-
 use mim_bench::{write_json, SWEEP_LIMIT};
-use mim_core::{DesignSpace, MechanisticModel};
-use mim_pipeline::PipelineSim;
-use mim_profile::SweepProfiler;
+use mim_core::DesignSpace;
+use mim_runner::{EvalKind, Experiment};
 use mim_workloads::{mibench, WorkloadSize};
 use serde::Serialize;
 
@@ -31,52 +28,30 @@ struct SpaceResult {
     speedup_model_vs_sim: f64,
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let quick = std::env::args().any(|a| a == "--quick");
     let stride = if quick { 8 } else { 1 };
-    let space = DesignSpace::paper_table2();
-    let profiler = SweepProfiler::for_design_space(&space);
-    let limit = Some(SWEEP_LIMIT);
 
-    // Phase 1: profile every benchmark once (the only workload-dependent
-    // cost of model-based exploration).
-    let t_profile = Instant::now();
-    let mut profiles = Vec::new();
-    for w in mibench::all() {
-        let program = w.program(WorkloadSize::Small);
-        let profile = profiler.profile(&program, limit).expect("profile");
-        profiles.push((w, program, profile));
-    }
-    let profile_seconds = t_profile.elapsed().as_secs_f64();
+    // One experiment declares the whole study: per-workload one-pass
+    // profiling, the model on every design point, and the detailed
+    // simulation reference — executed in parallel across all cores.
+    let report = Experiment::new()
+        .title("Figure 5: error CDF across the design space")
+        .workloads(mibench::all())
+        .size(WorkloadSize::Small)
+        .limit(SWEEP_LIMIT)
+        .design_space(DesignSpace::paper_table2())
+        .stride(stride)
+        .evaluators([EvalKind::Model, EvalKind::Sim])
+        .threads(0)
+        .run()
+        .expect("experiment");
 
-    // Phase 2: model evaluation over the whole space (instantaneous).
-    let points: Vec<_> = space.points().step_by(stride).collect();
-    let t_model = Instant::now();
-    let mut model_cpis = vec![vec![0.0f64; points.len()]; profiles.len()];
-    for (bi, (_, _, profile)) in profiles.iter().enumerate() {
-        for (pi, point) in points.iter().enumerate() {
-            let inputs = profile.inputs_for(point.l2_index, point.predictor_index);
-            model_cpis[bi][pi] = MechanisticModel::new(&point.machine).predict(&inputs).cpi();
-        }
-    }
-    let model_eval_seconds = t_model.elapsed().as_secs_f64();
-
-    // Phase 3: the detailed-simulation reference (the expensive part the
-    // model replaces).
-    let t_sim = Instant::now();
-    let mut errors = Vec::new();
-    for (bi, (w, program, _)) in profiles.iter().enumerate() {
-        for (pi, point) in points.iter().enumerate() {
-            let sim = PipelineSim::new(&point.machine)
-                .simulate_limit(program, limit)
-                .expect("sim");
-            let err = 100.0 * (model_cpis[bi][pi] - sim.cpi()).abs() / sim.cpi();
-            errors.push(err);
-        }
-        eprintln!("  simulated {} across {} points", w.name(), points.len());
-    }
-    let sim_seconds = t_sim.elapsed().as_secs_f64();
-
+    let mut errors: Vec<f64> = report
+        .compare("model", "sim")
+        .iter()
+        .map(|r| r.error_percent.abs())
+        .collect();
     errors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let n = errors.len();
     let avg = errors.iter().sum::<f64>() / n as f64;
@@ -84,7 +59,7 @@ fn main() {
     let pct = |p: usize| errors[(n * p / 100).min(n - 1)];
     let below6 = 100.0 * errors.iter().filter(|&&e| e < 6.0).count() as f64 / n as f64;
 
-    println!("\n=== Figure 5: error CDF across the design space ===");
+    println!("\n=== {} ===", report.title);
     println!("evaluations: {n} (benchmarks x design points)");
     println!("cumulative distribution of |error|:");
     let mut cdf = Vec::new();
@@ -97,12 +72,21 @@ fn main() {
     println!("design points below 6% error: {below6:.1}%");
     println!("paper reference: avg 2.5%, max 9.6%, 90% of points < 6%");
 
+    // §5 exploration cost: per-evaluator serial seconds come from the
+    // per-cell wall times the report records.
+    let profile_seconds = report.timing.profile_seconds;
+    let model_eval_seconds = report.evaluator_seconds("model");
+    let sim_seconds = report.evaluator_seconds("sim");
     let speedup = sim_seconds / model_eval_seconds.max(1e-9);
     println!("\n=== §5 exploration cost ===");
     println!("profiling (once per benchmark): {profile_seconds:.2} s");
     println!("model evaluation ({n} points):  {model_eval_seconds:.4} s");
     println!("detailed simulation reference:  {sim_seconds:.2} s");
     println!("model-vs-simulation speedup:    {speedup:.0}x (paper: ~3 orders of magnitude)");
+    println!(
+        "grid wall time on {} threads:   {:.2} s",
+        report.timing.threads, report.timing.eval_seconds
+    );
 
     write_json(
         "fig5_design_space",
@@ -118,5 +102,6 @@ fn main() {
             sim_seconds,
             speedup_model_vs_sim: speedup,
         },
-    );
+    )?;
+    Ok(())
 }

@@ -1,28 +1,29 @@
 //! Figure 6: model validation on the memory-intensive SPEC-like workloads
 //! (the paper reports 4.1% average error, 10.7% maximum).
 
-use mim_bench::{print_validation, validate_one, write_json};
-use mim_core::MachineConfig;
+use mim_bench::write_json;
+use mim_runner::{print_comparison, EvalKind, Experiment};
 use mim_workloads::{spec, WorkloadSize};
 
-fn main() {
-    let machine = MachineConfig::default_config();
-    let rows: Vec<_> = spec::all()
-        .iter()
-        .map(|w| validate_one(&machine, w, WorkloadSize::Small))
-        .collect();
-    let (avg, max) = print_validation(
-        "Figure 6: SPEC-like CPI validation (default machine)",
-        &rows,
-    );
+fn main() -> std::io::Result<()> {
+    let report = Experiment::new()
+        .title("Figure 6: SPEC-like CPI validation (default machine)")
+        .workloads(spec::all())
+        .size(WorkloadSize::Small)
+        .evaluators([EvalKind::Model, EvalKind::Sim])
+        .run()
+        .expect("experiment");
+    let rows = report.compare("model", "sim");
+    let (avg, max) = print_comparison(&report.title, &rows);
     println!("\npaper reference: avg 4.1%, max 10.7%");
     // Memory intensity sanity: these CPIs must exceed typical MiBench CPIs.
-    let mean_cpi = rows.iter().map(|r| r.sim_cpi).sum::<f64>() / rows.len() as f64;
+    let mean_cpi = rows.iter().map(|r| r.baseline_cpi).sum::<f64>() / rows.len() as f64;
     assert!(
         mean_cpi > 1.5,
         "SPEC-like suite should be memory-bound, mean CPI {mean_cpi:.2}"
     );
-    write_json("fig6_spec", &rows);
+    write_json("fig6_spec", &rows)?;
     assert!(avg < 10.0, "average error regressed: {avg:.2}%");
     let _ = max;
+    Ok(())
 }

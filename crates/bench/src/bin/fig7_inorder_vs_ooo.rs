@@ -3,8 +3,8 @@
 //! the in-order model of this paper and the out-of-order interval model of
 //! Eyerman et al. — evaluated on identical profiles.
 
-use mim_core::{MachineConfig, MechanisticModel, OooConfig, OooModel, StackComponent};
-use mim_profile::Profiler;
+use mim_core::StackComponent;
+use mim_runner::{EvalKind, EvalResult, Experiment};
 use mim_workloads::{mibench, WorkloadSize};
 use serde::Serialize;
 
@@ -23,7 +23,25 @@ struct ComparisonRow {
     cpi: f64,
 }
 
-fn main() {
+fn row_from(result: &EvalResult, core: &'static str) -> ComparisonRow {
+    let stack = result.stack.as_ref().expect("analytical rows carry stacks");
+    let n = result.instructions as f64;
+    ComparisonRow {
+        benchmark: result.workload.clone(),
+        core,
+        base: stack.cycles_of(StackComponent::Base) / n,
+        mul_div: stack.mul_div() / n,
+        il1_miss: stack.cycles_of(StackComponent::IL2Access) / n,
+        il2_miss: stack.cycles_of(StackComponent::IL2Miss) / n,
+        dl1_miss: stack.cycles_of(StackComponent::DL2Access) / n,
+        dl2_miss: stack.cycles_of(StackComponent::DL2Miss) / n,
+        bpred_miss: stack.cycles_of(StackComponent::BranchMiss) / n,
+        dependencies: stack.dependencies() / n,
+        cpi: result.cpi,
+    }
+}
+
+fn main() -> std::io::Result<()> {
     // The paper shows 13 benchmarks; we use the closest matching set of
     // our kernels (its cjpeg/djpeg/toast map to jpeg_c/jpeg_d/gsm_c).
     let workloads = [
@@ -41,47 +59,30 @@ fn main() {
         mibench::tiffmedian(),
         mibench::gsm_c(),
     ];
-    let machine = MachineConfig::default_config();
-    let in_order = MechanisticModel::new(&machine);
-    let profiler = Profiler::new(&machine);
+    let names: Vec<&'static str> = workloads.iter().map(|w| w.name()).collect();
 
-    println!("=== Figure 7: in-order vs out-of-order CPI stacks (4-wide) ===");
+    // One experiment: the in-order model and the out-of-order interval
+    // model (per-benchmark MLP estimated from the program, 128-entry ROB)
+    // over identical cached profiles.
+    let report = Experiment::new()
+        .title("Figure 7: in-order vs out-of-order CPI stacks (4-wide)")
+        .workloads(workloads)
+        .size(WorkloadSize::Small)
+        .evaluators([EvalKind::Model, EvalKind::Ooo])
+        .rob_size(128)
+        .run()
+        .expect("experiment");
+
+    println!("=== {} ===", report.title);
     println!(
         "{:<12} {:>8} | {:>6} {:>7} {:>7} {:>7} {:>7} {:>6} | {:>7}",
         "benchmark", "core", "base", "mul/div", "l2acc", "l2miss", "bpmiss", "deps", "CPI"
     );
     let mut out = Vec::new();
-    for w in &workloads {
-        let program = w.program(WorkloadSize::Small);
-        let inputs = profiler.profile(&program).expect("profile");
-        let n = inputs.num_insts as f64;
-        // Per-benchmark MLP: the interval model overlaps only the
-        // independent long misses this workload actually exposes.
-        let mlp = mim_profile::estimate_mlp(&program, &machine.hierarchy, 128, None)
-            .expect("mlp")
-            .mlp;
-        let ooo = OooModel::new(OooConfig {
-            machine: machine.clone(),
-            rob_size: 128,
-            mlp,
-        });
-        for (label, stack) in [
-            ("in-order", in_order.predict(&inputs)),
-            ("ooo", ooo.predict(&inputs)),
-        ] {
-            let row = ComparisonRow {
-                benchmark: w.name().to_string(),
-                core: label,
-                base: stack.cycles_of(StackComponent::Base) / n,
-                mul_div: stack.mul_div() / n,
-                il1_miss: stack.cycles_of(StackComponent::IL2Access) / n,
-                il2_miss: stack.cycles_of(StackComponent::IL2Miss) / n,
-                dl1_miss: stack.cycles_of(StackComponent::DL2Access) / n,
-                dl2_miss: stack.cycles_of(StackComponent::DL2Miss) / n,
-                bpred_miss: stack.cycles_of(StackComponent::BranchMiss) / n,
-                dependencies: stack.dependencies() / n,
-                cpi: stack.cpi(),
-            };
+    for name in &names {
+        for (evaluator, core) in [("model", "in-order"), ("ooo", "ooo")] {
+            let result = report.get(name, 0, evaluator).expect("cell");
+            let row = row_from(result, core);
             println!(
                 "{:<12} {:>8} | {:>6.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>6.3} | {:>7.3}",
                 row.benchmark,
@@ -105,14 +106,16 @@ fn main() {
             .expect("row")
     };
     let mut deps_hidden = 0;
-    for w in &workloads {
-        if get(w.name(), "ooo").dependencies == 0.0
-            && get(w.name(), "in-order").dependencies > 0.0
-        {
+    for name in &names {
+        if get(name, "ooo").dependencies == 0.0 && get(name, "in-order").dependencies > 0.0 {
             deps_hidden += 1;
         }
     }
-    assert_eq!(deps_hidden, workloads.len(), "OoO must hide dependencies everywhere");
+    assert_eq!(
+        deps_hidden,
+        names.len(),
+        "OoO must hide dependencies everywhere"
+    );
     assert!(
         get("tiff2bw", "in-order").mul_div > 0.1,
         "tiff2bw must show a significant mul/div component in order"
@@ -128,5 +131,6 @@ fn main() {
     );
     println!("\nall five §6.1 observations hold (deps hidden, mul/div hidden,");
     println!("branch cost larger OoO, L2 component smaller OoO, I-side equal).");
-    mim_bench::write_json("fig7_inorder_vs_ooo", &out);
+    mim_bench::write_json("fig7_inorder_vs_ooo", &out)?;
+    Ok(())
 }

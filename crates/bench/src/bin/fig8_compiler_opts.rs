@@ -3,8 +3,8 @@
 //! scheduling), `O3` (list-scheduled), and `unroll` (loop unrolling +
 //! scheduling), normalized to `O3`.
 
-use mim_core::{MachineConfig, MechanisticModel, StackComponent};
-use mim_profile::Profiler;
+use mim_core::StackComponent;
+use mim_runner::{EvalKind, Experiment, WorkloadSpec};
 use mim_workloads::{mibench, opt, WorkloadSize};
 use serde::Serialize;
 
@@ -23,7 +23,9 @@ struct CycleStackRow {
     normalized: f64,
 }
 
-fn main() {
+const VARIANTS: [&str; 3] = ["O3", "nosched", "unroll"];
+
+fn main() -> std::io::Result<()> {
     // The paper shows the five benchmarks with the largest compiler
     // sensitivity; ours are chosen the same way (see EXPERIMENTS.md).
     let workloads = [
@@ -33,41 +35,60 @@ fn main() {
         mibench::susan_s(),
         mibench::tiffdither(),
     ];
-    let machine = MachineConfig::default_config();
-    let model = MechanisticModel::new(&machine);
-    let profiler = Profiler::new(&machine);
 
-    println!("=== Figure 8: normalized cycle stacks across compiler options ===");
+    // Each compiler variant becomes its own workload spec ("sha/O3", ...):
+    // fixed pre-built programs fed through the same evaluation pipeline.
+    let mut specs = Vec::new();
+    for w in &workloads {
+        let nosched = w.program(WorkloadSize::Small);
+        let o3 = opt::schedule(&nosched);
+        let unrolled = opt::schedule(&opt::unroll(&nosched, 4));
+        specs.push(WorkloadSpec::program(format!("{}/O3", w.name()), o3));
+        specs.push(WorkloadSpec::program(
+            format!("{}/nosched", w.name()),
+            nosched,
+        ));
+        specs.push(WorkloadSpec::program(
+            format!("{}/unroll", w.name()),
+            unrolled,
+        ));
+    }
+
+    let report = Experiment::new()
+        .title("Figure 8: normalized cycle stacks across compiler options")
+        .workloads(specs)
+        .evaluators([EvalKind::Model])
+        .run()
+        .expect("experiment");
+
+    println!("=== {} ===", report.title);
     println!(
         "{:<14} {:>8} {:>10} | {:>6} {:>6} {:>6} {:>6} {:>7} | {:>6}",
         "benchmark", "variant", "insts", "base", "deps", "takenB", "bpmiss", "mul/div", "norm"
     );
     let mut out = Vec::new();
     for w in &workloads {
-        let nosched = w.program(WorkloadSize::Small);
-        let o3 = opt::schedule(&nosched);
-        let unrolled = opt::schedule(&opt::unroll(&nosched, 4));
-        let mut o3_cycles = None;
-        // Profile O3 first to establish the normalization baseline.
-        let variants: [(&'static str, &mim_isa::Program); 3] =
-            [("O3", &o3), ("nosched", &nosched), ("unroll", &unrolled)];
-        for (label, program) in variants {
-            let inputs = profiler.profile(program).expect("profile");
-            let stack = model.predict(&inputs);
-            let cycles = stack.total_cycles();
-            let baseline = *o3_cycles.get_or_insert(cycles);
+        let baseline = report
+            .get(&format!("{}/O3", w.name()), 0, "model")
+            .expect("O3 cell")
+            .cycles;
+        for variant in VARIANTS {
+            let result = report
+                .get(&format!("{}/{variant}", w.name()), 0, "model")
+                .expect("variant cell");
+            let stack = result.stack.as_ref().expect("model rows carry stacks");
             let row = CycleStackRow {
                 benchmark: w.name().to_string(),
-                variant: label,
-                instructions: inputs.num_insts,
+                variant,
+                instructions: result.instructions,
                 base: stack.cycles_of(StackComponent::Base),
                 dependencies: stack.dependencies(),
                 bpred_hit_taken: stack.cycles_of(StackComponent::TakenBranch),
                 bpred_miss: stack.cycles_of(StackComponent::BranchMiss),
                 mul_div: stack.mul_div(),
                 l2: stack.l2_access() + stack.l2_miss(),
-                total_cycles: cycles,
-                normalized: cycles / baseline,
+                total_cycles: result.cycles,
+                normalized: result.cycles / baseline,
             };
             println!(
                 "{:<14} {:>8} {:>10} | {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>7.3} | {:>6.3}",
@@ -119,6 +140,10 @@ fn main() {
     println!(" kernels whose loop bounds are recomputed in the body are not unrollable,");
     println!(" exactly like loops gcc's unroller rejects)");
     assert!(unroll_helped >= 3, "unrolling should help most benchmarks");
-    assert!(taken_reduced >= 3, "unrolling should remove taken branches on most benchmarks");
-    mim_bench::write_json("fig8_compiler_opts", &out);
+    assert!(
+        taken_reduced >= 3,
+        "unrolling should remove taken branches on most benchmarks"
+    );
+    mim_bench::write_json("fig8_compiler_opts", &out)?;
+    Ok(())
 }

@@ -12,10 +12,8 @@
 //! four plotted benchmarks).
 
 use mim_bench::{write_json, SWEEP_LIMIT};
-use mim_core::{DesignSpace, MechanisticModel};
-use mim_pipeline::PipelineSim;
-use mim_power::{Activity, EnergyModel};
-use mim_profile::SweepProfiler;
+use mim_core::DesignSpace;
+use mim_runner::{EvalKind, Experiment};
 use mim_workloads::{mibench, WorkloadSize};
 use serde::Serialize;
 
@@ -29,7 +27,7 @@ struct EdpResult {
     edp_gap_percent: f64,
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let full = std::env::args().any(|a| a == "--full");
     let workloads = if full {
         mibench::all()
@@ -41,52 +39,49 @@ fn main() {
             mibench::patricia(),
         ]
     };
-    let space = DesignSpace::paper_table2();
-    let profiler = SweepProfiler::for_design_space(&space);
-    let limit = Some(SWEEP_LIMIT);
 
-    println!("=== Figure 9: EDP design-space exploration ===");
+    let report = Experiment::new()
+        .title("Figure 9: EDP design-space exploration")
+        .workloads(workloads)
+        .size(WorkloadSize::Small)
+        .limit(SWEEP_LIMIT)
+        .design_space(DesignSpace::paper_table2())
+        .evaluators([EvalKind::Model, EvalKind::Sim])
+        .energy(true)
+        .threads(0)
+        .run()
+        .expect("experiment");
+
+    println!("=== {} ===", report.title);
     let mut results = Vec::new();
-    for w in &workloads {
-        let program = w.program(WorkloadSize::Small);
-        let profile = profiler.profile(&program, limit).expect("profile");
-
-        let mut best_model: Option<(f64, String)> = None;
-        let mut sim_edps: Vec<(f64, String)> = Vec::new();
-        let mut model_pick_sim_edp: Option<f64> = None;
-        let mut rows = Vec::new();
-        for point in space.points() {
-            let inputs = profile.inputs_for(point.l2_index, point.predictor_index);
-            let energy = EnergyModel::new(&point.machine);
-            let stack = MechanisticModel::new(&point.machine).predict(&inputs);
-            let edp_model = energy
-                .evaluate(&Activity::from_model(&inputs, stack.total_cycles()))
-                .edp();
-            let sim = PipelineSim::new(&point.machine)
-                .simulate_limit(&program, limit)
-                .expect("sim");
-            let edp_sim = energy.evaluate(&Activity::from_sim(&sim, &inputs)).edp();
-            let id = point.machine.id();
-            rows.push((id.clone(), edp_model, edp_sim));
-            if best_model.as_ref().is_none_or(|(e, _)| edp_model < *e) {
-                best_model = Some((edp_model, id.clone()));
-                model_pick_sim_edp = Some(edp_sim);
-            }
-            sim_edps.push((edp_sim, id));
-        }
-        sim_edps.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-        let (best_sim_edp, sim_optimum) = sim_edps.first().cloned().expect("nonempty");
-        let (_, model_optimum) = best_model.expect("nonempty");
-        let gap = 100.0 * (model_pick_sim_edp.expect("picked") - best_sim_edp) / best_sim_edp;
+    for benchmark in &report.workloads {
+        // The model's EDP landscape picks a configuration...
+        let (model_pick, _) = report
+            .rows_for("model")
+            .filter(|r| &r.workload == benchmark)
+            .map(|r| (r.machine_index, r.edp().expect("energy enabled")))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite EDP"))
+            .expect("nonempty");
+        // ...which is scored by, and compared against, detailed simulation.
+        let (sim_pick, best_sim_edp) = report
+            .rows_for("sim")
+            .filter(|r| &r.workload == benchmark)
+            .map(|r| (r.machine_index, r.edp().expect("energy enabled")))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite EDP"))
+            .expect("nonempty");
+        let model_pick_sim_edp = report
+            .get(benchmark, model_pick, "sim")
+            .and_then(|r| r.edp())
+            .expect("sim cell at model pick");
+        let model_optimum = report.machines[model_pick].clone();
+        let sim_optimum = report.machines[sim_pick].clone();
+        let gap = 100.0 * (model_pick_sim_edp - best_sim_edp) / best_sim_edp;
         println!(
             "{:<12} model picks {:<44} sim optimum {:<44} gap {:+.2}%",
-            w.name(),
-            model_optimum,
-            sim_optimum,
-            gap
+            benchmark, model_optimum, sim_optimum, gap
         );
         results.push(EdpResult {
-            benchmark: w.name().to_string(),
+            benchmark: benchmark.clone(),
             exact_match: model_optimum == sim_optimum,
             model_optimum,
             sim_optimum,
@@ -99,10 +94,7 @@ fn main() {
         .iter()
         .filter(|r| !r.exact_match && r.edp_gap_percent < 0.5)
         .count();
-    let within5 = results
-        .iter()
-        .filter(|r| r.edp_gap_percent < 5.0)
-        .count();
+    let within5 = results.iter().filter(|r| r.edp_gap_percent < 5.0).count();
     println!(
         "\nmodel finds the exact EDP optimum on {exact}/{} benchmarks; {near} more within 0.5%;\n\
          {within5}/{} within 5% of the optimal EDP",
@@ -121,5 +113,6 @@ fn main() {
         .map(|r| r.edp_gap_percent)
         .fold(0.0f64, f64::max);
     assert!(worst < 12.0, "worst EDP gap too large: {worst:.1}%");
-    write_json("fig9_edp", &results);
+    write_json("fig9_edp", &results)?;
+    Ok(())
 }

@@ -2,7 +2,7 @@
 
 use mim_core::{DesignSpace, MachineConfig};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let default = MachineConfig::default_config();
     println!("=== Table 2: default configuration ===");
     println!("  {default}");
@@ -33,5 +33,6 @@ fn main() {
     assert_eq!(space.len(), 192, "paper's space has 192 points");
 
     let ids: Vec<String> = space.points().map(|p| p.machine.id()).collect();
-    mim_bench::write_json("table2_design_points", &ids);
+    mim_bench::write_json("table2_design_points", &ids)?;
+    Ok(())
 }

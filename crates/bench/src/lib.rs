@@ -14,133 +14,90 @@
 //! | `fig8_compiler_opts` | normalized cycle stacks across compiler options |
 //! | `fig9_edp` | EDP design-space exploration, model vs simulation |
 //!
-//! Each binary prints the table/series the paper reports and writes a JSON
-//! record under `results/`. Criterion benches (`cargo bench -p mim-bench`)
+//! Every binary is built on the [`mim_runner`] evaluation API: an
+//! [`Experiment`](mim_runner::Experiment) declares the (workload ×
+//! design-point × evaluator) grid, and the binary post-processes the
+//! resulting [`ExperimentReport`](mim_runner::ExperimentReport) into the
+//! table/series the paper reports, writing a JSON record under the
+//! results directory. Criterion benches (`cargo bench -p mim-bench`)
 //! quantify the §5 claim that model evaluation is orders of magnitude
-//! faster than detailed simulation.
+//! faster than detailed simulation, and `sweep_throughput` measures the
+//! parallel speedup of `Experiment::threads`.
 
 #![forbid(unsafe_code)]
 
 use std::fs;
+use std::io;
 use std::path::PathBuf;
 
-use mim_core::{CpiStack, MachineConfig, MechanisticModel, ModelInputs};
-use mim_pipeline::{PipelineSim, SimResult};
-use mim_profile::Profiler;
-use mim_workloads::{Workload, WorkloadSize};
 use serde::Serialize;
 
 /// Instruction budget per workload for design-space sweeps, keeping the
 /// 192-point × 19-benchmark detailed-simulation reference tractable.
 pub const SWEEP_LIMIT: u64 = 400_000;
 
-/// Where experiment outputs are written.
+/// Where experiment outputs are written: `$MIM_RESULTS_DIR` when set,
+/// otherwise `results/` at the workspace root.
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../results");
-    fs::create_dir_all(&dir).expect("create results dir");
-    dir
+    match std::env::var_os("MIM_RESULTS_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"),
+    }
 }
 
-/// Serializes `value` as pretty JSON into `results/<name>.json`.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
-    let path = results_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialize");
-    fs::write(&path, json).expect("write results");
+/// Serializes `value` as pretty JSON into `<results_dir>/<name>.json` and
+/// returns the written path.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating the directory or writing the file.
+pub fn write_json<T: Serialize + ?Sized>(name: &str, value: &T) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    fs::write(&path, json)?;
     eprintln!("[wrote {}]", path.display());
-}
-
-/// One benchmark's model-vs-simulation comparison.
-#[derive(Debug, Clone, Serialize)]
-pub struct ValidationRow {
-    pub benchmark: String,
-    pub model_cpi: f64,
-    pub sim_cpi: f64,
-    pub error_percent: f64,
-}
-
-/// Runs (profile → model) and detailed simulation on one workload at one
-/// design point and returns the comparison row.
-pub fn validate_one(
-    machine: &MachineConfig,
-    workload: &Workload,
-    size: WorkloadSize,
-) -> ValidationRow {
-    let program = workload.program(size);
-    let inputs = Profiler::new(machine)
-        .profile(&program)
-        .expect("profiling failed");
-    let stack = MechanisticModel::new(machine).predict(&inputs);
-    let sim = PipelineSim::new(machine)
-        .simulate(&program)
-        .expect("simulation failed");
-    row_from(workload.name(), &stack, &sim)
-}
-
-/// Builds a comparison row from an already-computed stack and sim result.
-pub fn row_from(name: &str, stack: &CpiStack, sim: &SimResult) -> ValidationRow {
-    let error_percent = 100.0 * (stack.cpi() - sim.cpi()) / sim.cpi();
-    ValidationRow {
-        benchmark: name.to_string(),
-        model_cpi: stack.cpi(),
-        sim_cpi: sim.cpi(),
-        error_percent,
-    }
-}
-
-/// Prints a validation table and returns (average |error|, max |error|).
-pub fn print_validation(title: &str, rows: &[ValidationRow]) -> (f64, f64) {
-    println!("\n=== {title} ===");
-    println!("{:<18} {:>10} {:>10} {:>9}", "benchmark", "model CPI", "sim CPI", "error");
-    for r in rows {
-        println!(
-            "{:<18} {:>10.4} {:>10.4} {:>+8.2}%",
-            r.benchmark, r.model_cpi, r.sim_cpi, r.error_percent
-        );
-    }
-    let abs: Vec<f64> = rows.iter().map(|r| r.error_percent.abs()).collect();
-    let avg = abs.iter().sum::<f64>() / abs.len() as f64;
-    let max = abs.iter().cloned().fold(0.0, f64::max);
-    println!("{:<18} avg |error| = {avg:.2}%   max = {max:.2}%", "");
-    (avg, max)
-}
-
-/// Model inputs for a (possibly truncated) run; truncation must be applied
-/// identically to profiling and simulation for comparability.
-pub fn profile_limited(
-    machine: &MachineConfig,
-    program: &mim_isa::Program,
-    limit: Option<u64>,
-) -> ModelInputs {
-    let sweep = mim_profile::SweepProfiler::new(
-        machine.hierarchy.clone(),
-        vec![machine.hierarchy.l2.clone()],
-        vec![machine.predictor.clone()],
-    );
-    sweep
-        .profile(program, limit)
-        .expect("profiling failed")
-        .inputs_for(0, 0)
+    Ok(path)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// One test covers the default path, the env override, and the error
+    /// path — `MIM_RESULTS_DIR` is process-global state, so splitting
+    /// these into separate `#[test]`s would race under the parallel test
+    /// harness.
     #[test]
-    fn validate_one_produces_sane_row() {
-        let machine = MachineConfig::default_config();
-        let w = mim_workloads::mibench::qsort();
-        let row = validate_one(&machine, &w, WorkloadSize::Tiny);
-        assert_eq!(row.benchmark, "qsort");
-        assert!(row.model_cpi > 0.25);
-        assert!(row.sim_cpi > 0.25);
-        assert!(row.error_percent.abs() < 25.0);
-    }
+    fn results_dir_override_and_write_json_error_paths() {
+        struct RestoreEnv;
+        impl Drop for RestoreEnv {
+            fn drop(&mut self) {
+                std::env::remove_var("MIM_RESULTS_DIR");
+            }
+        }
+        let _restore = RestoreEnv;
 
-    #[test]
-    fn results_dir_is_creatable() {
-        let d = results_dir();
-        assert!(d.exists());
+        // Default: the workspace-root results directory.
+        std::env::remove_var("MIM_RESULTS_DIR");
+        assert!(results_dir().ends_with("../../results"));
+        // Empty override falls back to the default.
+        std::env::set_var("MIM_RESULTS_DIR", "");
+        assert!(results_dir().ends_with("../../results"));
+
+        // Override redirects writes.
+        let dir = std::env::temp_dir().join(format!("mim-bench-test-{}", std::process::id()));
+        std::env::set_var("MIM_RESULTS_DIR", &dir);
+        assert_eq!(results_dir(), dir);
+        let path = write_json("unit_test", &vec![1u32, 2, 3]).expect("write");
+        let text = fs::read_to_string(&path).expect("read back");
+        assert!(text.contains('1'));
+        fs::remove_dir_all(&dir).ok();
+
+        // I/O failures surface as Err, not panics.
+        std::env::set_var("MIM_RESULTS_DIR", "/proc/definitely-not-writable");
+        assert!(write_json("unit_test", &vec![1u32]).is_err());
     }
 }

@@ -104,7 +104,10 @@ mod tests {
             }
             p.update(9, pat[i % 4]);
         }
-        assert!(misp <= 2, "hybrid should learn period-4 pattern, got {misp}");
+        assert!(
+            misp <= 2,
+            "hybrid should learn period-4 pattern, got {misp}"
+        );
     }
 
     #[test]

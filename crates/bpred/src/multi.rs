@@ -72,8 +72,7 @@ impl std::fmt::Debug for MultiPredictor {
 impl MultiPredictor {
     /// Instantiates one predictor per configuration.
     pub fn new(configs: &[PredictorConfig]) -> MultiPredictor {
-        let predictors: Vec<Box<dyn BranchPredictor>> =
-            configs.iter().map(|c| c.build()).collect();
+        let predictors: Vec<Box<dyn BranchPredictor>> = configs.iter().map(|c| c.build()).collect();
         let stats = predictors
             .iter()
             .map(|p| PredictorStats {
@@ -148,9 +147,7 @@ mod tests {
     #[test]
     fn matches_single_predictor_run() {
         // Profiling predictor P alongside others must not change P's stats.
-        let branches: Vec<(u32, bool)> = (0..2000u32)
-            .map(|i| (i % 7, i % 3 != 0))
-            .collect();
+        let branches: Vec<(u32, bool)> = (0..2000u32).map(|i| (i % 7, i % 3 != 0)).collect();
 
         let mut solo = MultiPredictor::new(&[PredictorConfig::gshare_1k()]);
         let mut multi = MultiPredictor::new(&[

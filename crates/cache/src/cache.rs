@@ -211,7 +211,9 @@ mod tests {
         let mut large = SetAssocCache::new(CacheConfig::new("l", 4096, 4, 64).unwrap());
         let mut x: u64 = 0x12345;
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let addr = (x >> 20) % 65536;
             small.access(addr);
             large.access(addr);

@@ -91,7 +91,9 @@ impl CacheConfig {
         pow2("associativity", u64::from(assoc))?;
         pow2("block size", block_bytes)?;
         let ways_bytes = block_bytes * u64::from(assoc);
-        if ways_bytes == 0 || size_bytes % ways_bytes != 0 || !(size_bytes / ways_bytes).is_power_of_two()
+        if ways_bytes == 0
+            || !size_bytes.is_multiple_of(ways_bytes)
+            || !(size_bytes / ways_bytes).is_power_of_two()
         {
             return Err(CacheConfigError::InconsistentGeometry {
                 size_bytes,

@@ -154,7 +154,9 @@ mod tests {
 
         let mut x: u64 = 0xdeadbeef;
         for i in 0..20_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let kind = match x % 3 {
                 0 => MemAccessKind::Fetch,
                 1 => MemAccessKind::Load,

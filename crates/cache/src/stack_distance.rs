@@ -184,11 +184,7 @@ impl StackDistance {
     /// An access with stack distance `d` hits iff `d < capacity_blocks`;
     /// cold accesses always miss.
     pub fn misses_for_capacity(&self, capacity_blocks: usize) -> u64 {
-        let far: u64 = self
-            .histogram
-            .iter()
-            .skip(capacity_blocks)
-            .sum();
+        let far: u64 = self.histogram.iter().skip(capacity_blocks).sum();
         self.cold_misses + far
     }
 
@@ -239,7 +235,9 @@ mod tests {
         let mut x = seed;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 24) % modulus
             })
             .collect()
@@ -271,9 +269,8 @@ mod tests {
         let stream = lcg_stream(3_000, 100, 99);
         let mut sd = StackDistance::new(64);
         let ways = 16u32;
-        let mut cache = SetAssocCache::new(
-            CacheConfig::new("fa", 64 * u64::from(ways), ways, 64).unwrap(),
-        );
+        let mut cache =
+            SetAssocCache::new(CacheConfig::new("fa", 64 * u64::from(ways), ways, 64).unwrap());
         for &b in &stream {
             sd.access(b * 64);
             cache.access(b * 64);

@@ -1,6 +1,9 @@
 //! Property-based tests for the cache substrate.
 
-use mim_cache::{CacheConfig, Hierarchy, HierarchyConfig, MemAccessKind, MultiConfig, SetAssocCache, StackDistance, TlbConfig};
+use mim_cache::{
+    CacheConfig, Hierarchy, HierarchyConfig, MemAccessKind, MultiConfig, SetAssocCache,
+    StackDistance, TlbConfig,
+};
 use proptest::prelude::*;
 
 /// A reference fully-associative LRU cache (linear scan).

@@ -1,0 +1,256 @@
+//! Offline stand-in for `criterion`: a small wall-clock benchmarking
+//! harness exposing the API surface this workspace's benches use
+//! (`bench_function`, `benchmark_group`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!`).
+//!
+//! Each benchmark is auto-calibrated to a target measurement time, then
+//! reported as median time per iteration (plus throughput when
+//! configured). No statistics beyond min/median/max — the goal is honest
+//! relative numbers without crates.io access.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier, `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to the closure given to `iter`; times the inner function.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate cost with a single run.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for ~SAMPLES samples within the target time.
+        const SAMPLES: usize = 15;
+        let per_sample = self.target / SAMPLES as u32;
+        let iters_per_sample = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        self.samples.clear();
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / iters_per_sample);
+        }
+        self.samples.sort();
+    }
+
+    fn median(&self) -> Duration {
+        self.samples
+            .get(self.samples.len() / 2)
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let median = bencher.median();
+    let low = bencher.samples.first().copied().unwrap_or_default();
+    let high = bencher.samples.last().copied().unwrap_or_default();
+    let mut line = format!(
+        "{name:<48} time: [{} {} {}]",
+        format_duration(low),
+        format_duration(median),
+        format_duration(high)
+    );
+    if let Some(tp) = throughput {
+        let seconds = median.as_secs_f64().max(1e-12);
+        let rate = match tp {
+            Throughput::Elements(n) => format!("{:.3} Melem/s", n as f64 / seconds / 1e6),
+            Throughput::Bytes(n) => format!("{:.3} MiB/s", n as f64 / seconds / (1 << 20) as f64),
+        };
+        line.push_str(&format!("  thrpt: {rate}"));
+    }
+    println!("{line}");
+}
+
+/// The benchmark manager handed to `criterion_group!` functions.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(900),
+            sample_size: 15,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Criterion {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            target: self.measurement_time,
+        };
+        f(&mut bencher);
+        report(&name.to_string(), &bencher, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of samples (accepted for API parity).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            target: self.criterion.measurement_time,
+        };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(20));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("in", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+}

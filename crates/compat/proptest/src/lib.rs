@@ -1,0 +1,417 @@
+//! Offline stand-in for `proptest`, covering the subset this workspace's
+//! property tests use: range and tuple strategies, `Just`, `prop_map`,
+//! weighted `prop_oneof!`, `collection::vec`, the `proptest!` macro, and
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Sampling is deterministic (a fixed-seed SplitMix64 stream keyed by the
+//! test name), so failures reproduce run-to-run. There is no shrinking: a
+//! failing case reports the generated inputs via `Debug` instead.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Error signalled by `prop_assert!` macros inside a test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs each property `cases` times.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic random stream driving sampling.
+
+    /// SplitMix64: tiny, high-quality, and deterministic.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream.
+        pub fn seed(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Hashes a test name into a seed (FNV-1a).
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+use test_runner::TestRng;
+
+/// A value generator. Object-safe: combinators require `Self: Sized`.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Boxes the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Weighted union built by `prop_oneof!`.
+pub struct Union<T> {
+    choices: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// Builds a union from `(weight, strategy)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty or all weights are zero.
+    pub fn new(choices: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total_weight: u64 = choices.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs a positive total weight"
+        );
+        Union {
+            choices,
+            total_weight,
+        }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut roll = rng.below(self.total_weight);
+        for (weight, strategy) in &self.choices {
+            let weight = u64::from(*weight);
+            if roll < weight {
+                return strategy.sample(rng);
+            }
+            roll -= weight;
+        }
+        unreachable!("weights summed correctly")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::fmt;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose length falls in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.len.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    /// Re-export so `proptest::collection::vec` resolves through the
+    /// prelude too.
+    pub use crate as proptest;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Weighted choice between strategies: `prop_oneof![s1, s2]` or
+/// `prop_oneof![3 => s1, 1 => s2]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Asserts inside a proptest body, failing the case (not panicking
+/// directly) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @with_config ($config) $($rest)* }
+    };
+    (@with_config ($config:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::seed(
+                    $crate::test_runner::seed_from_name(stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)*
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?} ",)*),
+                        $(&$arg),*
+                    );
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}\ninputs: {}",
+                            stringify!($name), case + 1, config.cases, e, inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @with_config ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::seed(1);
+        for _ in 0..1000 {
+            let v = (3u8..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+            let i = (-5i32..6).sample(&mut rng);
+            assert!((-5..6).contains(&i));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let draw = || {
+            let mut rng = crate::test_runner::TestRng::seed(42);
+            crate::collection::vec(0u64..100, 5..6).sample(&mut rng)
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn oneof_respects_zero_weightless_choices() {
+        let mut rng = crate::test_runner::TestRng::seed(7);
+        let s = prop_oneof![2 => Just(1u8), 1 => Just(2u8)];
+        let mut saw = [false; 3];
+        for _ in 0..200 {
+            saw[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(saw[1] && saw[2]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_compiles_and_runs(xs in proptest::collection::vec(0u32..10, 1..20), y in 1u8..3) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!((1..3).contains(&y), "y out of range: {}", y);
+            prop_assert_eq!(xs.len(), xs.len());
+        }
+    }
+}

@@ -110,11 +110,17 @@ impl MachineConfig {
             return Err(ConfigError::BadDepth);
         }
         for (field, ok) in [
-            ("frequency_ghz", self.frequency_ghz > 0.0 && self.frequency_ghz.is_finite()),
+            (
+                "frequency_ghz",
+                self.frequency_ghz > 0.0 && self.frequency_ghz.is_finite(),
+            ),
             ("mul_latency", self.mul_latency >= 1),
             ("div_latency", self.div_latency >= 1),
             ("l1_hit_cycles", self.l1_hit_cycles >= 1),
-            ("l2_hit_ns", self.l2_hit_ns > 0.0 && self.l2_hit_ns.is_finite()),
+            (
+                "l2_hit_ns",
+                self.l2_hit_ns > 0.0 && self.l2_hit_ns.is_finite(),
+            ),
             ("mem_ns", self.mem_ns > 0.0 && self.mem_ns.is_finite()),
             ("tlb_walk_cycles", self.tlb_walk_cycles >= 1),
         ] {
@@ -218,6 +224,65 @@ pub struct DesignSpace {
 }
 
 impl DesignSpace {
+    /// A degenerate one-point space containing exactly `base`.
+    ///
+    /// Grow it with the `with_*` builder methods to sweep individual axes,
+    /// e.g. a width sweep at the default machine:
+    ///
+    /// ```
+    /// use mim_core::{DesignSpace, MachineConfig};
+    ///
+    /// let space = DesignSpace::new(MachineConfig::default_config())
+    ///     .with_widths(vec![1, 2, 3, 4]);
+    /// assert_eq!(space.len(), 4);
+    /// ```
+    pub fn new(base: MachineConfig) -> DesignSpace {
+        DesignSpace {
+            depth_freq: vec![(base.frontend_depth, base.frequency_ghz)],
+            widths: vec![base.width],
+            l2s: vec![base.hierarchy.l2.clone()],
+            predictors: vec![base.predictor.clone()],
+            base,
+        }
+    }
+
+    /// Replaces the pipeline-width axis.
+    pub fn with_widths(mut self, widths: Vec<u32>) -> DesignSpace {
+        assert!(!widths.is_empty(), "width axis must be non-empty");
+        self.widths = widths;
+        self
+    }
+
+    /// Replaces the paired (front-end depth, frequency GHz) axis.
+    pub fn with_depth_freq(mut self, depth_freq: Vec<(u32, f64)>) -> DesignSpace {
+        assert!(
+            !depth_freq.is_empty(),
+            "depth/frequency axis must be non-empty"
+        );
+        self.depth_freq = depth_freq;
+        self
+    }
+
+    /// Replaces the L2 cache candidate axis.
+    pub fn with_l2s(mut self, l2s: Vec<CacheConfig>) -> DesignSpace {
+        assert!(!l2s.is_empty(), "L2 axis must be non-empty");
+        self.l2s = l2s;
+        self
+    }
+
+    /// Replaces the branch-predictor candidate axis.
+    pub fn with_predictors(mut self, predictors: Vec<PredictorConfig>) -> DesignSpace {
+        assert!(!predictors.is_empty(), "predictor axis must be non-empty");
+        self.predictors = predictors;
+        self
+    }
+
+    /// The base machine the axes are applied to (fixes all parameters the
+    /// space does not sweep, including the L1/TLB geometry profilers use).
+    pub fn base(&self) -> &MachineConfig {
+        &self.base
+    }
+
     /// The exact space of Table 2: pipeline depth 5/7/9 stages paired with
     /// 600/800/1000 MHz, width 1–4, L2 in {128 KB, 256 KB, 512 KB, 1 MB} x
     /// {8, 16}-way, and the two branch predictors.
@@ -364,10 +429,7 @@ mod tests {
     fn indices_point_into_config_lists() {
         let space = DesignSpace::paper_table2();
         for p in space.points() {
-            assert_eq!(
-                space.l2_configs()[p.l2_index],
-                p.machine.hierarchy.l2
-            );
+            assert_eq!(space.l2_configs()[p.l2_index], p.machine.hierarchy.l2);
             assert_eq!(
                 space.predictor_configs()[p.predictor_index],
                 p.machine.predictor

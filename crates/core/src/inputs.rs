@@ -69,7 +69,7 @@ impl DepHistogram {
     /// [`MAX_DEP_DISTANCE`]).
     #[inline]
     pub fn record(&mut self, distance: usize) {
-        if distance >= 1 && distance <= MAX_DEP_DISTANCE {
+        if (1..=MAX_DEP_DISTANCE).contains(&distance) {
             if self.counts.len() < MAX_DEP_DISTANCE {
                 self.counts.resize(MAX_DEP_DISTANCE, 0);
             }

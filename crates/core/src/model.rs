@@ -128,8 +128,7 @@ impl MechanisticModel {
         stack.add(StackComponent::DL2Miss, c.l2d_misses as f64 * mem);
         stack.add(
             StackComponent::TlbMiss,
-            (c.itlb_misses + c.dtlb_misses) as f64
-                * self.miss_event_penalty(m.tlb_walk_cycles),
+            (c.itlb_misses + c.dtlb_misses) as f64 * self.miss_event_penalty(m.tlb_walk_cycles),
         );
 
         // -- P_misses: branch mispredictions (Eq. 4) and taken-branch hits --
@@ -329,7 +328,8 @@ mod tests {
         }
         inputs.deps_unit = h;
         let stack = model.predict(&inputs);
-        let expected = 16.0 * (3.0f64 / 4.0).powi(2) + 8.0 * (2.0f64 / 4.0).powi(2)
+        let expected = 16.0 * (3.0f64 / 4.0).powi(2)
+            + 8.0 * (2.0f64 / 4.0).powi(2)
             + 4.0 * (1.0f64 / 4.0).powi(2);
         assert!((stack.cycles_of(StackComponent::DepUnit) - expected).abs() < 1e-9);
     }

@@ -210,7 +210,9 @@ mod tests {
         for _ in 0..3_000 {
             inputs.deps_unit.record(1);
         }
-        let ooo = OooModel::new(OooConfig::default_config()).predict(&inputs).cpi();
+        let ooo = OooModel::new(OooConfig::default_config())
+            .predict(&inputs)
+            .cpi();
         let ino = MechanisticModel::new(&MachineConfig::default_config())
             .predict(&inputs)
             .cpi();

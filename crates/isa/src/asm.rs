@@ -139,9 +139,7 @@ pub fn assemble(name: &str, source: &str) -> Result<Program, AsmError> {
     let mut bound: HashMap<String, usize> = HashMap::new();
 
     let mut label_of = |b: &mut ProgramBuilder, name: &str| {
-        *labels
-            .entry(name.to_string())
-            .or_insert_with(|| b.label())
+        *labels.entry(name.to_string()).or_insert_with(|| b.label())
     };
 
     for (idx, raw) in source.lines().enumerate() {
@@ -322,8 +320,7 @@ fn branch_target(
     // for already-known positions via a name of the form `@N` — handled
     // by collecting them as named labels the caller must define with
     // `@N:`. In practice, prefer named labels.
-    if token.starts_with('@') || !token.starts_with(|c: char| c.is_ascii_alphabetic() || c == '_')
-    {
+    if token.starts_with('@') || !token.starts_with(|c: char| c.is_ascii_alphabetic() || c == '_') {
         if token.starts_with('@') {
             return Ok(label_of(b, token));
         }

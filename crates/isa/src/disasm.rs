@@ -46,8 +46,13 @@ impl fmt::Display for Program {
     /// Disassembles the whole text segment, one instruction per line with
     /// its index, e.g. for debugging workload kernels.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "; program \"{}\" ({} insts, {} data words)",
-            self.name(), self.len(), self.data().len())?;
+        writeln!(
+            f,
+            "; program \"{}\" ({} insts, {} data words)",
+            self.name(),
+            self.len(),
+            self.data().len()
+        )?;
         for (i, inst) in self.text().iter().enumerate() {
             writeln!(f, "{i:6}: {inst}")?;
         }

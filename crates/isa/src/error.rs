@@ -82,7 +82,10 @@ mod tests {
             },
             VmError::UnalignedAccess { pc: 1, addr: 7 },
             VmError::DivideByZero { pc: 9 },
-            VmError::PcOutOfRange { pc: 12, text_len: 10 },
+            VmError::PcOutOfRange {
+                pc: 12,
+                text_len: 10,
+            },
         ];
         for e in errors {
             let s = e.to_string();

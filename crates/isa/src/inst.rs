@@ -294,10 +294,7 @@ mod tests {
 
     #[test]
     fn sources_match_operand_shape() {
-        assert_eq!(
-            inst(Opcode::Add).sources(),
-            [Some(Reg::R2), Some(Reg::R3)]
-        );
+        assert_eq!(inst(Opcode::Add).sources(), [Some(Reg::R2), Some(Reg::R3)]);
         assert_eq!(inst(Opcode::Addi).sources(), [Some(Reg::R2), None]);
         assert_eq!(inst(Opcode::Li).sources(), [None, None]);
         assert_eq!(inst(Opcode::Ld).sources(), [Some(Reg::R2), None]);

@@ -89,13 +89,16 @@ mod tests {
 
     #[test]
     fn accessors_reflect_parts() {
-        let text = vec![Inst::NOP, Inst {
-            opcode: Opcode::Halt,
-            dst: Reg::R0,
-            src1: Reg::R0,
-            src2: Reg::R0,
-            imm: 0,
-        }];
+        let text = vec![
+            Inst::NOP,
+            Inst {
+                opcode: Opcode::Halt,
+                dst: Reg::R0,
+                src1: Reg::R0,
+                src2: Reg::R0,
+                imm: 0,
+            },
+        ];
         let p = Program::from_parts("t", text.clone(), vec![1, 2, 3]);
         assert_eq!(p.name(), "t");
         assert_eq!(p.text(), &text[..]);

@@ -150,7 +150,7 @@ impl<'p> Vm<'p> {
 
     #[inline]
     fn mem_word(&mut self, pc: u32, addr: u64) -> Result<usize, VmError> {
-        if addr % WORD_BYTES != 0 {
+        if !addr.is_multiple_of(WORD_BYTES) {
             return Err(VmError::UnalignedAccess { pc, addr });
         }
         let idx = (addr / WORD_BYTES) as usize;
@@ -179,13 +179,10 @@ impl<'p> Vm<'p> {
             return Ok(None);
         }
         let pc = self.pc;
-        let inst = *self
-            .program
-            .fetch(pc)
-            .ok_or(VmError::PcOutOfRange {
-                pc,
-                text_len: self.program.len() as u32,
-            })?;
+        let inst = *self.program.fetch(pc).ok_or(VmError::PcOutOfRange {
+            pc,
+            text_len: self.program.len() as u32,
+        })?;
 
         let a = self.regs[inst.src1.index()];
         let b = self.regs[inst.src2.index()];
@@ -297,7 +294,11 @@ impl<'p> Vm<'p> {
     /// # Errors
     ///
     /// Propagates any [`VmError`] raised during execution.
-    pub fn run_with<F>(&mut self, limit: Option<u64>, mut observer: F) -> Result<RunOutcome, VmError>
+    pub fn run_with<F>(
+        &mut self,
+        limit: Option<u64>,
+        mut observer: F,
+    ) -> Result<RunOutcome, VmError>
     where
         F: FnMut(&TraceEvent),
     {

@@ -60,7 +60,9 @@ impl PipelineSim {
     ///
     /// Panics if the machine configuration is invalid.
     pub fn new(machine: &MachineConfig) -> PipelineSim {
-        machine.validate().expect("machine configuration must be valid");
+        machine
+            .validate()
+            .expect("machine configuration must be valid");
         PipelineSim {
             machine: machine.clone(),
         }
@@ -108,6 +110,7 @@ impl PipelineSim {
         let mut fetch_slots: u64 = 0; // instructions fetched in that group
         let mut fetch_group: u64 = 0; // id of the group being filled
         let mut fetch_min: u64 = 0; // earliest allowed next fetch (redirects)
+
         // Front-end occupancy bound: the D front-end stages hold at most
         // D*W instructions in flight ahead of execute (Little's law: this
         // is exactly the occupancy needed to sustain W instructions per
@@ -188,9 +191,11 @@ impl PipelineSim {
                 group_count += 1;
             } else {
                 // Start a new group.
-                t = earliest
-                    .max(ex_free_at)
-                    .max(if group_cycle == u64::MAX { 0 } else { group_cycle + 1 });
+                t = earliest.max(ex_free_at).max(if group_cycle == u64::MAX {
+                    0
+                } else {
+                    group_cycle + 1
+                });
                 group_cycle = t;
                 group_count = 1;
                 group_blocked = false;
@@ -372,9 +377,18 @@ mod tests {
         });
         let r1 = PipelineSim::new(&machine(1)).simulate(&p).unwrap();
         let r4 = PipelineSim::new(&machine(4)).simulate(&p).unwrap();
-        assert!(r4.cycles >= 200 * 50, "chain broke serialization: {}", r4.cycles);
+        assert!(
+            r4.cycles >= 200 * 50,
+            "chain broke serialization: {}",
+            r4.cycles
+        );
         let rel = (r4.cycles as f64 - r1.cycles as f64).abs() / (r1.cycles as f64);
-        assert!(rel < 0.1, "width changed serial chain time: {} vs {}", r1.cycles, r4.cycles);
+        assert!(
+            rel < 0.1,
+            "width changed serial chain time: {} vs {}",
+            r1.cycles,
+            r4.cycles
+        );
     }
 
     #[test]
@@ -465,9 +479,9 @@ mod tests {
         for _ in 0..500 {
             labels.push(b.label());
         }
-        for i in 0..500 {
-            b.jmp(labels[i]);
-            b.bind(labels[i]);
+        for &label in &labels {
+            b.jmp(label);
+            b.bind(label);
         }
         b.halt();
         let p = b.build();

@@ -201,8 +201,8 @@ impl EnergyModel {
     /// Total die-area proxy (arbitrary units) for leakage.
     pub fn area_units(&self) -> f64 {
         let m = &self.machine;
-        let core = tech::CORE_AREA * f64::from(m.width).powf(1.5)
-            + 0.05 * f64::from(m.pipeline_stages());
+        let core =
+            tech::CORE_AREA * f64::from(m.width).powf(1.5) + 0.05 * f64::from(m.pipeline_stages());
         let caches = (m.hierarchy.l1i.size_bytes()
             + m.hierarchy.l1d.size_bytes()
             + m.hierarchy.l2.size_bytes()) as f64

@@ -138,7 +138,9 @@ mod tests {
     use super::*;
     use mim_isa::{ProgramBuilder, Reg::*, Vm};
 
-    fn histograms_of(build: impl FnOnce(&mut ProgramBuilder)) -> (DepHistogram, DepHistogram, DepHistogram) {
+    fn histograms_of(
+        build: impl FnOnce(&mut ProgramBuilder),
+    ) -> (DepHistogram, DepHistogram, DepHistogram) {
         let mut b = ProgramBuilder::new();
         build(&mut b);
         b.halt();

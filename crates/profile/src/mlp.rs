@@ -126,7 +126,11 @@ pub fn estimate_mlp(
     } else {
         (misses as f64 / groups as f64).max(1.0)
     };
-    Ok(MlpEstimate { misses, groups, mlp })
+    Ok(MlpEstimate {
+        misses,
+        groups,
+        mlp,
+    })
 }
 
 #[cfg(test)]
@@ -150,7 +154,11 @@ mod tests {
     fn streaming_has_high_mlp() {
         let p = spec::libquantum_like().program(WorkloadSize::Tiny);
         let e = estimate_mlp(&p, &hierarchy(), 128, None).unwrap();
-        assert!(e.mlp > 1.5, "independent stream should overlap, MLP {}", e.mlp);
+        assert!(
+            e.mlp > 1.5,
+            "independent stream should overlap, MLP {}",
+            e.mlp
+        );
     }
 
     #[test]

@@ -108,10 +108,12 @@ impl SweepProfiler {
         }
     }
 
-    /// Convenience constructor covering the paper's Table 2 design space.
+    /// Convenience constructor covering one profiling pass for an entire
+    /// design space: the space's base L1/TLB geometry plus every L2 and
+    /// predictor candidate.
     pub fn for_design_space(space: &mim_core::DesignSpace) -> SweepProfiler {
         SweepProfiler::new(
-            HierarchyConfig::default_hierarchy(),
+            space.base().hierarchy.clone(),
             space.l2_configs().to_vec(),
             space.predictor_configs().to_vec(),
         )
@@ -125,7 +127,11 @@ impl SweepProfiler {
     /// # Errors
     ///
     /// Propagates [`VmError`] if the program faults.
-    pub fn profile(&self, program: &Program, limit: Option<u64>) -> Result<WorkloadProfile, VmError> {
+    pub fn profile(
+        &self,
+        program: &Program,
+        limit: Option<u64>,
+    ) -> Result<WorkloadProfile, VmError> {
         let mut caches = MultiConfig::new(&self.base, self.l2s.clone());
         let mut preds = MultiPredictor::new(&self.predictors);
         let mut deps = DepTracker::new();
@@ -266,9 +272,7 @@ mod tests {
         let sha = profiler
             .profile(&mibench::sha().program(WorkloadSize::Tiny))
             .unwrap();
-        let rate = |m: &ModelInputs| {
-            m.misses.l2d_misses as f64 / m.num_insts.max(1) as f64
-        };
+        let rate = |m: &ModelInputs| m.misses.l2d_misses as f64 / m.num_insts.max(1) as f64;
         assert!(
             rate(&mcf) > 10.0 * rate(&sha),
             "mcf {} vs sha {}",

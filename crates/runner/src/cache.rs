@@ -1,0 +1,135 @@
+//! Shared caches for programs and one-pass workload profiles.
+//!
+//! The paper's framework (§2.1) profiles each workload **once** and reuses
+//! the profile for every design point; [`ProfileCache`] is that invariant
+//! made concrete. It is cheaply cloneable (an `Arc` handle) and
+//! thread-safe, so one cache can back every evaluator of an experiment.
+
+use std::sync::{Arc, Mutex};
+
+use mim_bpred::PredictorConfig;
+use mim_cache::{CacheConfig, HierarchyConfig};
+use mim_isa::Program;
+use mim_profile::{SweepProfiler, WorkloadProfile};
+use mim_workloads::WorkloadSize;
+
+use crate::result::EvalError;
+use crate::spec::WorkloadSpec;
+
+/// Identifies one profiling pass: workload, size, truncation, and the
+/// sweep's candidate lists.
+#[derive(Clone, PartialEq)]
+struct ProfileKey {
+    workload: String,
+    size: WorkloadSize,
+    limit: Option<u64>,
+    hierarchy: HierarchyConfig,
+    l2s: Vec<CacheConfig>,
+    predictors: Vec<PredictorConfig>,
+}
+
+type ProgramKey = (String, WorkloadSize);
+
+#[derive(Default)]
+struct Inner {
+    programs: Mutex<Vec<(ProgramKey, Arc<Program>)>>,
+    profiles: Mutex<Vec<(ProfileKey, Arc<WorkloadProfile>)>>,
+}
+
+/// Thread-safe cache of instantiated programs and sweep profiles.
+///
+/// Entry counts are small (one per workload × size × sweep), so lookups
+/// are linear scans — no hashing requirements on the config types.
+#[derive(Clone, Default)]
+pub struct ProfileCache {
+    inner: Arc<Inner>,
+}
+
+impl ProfileCache {
+    /// Creates an empty cache.
+    pub fn new() -> ProfileCache {
+        ProfileCache::default()
+    }
+
+    /// Returns the workload's program at `size`, instantiating it on first
+    /// use.
+    pub fn program(&self, spec: &WorkloadSpec, size: WorkloadSize) -> Arc<Program> {
+        let key = (spec.name().to_string(), size);
+        if let Some((_, p)) = self
+            .inner
+            .programs
+            .lock()
+            .expect("program cache poisoned")
+            .iter()
+            .find(|(k, _)| *k == key)
+        {
+            return Arc::clone(p);
+        }
+        // Generate outside the lock; kernels are deterministic, so a racing
+        // duplicate generation is wasted work but not an inconsistency.
+        let program = spec.program_at(size);
+        let mut programs = self.inner.programs.lock().expect("program cache poisoned");
+        if let Some((_, p)) = programs.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(p);
+        }
+        programs.push((key, Arc::clone(&program)));
+        program
+    }
+
+    /// Returns the workload's one-pass sweep profile for the given
+    /// candidate lists, profiling on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] if the program faults while profiling.
+    pub fn profile(
+        &self,
+        spec: &WorkloadSpec,
+        size: WorkloadSize,
+        limit: Option<u64>,
+        hierarchy: &HierarchyConfig,
+        l2s: &[CacheConfig],
+        predictors: &[PredictorConfig],
+    ) -> Result<Arc<WorkloadProfile>, EvalError> {
+        let key = ProfileKey {
+            workload: spec.name().to_string(),
+            size,
+            limit,
+            hierarchy: hierarchy.clone(),
+            l2s: l2s.to_vec(),
+            predictors: predictors.to_vec(),
+        };
+        if let Some((_, p)) = self
+            .inner
+            .profiles
+            .lock()
+            .expect("profile cache poisoned")
+            .iter()
+            .find(|(k, _)| *k == key)
+        {
+            return Ok(Arc::clone(p));
+        }
+        let program = self.program(spec, size);
+        let profiler = SweepProfiler::new(hierarchy.clone(), l2s.to_vec(), predictors.to_vec());
+        let profile = profiler
+            .profile(&program, limit)
+            .map_err(|e| EvalError::vm(spec.name(), "profiler", &e))?;
+        let profile = Arc::new(profile);
+        let mut profiles = self.inner.profiles.lock().expect("profile cache poisoned");
+        if let Some((_, p)) = profiles.iter().find(|(k, _)| *k == key) {
+            return Ok(Arc::clone(p));
+        }
+        profiles.push((key, Arc::clone(&profile)));
+        Ok(profile)
+    }
+
+    /// Number of cached profiles (used by tests to assert the one-pass
+    /// invariant).
+    pub fn cached_profiles(&self) -> usize {
+        self.inner
+            .profiles
+            .lock()
+            .expect("profile cache poisoned")
+            .len()
+    }
+}

@@ -1,0 +1,522 @@
+//! The object-safe [`Evaluator`] trait and its three implementations.
+//!
+//! Every evaluator maps `(workload, size)` to a unified [`EvalResult`];
+//! model-vs-simulation comparison is a generic diff of two results rather
+//! than bespoke per-binary wiring. All three implementations share a
+//! [`ProfileCache`], so a workload is profiled exactly once per sweep no
+//! matter how many evaluators and design points consume the profile
+//! (the paper's §2.1 framework).
+
+use std::time::Instant;
+
+use mim_bpred::PredictorConfig;
+use mim_cache::{CacheConfig, HierarchyConfig};
+use mim_core::{
+    CpiStack, DesignPoint, DesignSpace, MachineConfig, MechanisticModel, ModelInputs, OooConfig,
+    OooModel, StackComponent,
+};
+use mim_pipeline::{PipelineSim, SimResult};
+use mim_power::{Activity, EnergyModel};
+use mim_workloads::WorkloadSize;
+
+use crate::cache::ProfileCache;
+use crate::result::{BranchSummary, EvalError, EvalKind, EvalResult};
+use crate::spec::WorkloadSpec;
+
+/// An object-safe performance evaluator: anything that can score a
+/// workload on its machine configuration.
+///
+/// Implementations are [`ModelEvaluator`] (the mechanistic model),
+/// [`SimEvaluator`] (cycle-accurate simulation) and [`OooEvaluator`] (the
+/// out-of-order interval model); downstream code can add its own.
+///
+/// # Example
+///
+/// ```
+/// use mim_core::MachineConfig;
+/// use mim_runner::{Evaluator, ModelEvaluator, SimEvaluator, WorkloadSpec};
+/// use mim_workloads::{mibench, WorkloadSize};
+///
+/// let machine = MachineConfig::default_config();
+/// let evaluators: Vec<Box<dyn Evaluator>> = vec![
+///     Box::new(ModelEvaluator::new(&machine)),
+///     Box::new(SimEvaluator::new(&machine)),
+/// ];
+/// let spec = WorkloadSpec::from(mibench::sha());
+/// for e in &evaluators {
+///     let r = e.evaluate(&spec, WorkloadSize::Tiny).unwrap();
+///     assert!(r.cpi >= 0.25); // cannot beat N/W on a 4-wide machine
+/// }
+/// ```
+pub trait Evaluator: Send + Sync {
+    /// Display name (unique within an experiment).
+    fn name(&self) -> &str;
+
+    /// Which evaluator family this is.
+    fn kind(&self) -> EvalKind;
+
+    /// Evaluates one workload at one size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] if the program faults while profiling or
+    /// simulating.
+    fn evaluate(
+        &self,
+        workload: &WorkloadSpec,
+        size: WorkloadSize,
+    ) -> Result<EvalResult, EvalError>;
+}
+
+/// The (hierarchy, candidate-lists, selected-indices) context that lets an
+/// evaluator share one profiling pass across an entire design space.
+#[derive(Clone)]
+struct SweepContext {
+    hierarchy: HierarchyConfig,
+    l2s: Vec<CacheConfig>,
+    predictors: Vec<PredictorConfig>,
+    l2_index: usize,
+    predictor_index: usize,
+}
+
+impl SweepContext {
+    /// Degenerate context: profile exactly this machine's L2/predictor.
+    fn single(machine: &MachineConfig) -> SweepContext {
+        SweepContext {
+            hierarchy: machine.hierarchy.clone(),
+            l2s: vec![machine.hierarchy.l2.clone()],
+            predictors: vec![machine.predictor.clone()],
+            l2_index: 0,
+            predictor_index: 0,
+        }
+    }
+
+    /// Context for one point of a design space: profile all candidates
+    /// once, select this point's.
+    fn for_point(space: &DesignSpace, point: &DesignPoint) -> SweepContext {
+        SweepContext {
+            hierarchy: space.base().hierarchy.clone(),
+            l2s: space.l2_configs().to_vec(),
+            predictors: space.predictor_configs().to_vec(),
+            l2_index: point.l2_index,
+            predictor_index: point.predictor_index,
+        }
+    }
+
+    fn inputs(
+        &self,
+        cache: &ProfileCache,
+        spec: &WorkloadSpec,
+        size: WorkloadSize,
+        limit: Option<u64>,
+    ) -> Result<ModelInputs, EvalError> {
+        let profile = cache.profile(
+            spec,
+            size,
+            limit,
+            &self.hierarchy,
+            &self.l2s,
+            &self.predictors,
+        )?;
+        Ok(profile.inputs_for(self.l2_index, self.predictor_index))
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn result_from_stack(
+    spec: &WorkloadSpec,
+    name: &str,
+    kind: EvalKind,
+    machine: &MachineConfig,
+    machine_index: usize,
+    inputs: &ModelInputs,
+    stack: CpiStack,
+    energy: bool,
+    wall_seconds: f64,
+) -> EvalResult {
+    let energy = energy.then(|| {
+        EnergyModel::new(machine).evaluate(&Activity::from_model(inputs, stack.total_cycles()))
+    });
+    EvalResult {
+        workload: spec.name().to_string(),
+        evaluator: name.to_string(),
+        kind,
+        machine_id: machine.id(),
+        machine_index,
+        instructions: inputs.num_insts,
+        cycles: stack.total_cycles(),
+        cpi: stack.cpi(),
+        misses: Some(inputs.misses),
+        branch: Some(BranchSummary {
+            branches: inputs.branch.branches,
+            mispredicts: inputs.branch.mispredicts,
+            taken_correct: inputs.branch.taken_correct,
+        }),
+        stack: Some(stack),
+        energy,
+        wall_seconds,
+    }
+}
+
+/// Evaluates workloads with the paper's mechanistic in-order model: one
+/// cached profiling pass, then closed-form prediction per design point.
+#[derive(Clone)]
+pub struct ModelEvaluator {
+    machine: MachineConfig,
+    sweep: SweepContext,
+    cache: ProfileCache,
+    limit: Option<u64>,
+    name: String,
+    ablated: Vec<StackComponent>,
+    energy: bool,
+}
+
+impl ModelEvaluator {
+    /// Model evaluator for a single machine configuration.
+    pub fn new(machine: &MachineConfig) -> ModelEvaluator {
+        ModelEvaluator {
+            machine: machine.clone(),
+            sweep: SweepContext::single(machine),
+            cache: ProfileCache::new(),
+            limit: None,
+            name: EvalKind::Model.label().to_string(),
+            ablated: Vec::new(),
+            energy: false,
+        }
+    }
+
+    /// Model evaluator for one point of a design space. All points of the
+    /// same space share a single profiling pass per workload (provided
+    /// they share a [`ProfileCache`], see [`with_cache`]).
+    ///
+    /// [`with_cache`]: ModelEvaluator::with_cache
+    pub fn for_point(space: &DesignSpace, point: &DesignPoint) -> ModelEvaluator {
+        ModelEvaluator {
+            machine: point.machine.clone(),
+            sweep: SweepContext::for_point(space, point),
+            cache: ProfileCache::new(),
+            limit: None,
+            name: EvalKind::Model.label().to_string(),
+            ablated: Vec::new(),
+            energy: false,
+        }
+    }
+
+    /// Shares a profile cache with other evaluators.
+    pub fn with_cache(mut self, cache: ProfileCache) -> ModelEvaluator {
+        self.cache = cache;
+        self
+    }
+
+    /// Truncates profiling to `limit` retired instructions.
+    pub fn with_limit(mut self, limit: Option<u64>) -> ModelEvaluator {
+        self.limit = limit;
+        self
+    }
+
+    /// Overrides the evaluator's display name.
+    pub fn with_name(mut self, name: impl Into<String>) -> ModelEvaluator {
+        self.name = name.into();
+        self
+    }
+
+    /// Zeroes the given penalty terms before summing the stack (the
+    /// ablation study's knob).
+    pub fn with_ablation(mut self, ablated: Vec<StackComponent>) -> ModelEvaluator {
+        self.ablated = ablated;
+        self
+    }
+
+    /// Also evaluates the energy model, populating
+    /// [`EvalResult::energy`].
+    pub fn with_energy(mut self, energy: bool) -> ModelEvaluator {
+        self.energy = energy;
+        self
+    }
+}
+
+impl Evaluator for ModelEvaluator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> EvalKind {
+        EvalKind::Model
+    }
+
+    fn evaluate(
+        &self,
+        workload: &WorkloadSpec,
+        size: WorkloadSize,
+    ) -> Result<EvalResult, EvalError> {
+        let t0 = Instant::now();
+        let inputs = self.sweep.inputs(&self.cache, workload, size, self.limit)?;
+        let model = MechanisticModel::new(&self.machine);
+        let stack = if self.ablated.is_empty() {
+            model.predict(&inputs)
+        } else {
+            model.predict_ablated(&inputs, &self.ablated)
+        };
+        Ok(result_from_stack(
+            workload,
+            &self.name,
+            EvalKind::Model,
+            &self.machine,
+            0,
+            &inputs,
+            stack,
+            self.energy,
+            t0.elapsed().as_secs_f64(),
+        ))
+    }
+}
+
+/// Evaluates workloads with the cycle-accurate in-order pipeline
+/// simulator — the "detailed simulation" reference the model is validated
+/// against.
+#[derive(Clone)]
+pub struct SimEvaluator {
+    machine: MachineConfig,
+    sweep: SweepContext,
+    cache: ProfileCache,
+    limit: Option<u64>,
+    name: String,
+    energy: bool,
+}
+
+impl SimEvaluator {
+    /// Simulator evaluator for a single machine configuration.
+    pub fn new(machine: &MachineConfig) -> SimEvaluator {
+        SimEvaluator {
+            machine: machine.clone(),
+            sweep: SweepContext::single(machine),
+            cache: ProfileCache::new(),
+            limit: None,
+            name: EvalKind::Sim.label().to_string(),
+            energy: false,
+        }
+    }
+
+    /// Simulator evaluator for one point of a design space.
+    pub fn for_point(space: &DesignSpace, point: &DesignPoint) -> SimEvaluator {
+        SimEvaluator {
+            machine: point.machine.clone(),
+            sweep: SweepContext::for_point(space, point),
+            ..SimEvaluator::new(&point.machine)
+        }
+    }
+
+    /// Shares a profile cache (only consulted when energy evaluation needs
+    /// the instruction mix).
+    pub fn with_cache(mut self, cache: ProfileCache) -> SimEvaluator {
+        self.cache = cache;
+        self
+    }
+
+    /// Truncates simulation to `limit` retired instructions.
+    pub fn with_limit(mut self, limit: Option<u64>) -> SimEvaluator {
+        self.limit = limit;
+        self
+    }
+
+    /// Overrides the evaluator's display name.
+    pub fn with_name(mut self, name: impl Into<String>) -> SimEvaluator {
+        self.name = name.into();
+        self
+    }
+
+    /// Also evaluates the energy model (profiles the workload for the
+    /// instruction mix the energy model needs).
+    pub fn with_energy(mut self, energy: bool) -> SimEvaluator {
+        self.energy = energy;
+        self
+    }
+
+    fn result_from_sim(
+        &self,
+        spec: &WorkloadSpec,
+        sim: &SimResult,
+        inputs: Option<&ModelInputs>,
+        wall_seconds: f64,
+    ) -> EvalResult {
+        let energy = inputs.map(|inputs| {
+            EnergyModel::new(&self.machine).evaluate(&Activity::from_sim(sim, inputs))
+        });
+        EvalResult {
+            workload: spec.name().to_string(),
+            evaluator: self.name.clone(),
+            kind: EvalKind::Sim,
+            machine_id: self.machine.id(),
+            machine_index: 0,
+            instructions: sim.instructions,
+            cycles: sim.cycles as f64,
+            cpi: sim.cpi(),
+            stack: None,
+            misses: Some(sim.misses),
+            branch: Some(BranchSummary {
+                branches: sim.branches,
+                mispredicts: sim.mispredicts,
+                taken_correct: sim.taken_correct,
+            }),
+            energy,
+            wall_seconds,
+        }
+    }
+}
+
+impl Evaluator for SimEvaluator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> EvalKind {
+        EvalKind::Sim
+    }
+
+    fn evaluate(
+        &self,
+        workload: &WorkloadSpec,
+        size: WorkloadSize,
+    ) -> Result<EvalResult, EvalError> {
+        let t0 = Instant::now();
+        let program = self.cache.program(workload, size);
+        let sim = PipelineSim::new(&self.machine)
+            .simulate_limit(&program, self.limit)
+            .map_err(|e| EvalError::vm(workload.name(), &self.name, &e))?;
+        let inputs = if self.energy {
+            Some(self.sweep.inputs(&self.cache, workload, size, self.limit)?)
+        } else {
+            None
+        };
+        Ok(self.result_from_sim(workload, &sim, inputs.as_ref(), t0.elapsed().as_secs_f64()))
+    }
+}
+
+/// Evaluates workloads with the first-order out-of-order interval model
+/// (Eyerman et al.), the paper's §6.1 comparator. Memory-level
+/// parallelism is estimated per workload from the program itself unless
+/// fixed with [`with_mlp`](OooEvaluator::with_mlp).
+#[derive(Clone)]
+pub struct OooEvaluator {
+    machine: MachineConfig,
+    sweep: SweepContext,
+    cache: ProfileCache,
+    limit: Option<u64>,
+    name: String,
+    rob_size: u32,
+    fixed_mlp: Option<f64>,
+    energy: bool,
+}
+
+impl OooEvaluator {
+    /// Out-of-order evaluator sharing the machine's front end, caches and
+    /// predictor, with the paper's 128-entry window.
+    pub fn new(machine: &MachineConfig) -> OooEvaluator {
+        OooEvaluator {
+            machine: machine.clone(),
+            sweep: SweepContext::single(machine),
+            cache: ProfileCache::new(),
+            limit: None,
+            name: EvalKind::Ooo.label().to_string(),
+            rob_size: 128,
+            fixed_mlp: None,
+            energy: false,
+        }
+    }
+
+    /// Out-of-order evaluator for one point of a design space.
+    pub fn for_point(space: &DesignSpace, point: &DesignPoint) -> OooEvaluator {
+        OooEvaluator {
+            machine: point.machine.clone(),
+            sweep: SweepContext::for_point(space, point),
+            ..OooEvaluator::new(&point.machine)
+        }
+    }
+
+    /// Shares a profile cache with other evaluators.
+    pub fn with_cache(mut self, cache: ProfileCache) -> OooEvaluator {
+        self.cache = cache;
+        self
+    }
+
+    /// Truncates profiling to `limit` retired instructions.
+    pub fn with_limit(mut self, limit: Option<u64>) -> OooEvaluator {
+        self.limit = limit;
+        self
+    }
+
+    /// Overrides the evaluator's display name.
+    pub fn with_name(mut self, name: impl Into<String>) -> OooEvaluator {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the reorder-buffer size (default 128).
+    pub fn with_rob_size(mut self, rob_size: u32) -> OooEvaluator {
+        self.rob_size = rob_size;
+        self
+    }
+
+    /// Fixes the memory-level parallelism instead of estimating it per
+    /// workload.
+    pub fn with_mlp(mut self, mlp: f64) -> OooEvaluator {
+        self.fixed_mlp = Some(mlp);
+        self
+    }
+
+    /// Also evaluates the energy model.
+    pub fn with_energy(mut self, energy: bool) -> OooEvaluator {
+        self.energy = energy;
+        self
+    }
+}
+
+impl Evaluator for OooEvaluator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> EvalKind {
+        EvalKind::Ooo
+    }
+
+    fn evaluate(
+        &self,
+        workload: &WorkloadSpec,
+        size: WorkloadSize,
+    ) -> Result<EvalResult, EvalError> {
+        let t0 = Instant::now();
+        let inputs = self.sweep.inputs(&self.cache, workload, size, self.limit)?;
+        let mlp = match self.fixed_mlp {
+            Some(mlp) => mlp,
+            None => {
+                let program = self.cache.program(workload, size);
+                mim_profile::estimate_mlp(
+                    &program,
+                    &self.machine.hierarchy,
+                    self.rob_size,
+                    self.limit,
+                )
+                .map_err(|e| EvalError::vm(workload.name(), &self.name, &e))?
+                .mlp
+            }
+        };
+        let model = OooModel::new(OooConfig {
+            machine: self.machine.clone(),
+            rob_size: self.rob_size,
+            mlp,
+        });
+        let stack = model.predict(&inputs);
+        Ok(result_from_stack(
+            workload,
+            &self.name,
+            EvalKind::Ooo,
+            &self.machine,
+            0,
+            &inputs,
+            stack,
+            self.energy,
+            t0.elapsed().as_secs_f64(),
+        ))
+    }
+}

@@ -1,0 +1,72 @@
+//! # mim-runner — the unified evaluation API
+//!
+//! The paper's headline claim (§5) is that the mechanistic model turns
+//! design-space exploration into microseconds per point. This crate is
+//! that claim's API surface: instead of hand-wiring
+//! `Profiler` → `MechanisticModel` / `PipelineSim` / `OooModel` in every
+//! experiment, callers compose two layers:
+//!
+//! * [`Evaluator`] — an object-safe trait mapping `(workload, size)` to a
+//!   unified, serializable [`EvalResult`] (CPI, cycles, CPI-stack
+//!   components, miss/branch counters, optional energy). Implementations:
+//!   [`ModelEvaluator`] (mechanistic model over a cached
+//!   [`WorkloadProfile`](mim_profile::WorkloadProfile)), [`SimEvaluator`]
+//!   (cycle-accurate pipeline), [`OooEvaluator`] (out-of-order interval
+//!   model).
+//! * [`Experiment`] — a builder running the (workload × design-point ×
+//!   evaluator) grid: one [`SweepProfiler`](mim_profile::SweepProfiler)
+//!   pass per workload reused across all design points (the §2.1
+//!   framework), parallel execution across `threads(n)` workers with
+//!   deterministic result ordering, and a JSON-serializable
+//!   [`ExperimentReport`] whose bytes are identical for any thread count.
+//!
+//! ## Example: model-vs-simulation validation in six lines
+//!
+//! ```
+//! use mim_runner::{EvalKind, Experiment};
+//! use mim_workloads::{mibench, WorkloadSize};
+//!
+//! let report = Experiment::new()
+//!     .workloads([mibench::sha(), mibench::qsort()])
+//!     .size(WorkloadSize::Tiny)
+//!     .evaluators([EvalKind::Model, EvalKind::Sim])
+//!     .run()
+//!     .unwrap();
+//! let rows = report.compare("model", "sim");
+//! assert!(rows.iter().all(|r| r.error_percent.abs() < 25.0));
+//! ```
+//!
+//! ## Example: a 192-point design-space sweep
+//!
+//! ```no_run
+//! use mim_core::DesignSpace;
+//! use mim_runner::{EvalKind, Experiment};
+//! use mim_workloads::mibench;
+//!
+//! let report = Experiment::new()
+//!     .workloads(mibench::all())
+//!     .design_space(DesignSpace::paper_table2())
+//!     .evaluators([EvalKind::Model])
+//!     .energy(true)
+//!     .threads(0) // all cores
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.machines.len(), 192);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod evaluator;
+mod experiment;
+mod result;
+mod spec;
+
+pub use cache::ProfileCache;
+pub use evaluator::{Evaluator, ModelEvaluator, OooEvaluator, SimEvaluator};
+pub use experiment::{
+    print_comparison, CpiComparison, Experiment, ExperimentReport, ExperimentTiming,
+};
+pub use result::{BranchSummary, EvalError, EvalKind, EvalResult};
+pub use spec::WorkloadSpec;

@@ -11,11 +11,7 @@ fn dct_table() -> [i64; 64] {
     let mut t = [0i64; 64];
     for u in 0..8 {
         for x in 0..8 {
-            let cu = if u == 0 {
-                1.0 / (2.0f64).sqrt()
-            } else {
-                1.0
-            };
+            let cu = if u == 0 { 1.0 / (2.0f64).sqrt() } else { 1.0 };
             let v = cu * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
             t[u * 8 + x] = (v * 1024.0 / 2.0).round() as i64;
         }

@@ -19,8 +19,8 @@ mod telecom;
 mod tiff;
 
 pub use adpcm::{adpcm_c, adpcm_d};
-pub use extra::{basicmath, bitcount, crc32, fft};
 pub use consumer::{jpeg_c, jpeg_d, lame};
+pub use extra::{basicmath, bitcount, crc32, fft};
 pub use network::{dijkstra, patricia};
 pub use office::{qsort, stringsearch};
 pub use susan::{susan_c, susan_e, susan_s};

@@ -80,6 +80,7 @@ fn build_dijkstra(size: WorkloadSize) -> Program {
 
     let done = b.label();
     b.blt(bestu, zero, done); // graph exhausted
+
     // visited[bestu] = 1
     b.slli(addr, bestu, 3);
     b.addi(tmp, addr, visited as i64);
@@ -275,10 +276,7 @@ mod tests {
         let mut vis = vec![false; v];
         rd[0] = 0;
         for _ in 0..v {
-            let u = (0..v)
-                .filter(|&u| !vis[u])
-                .min_by_key(|&u| rd[u])
-                .unwrap();
+            let u = (0..v).filter(|&u| !vis[u]).min_by_key(|&u| rd[u]).unwrap();
             vis[u] = true;
             for w in 0..v {
                 let cand = rd[u] + matrix[u * v + w];

@@ -366,7 +366,7 @@ mod tests {
         assert!(vm.run(Some(10_000_000)).unwrap().halted());
         let mem = vm.memory();
         let digest = &mem[mem.len() - 5..];
-        assert!(digest.iter().all(|&d| d >= 0 && d <= 0xFFFF_FFFF));
+        assert!(digest.iter().all(|&d| (0..=0xFFFF_FFFF).contains(&d)));
         assert!(digest.iter().any(|&d| d != 0));
         // Re-run: identical digest.
         let mut vm2 = Vm::new(&p);
@@ -401,7 +401,11 @@ mod tests {
         let mem = vm.memory();
         let acf = &mem[mem.len() - frames * 9..];
         // ACF[0] (energy) must be positive for a nonzero signal.
-        assert!(acf[0] > 0, "frame energy should be positive, got {}", acf[0]);
+        assert!(
+            acf[0] > 0,
+            "frame energy should be positive, got {}",
+            acf[0]
+        );
     }
 
     #[test]

@@ -185,6 +185,7 @@ fn build_tiffdither(size: WorkloadSize) -> Program {
     b.add(e3, e3, e1); // 3 * (e/16)
     b.slli(e5, e1, 2);
     b.add(e5, e5, e1); // 5 * (e/16)
+
     // err[y][x+1] += e7
     b.ld(v, addr, 8);
     b.add(v, v, e7);

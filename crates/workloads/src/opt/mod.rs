@@ -34,4 +34,3 @@ mod unroll;
 
 pub use sched::schedule;
 pub use unroll::unroll;
-

@@ -72,7 +72,11 @@ pub fn unroll(program: &Program, factor: u32) -> Program {
             used[r.index()] = true;
         }
     }
-    let mut free: Vec<Reg> = Reg::ALL.iter().copied().filter(|r| !used[r.index()]).collect();
+    let mut free: Vec<Reg> = Reg::ALL
+        .iter()
+        .copied()
+        .filter(|r| !used[r.index()])
+        .collect();
 
     // Collect candidate block ids first (we mutate the block list).
     let candidates: Vec<usize> = (0..cfg.blocks.len())
@@ -159,7 +163,11 @@ fn renameable_temps(body: &[Inst]) -> Vec<Reg> {
 }
 
 fn rename(body: &[Inst], map: &[(Reg, Reg)]) -> Vec<Inst> {
-    let lookup = |r: Reg| map.iter().find(|&&(from, _)| from == r).map_or(r, |&(_, to)| to);
+    let lookup = |r: Reg| {
+        map.iter()
+            .find(|&&(from, _)| from == r)
+            .map_or(r, |&(_, to)| to)
+    };
     body.iter()
         .map(|inst| {
             let mut out = *inst;
@@ -178,14 +186,7 @@ fn rename(body: &[Inst], map: &[(Reg, Reg)]) -> Vec<Inst> {
         .collect()
 }
 
-fn apply(
-    cfg: &mut Cfg,
-    b: usize,
-    cand: Candidate,
-    scratch: Reg,
-    free: &mut Vec<Reg>,
-    factor: u32,
-) {
+fn apply(cfg: &mut Cfg, b: usize, cand: Candidate, scratch: Reg, free: &mut Vec<Reg>, factor: u32) {
     let body = cfg.blocks[b].body.clone();
     let Term::Branch { cond, a, b: rb, .. } = cfg.blocks[b].term else {
         unreachable!("candidate() checked the terminator");

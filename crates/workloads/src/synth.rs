@@ -65,8 +65,7 @@ impl SyntheticWorkload {
     /// Panics if `block_size` is zero or the mix has no weight.
     pub fn generate(&self) -> Program {
         assert!(self.block_size > 0, "block size must be nonzero");
-        let total_mix: u32 =
-            self.mix.0 + self.mix.1 + self.mix.2 + self.mix.3 + self.mix.4;
+        let total_mix: u32 = self.mix.0 + self.mix.1 + self.mix.2 + self.mix.3 + self.mix.4;
         assert!(total_mix > 0, "instruction mix must have weight");
 
         let mut rng = SplitMix64::new(self.seed);

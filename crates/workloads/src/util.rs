@@ -35,7 +35,6 @@ impl SplitMix64 {
     pub fn signed(&mut self, amplitude: i64) -> i64 {
         (self.below(2 * amplitude as u64 + 1)) as i64 - amplitude
     }
-
 }
 
 /// Generates a smooth synthetic grayscale "image" of `w x h` pixels in

@@ -84,7 +84,9 @@ impl Workload {
 
 impl fmt::Debug for Workload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Workload").field("name", &self.name).finish()
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

@@ -1,7 +1,8 @@
 //! Compiler-optimization analysis (paper §6.2): compare the CPI stacks of
 //! a kernel compiled three ways — naive ("nosched"), list-scheduled
 //! ("O3"), and unrolled+scheduled ("unroll") — and see which mechanistic
-//! component each optimization attacks.
+//! component each optimization attacks. Each variant is a fixed-program
+//! `WorkloadSpec` fed through one shared `Experiment`.
 //!
 //! Run with:
 //!
@@ -9,9 +10,9 @@
 //! cargo run --release --example compiler_opts [benchmark]
 //! ```
 
-use mim::core::{MachineConfig, MechanisticModel};
-use mim::profile::Profiler;
-use mim::workloads::{mibench, opt, WorkloadSize};
+use mim::core::StackComponent;
+use mim::prelude::*;
+use mim::workloads::{mibench, opt};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "tiff2bw".into());
@@ -20,31 +21,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .find(|w| w.name() == name)
         .ok_or_else(|| format!("unknown benchmark {name}"))?;
     let machine = MachineConfig::default_config();
-    let profiler = Profiler::new(&machine);
-    let model = MechanisticModel::new(&machine);
 
     let nosched = workload.program(WorkloadSize::Small);
     let o3 = opt::schedule(&nosched);
     let unrolled = opt::schedule(&opt::unroll(&nosched, 4));
 
+    let report = Experiment::new()
+        .title("compiler options")
+        .machine(machine.clone())
+        .workloads([
+            WorkloadSpec::program("nosched", nosched),
+            WorkloadSpec::program("O3", o3),
+            WorkloadSpec::program("unroll", unrolled),
+        ])
+        .evaluators([EvalKind::Model])
+        .run()?;
+
     println!("{name} on {}:\n", machine.id());
     let mut base_cycles = None;
-    for (label, program) in [("nosched", &nosched), ("O3", &o3), ("unroll", &unrolled)] {
-        let inputs = profiler.profile(program)?;
-        let stack = model.predict(&inputs);
-        let cycles = stack.total_cycles();
-        let base = *base_cycles.get_or_insert(cycles);
+    for label in ["nosched", "O3", "unroll"] {
+        let result = report.get(label, 0, "model").expect("cell");
+        let stack = result.stack.as_ref().expect("model rows carry stacks");
+        let base = *base_cycles.get_or_insert(result.cycles);
         println!(
             "--- {label}: {} insts, {:.0} cycles ({:+.1}% vs nosched)",
-            inputs.num_insts,
-            cycles,
-            100.0 * (cycles - base) / base
+            result.instructions,
+            result.cycles,
+            100.0 * (result.cycles - base) / base
         );
         println!(
             "    base {:>10.0}  deps {:>9.0}  taken-branch {:>8.0}  mul/div {:>8.0}",
-            stack.cycles_of(mim::core::StackComponent::Base),
+            stack.cycles_of(StackComponent::Base),
             stack.dependencies(),
-            stack.cycles_of(mim::core::StackComponent::TakenBranch),
+            stack.cycles_of(StackComponent::TakenBranch),
             stack.mul_div(),
         );
     }

@@ -1,7 +1,7 @@
 //! Bring your own kernel: write a program against the `mim-isa` builder,
-//! then put it through the whole toolchain — functional execution,
-//! profiling, model prediction, detailed simulation, and an in-order vs
-//! out-of-order comparison (paper §6.1).
+//! then put it through the whole toolchain — functional execution, then
+//! one `Experiment` comparing the in-order model, detailed simulation,
+//! and the out-of-order interval model (paper §6.1).
 //!
 //! Run with:
 //!
@@ -9,7 +9,7 @@
 //! cargo run --release --example custom_workload
 //! ```
 
-use mim::core::{MechanisticModel, OooConfig, OooModel, StackComponent};
+use mim::core::StackComponent;
 use mim::isa::{ProgramBuilder, Reg};
 use mim::prelude::*;
 
@@ -51,37 +51,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut vm = Vm::new(&program);
     vm.run(None)?;
     let result = *vm.memory().last().expect("output word");
-    let expected: i64 = (0..50_000i64).map(|i| ((i * 7) % 100) * ((i * 13) % 100)).sum();
+    let expected: i64 = (0..50_000i64)
+        .map(|i| ((i * 7) % 100) * ((i * 13) % 100))
+        .sum();
     assert_eq!(result, expected);
     println!("functional result OK: {result}");
 
-    // Model vs simulation on the default machine.
-    let machine = MachineConfig::default_config();
-    let inputs = Profiler::new(&machine).profile(&program)?;
-    let in_order = MechanisticModel::new(&machine).predict(&inputs);
-    let sim = PipelineSim::new(&machine).simulate(&program)?;
+    // One experiment, three evaluators, shared profile.
+    let report = Experiment::new()
+        .title("custom kernel")
+        .workload(WorkloadSpec::program("dot-product", program))
+        .evaluators([EvalKind::Model, EvalKind::Sim, EvalKind::Ooo])
+        .rob_size(128)
+        .run()?;
+
+    let in_order = report.get("dot-product", 0, "model").expect("cell");
+    let sim = report.get("dot-product", 0, "sim").expect("cell");
+    let ooo = report.get("dot-product", 0, "ooo").expect("cell");
     println!(
         "\nin-order:  model CPI {:.3} | simulated CPI {:.3} (error {:+.1}%)",
-        in_order.cpi(),
-        sim.cpi(),
-        100.0 * (in_order.cpi() - sim.cpi()) / sim.cpi()
+        in_order.cpi,
+        sim.cpi,
+        100.0 * (in_order.cpi - sim.cpi) / sim.cpi
     );
 
     // The §6.1 comparison: the out-of-order interval model hides the
     // dependency and multiply stalls that dominate this kernel in order.
-    let ooo = OooModel::new(OooConfig::default_config()).predict(&inputs);
-    println!("out-of-order interval model CPI: {:.3}", ooo.cpi());
+    println!("out-of-order interval model CPI: {:.3}", ooo.cpi);
+    let stack_of = |r: &EvalResult| r.stack.clone().expect("analytical rows carry stacks");
+    let (s_in, s_ooo) = (stack_of(in_order), stack_of(ooo));
+    let n = in_order.instructions as f64;
     println!(
         "\ncomponent        in-order   out-of-order   (CPI)\n\
          dependencies     {:>8.3}   {:>12.3}\n\
          mul/div          {:>8.3}   {:>12.3}\n\
          branch miss      {:>8.3}   {:>12.3}",
-        in_order.dependencies() / inputs.num_insts as f64,
-        ooo.dependencies() / inputs.num_insts as f64,
-        in_order.mul_div() / inputs.num_insts as f64,
-        ooo.mul_div() / inputs.num_insts as f64,
-        in_order.cpi_of(StackComponent::BranchMiss),
-        ooo.cpi_of(StackComponent::BranchMiss),
+        s_in.dependencies() / n,
+        s_ooo.dependencies() / n,
+        s_in.mul_div() / n,
+        s_ooo.mul_div() / n,
+        s_in.cpi_of(StackComponent::BranchMiss),
+        s_ooo.cpi_of(StackComponent::BranchMiss),
     );
     Ok(())
 }

@@ -1,7 +1,7 @@
 //! Design-space exploration: profile once, evaluate the model on all 192
 //! design points of the paper's Table 2 space, and report the
 //! energy-delay-product optimum (paper §6.3) — all without a single
-//! detailed simulation in the loop.
+//! detailed simulation in the loop, parallel across every core.
 //!
 //! Run with:
 //!
@@ -9,12 +9,9 @@
 //! cargo run --release --example design_space [benchmark]
 //! ```
 
-use std::time::Instant;
-
-use mim::core::{DesignSpace, MechanisticModel};
-use mim::power::{Activity, EnergyModel};
-use mim::profile::SweepProfiler;
-use mim::workloads::{mibench, WorkloadSize};
+use mim::core::DesignSpace;
+use mim::prelude::*;
+use mim::workloads::mibench;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "gsm_c".into());
@@ -22,36 +19,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .find(|w| w.name() == name)
         .ok_or_else(|| format!("unknown benchmark {name}"))?;
-    let program = workload.program(WorkloadSize::Small);
 
     // One profiling pass covers every L2 size/associativity and both
-    // branch predictors of the design space (single-pass sweeps, §2.1).
-    let space = DesignSpace::paper_table2();
-    let t0 = Instant::now();
-    let profile = SweepProfiler::for_design_space(&space).profile(&program, None)?;
-    let profile_time = t0.elapsed();
+    // branch predictors of the design space (single-pass sweeps, §2.1);
+    // the model plus the energy model then score all 192 points.
+    let report = Experiment::new()
+        .title("EDP design-space exploration")
+        .workload(workload)
+        .size(WorkloadSize::Small)
+        .design_space(DesignSpace::paper_table2())
+        .evaluators([EvalKind::Model])
+        .energy(true)
+        .threads(0) // all cores
+        .run()?;
 
-    // Evaluate all 192 design points analytically.
-    let t1 = Instant::now();
-    let mut results: Vec<(String, f64, f64)> = Vec::new(); // (id, cpi, edp)
-    for point in space.points() {
-        let inputs = profile.inputs_for(point.l2_index, point.predictor_index);
-        let stack = MechanisticModel::new(&point.machine).predict(&inputs);
-        let activity = Activity::from_model(&inputs, stack.total_cycles());
-        let report = EnergyModel::new(&point.machine).evaluate(&activity);
-        results.push((point.machine.id(), stack.cpi(), report.edp()));
-    }
-    let eval_time = t1.elapsed();
-
+    let mut results: Vec<(&str, f64, f64)> = report
+        .rows_for("model")
+        .map(|r| {
+            (
+                report.machines[r.machine_index].as_str(),
+                r.cpi,
+                r.edp().expect("energy enabled"),
+            )
+        })
+        .collect();
     results.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite EDP"));
+
     println!(
-        "{name}: profiled once in {profile_time:?}, evaluated {} design points in {eval_time:?}\n",
-        results.len()
+        "{name}: profiled once in {:.3} s, evaluated {} design points in {:.4} s \
+         ({} threads, {:.4} s wall)\n",
+        report.timing.profile_seconds,
+        results.len(),
+        report.evaluator_seconds("model"),
+        report.timing.threads,
+        report.timing.eval_seconds,
     );
     println!("best 5 configurations by energy-delay product:");
     for (id, cpi, edp) in results.iter().take(5) {
         println!("  {id:<44} CPI {cpi:>6.3}  EDP {edp:.3e} J*s");
     }
-    println!("\nworst configuration: {}", results.last().expect("nonempty").0);
+    println!(
+        "\nworst configuration: {}",
+        results.last().expect("nonempty").0
+    );
     Ok(())
 }

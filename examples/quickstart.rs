@@ -1,5 +1,6 @@
-//! Quickstart: profile a benchmark once, predict its CPI stack with the
-//! mechanistic model, and validate against detailed simulation.
+//! Quickstart: evaluate a benchmark with the mechanistic model and
+//! validate it against detailed simulation — one `Experiment`, two
+//! evaluators, zero hand-wiring.
 //!
 //! Run with:
 //!
@@ -15,33 +16,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = MachineConfig::default_config();
     println!("machine: {machine}\n");
 
-    // Pick a workload: the SHA-1-style digest kernel (MiBench `sha`).
-    let program = mim::workloads::mibench::sha().program(WorkloadSize::Small);
+    // One experiment: profile the workload once (paper Figure 2), predict
+    // its CPI stack with the mechanistic model, and simulate it
+    // cycle-accurately for reference.
+    let report = Experiment::new()
+        .title("quickstart")
+        .machine(machine)
+        .workload(mim::workloads::mibench::sha())
+        .size(WorkloadSize::Small)
+        .evaluators([EvalKind::Model, EvalKind::Sim])
+        .run()?;
+
+    let model = report.get("sha", 0, "model").expect("model cell");
+    let sim = report.get("sha", 0, "sim").expect("sim cell");
     println!(
-        "workload: {} ({} static instructions)",
-        program.name(),
-        program.len()
+        "profiled {} dynamic instructions ({} branch mispredicts)",
+        model.instructions,
+        model
+            .branch
+            .expect("model rows carry branch counts")
+            .mispredicts
+    );
+    println!(
+        "\n{}",
+        model.stack.as_ref().expect("model rows carry stacks")
     );
 
-    // 1. Profile once — a single functional pass collects the instruction
-    //    mix, dependency-distance profiles, cache misses and branch
-    //    mispredictions (paper Figure 2).
-    let inputs = Profiler::new(&machine).profile(&program)?;
+    let err = 100.0 * (model.cpi - sim.cpi) / sim.cpi;
+    println!("detailed simulation: CPI = {:.4}", sim.cpi);
     println!(
-        "profiled {} dynamic instructions ({:.1}% loads/stores, {} branch mispredicts)",
-        inputs.num_insts,
-        100.0 * inputs.mix.memory_fraction(),
-        inputs.branch.mispredicts
+        "model prediction:    CPI = {:.4}  (error {err:+.2}%)",
+        model.cpi
     );
-
-    // 2. Evaluate the model: closed-form, microseconds per design point.
-    let stack = MechanisticModel::new(&machine).predict(&inputs);
-    println!("\n{stack}");
-
-    // 3. Compare against cycle-accurate simulation.
-    let sim = PipelineSim::new(&machine).simulate(&program)?;
-    let err = 100.0 * (stack.cpi() - sim.cpi()) / sim.cpi();
-    println!("detailed simulation: CPI = {:.4}", sim.cpi());
-    println!("model prediction:    CPI = {:.4}  (error {err:+.2}%)", stack.cpi());
+    println!(
+        "\nmodel evaluation took {:.1} µs vs {:.1} ms of simulation (§5)",
+        model.wall_seconds * 1e6,
+        sim.wall_seconds * 1e3
+    );
     Ok(())
 }

@@ -13,32 +13,67 @@
 //! * [`workloads`] — MiBench-like and SPEC-like kernels plus compiler passes
 //! * [`profile`] — one-pass profiler producing the model's inputs (Table 1)
 //! * [`pipeline`] — cycle-accurate in-order pipeline simulator (the "M5")
+//! * [`runner`] — **the unified evaluation API**: the object-safe
+//!   [`Evaluator`](mim_runner::Evaluator) trait over model / simulator /
+//!   out-of-order comparator, and the [`Experiment`](mim_runner::Experiment)
+//!   builder for parallel design-space sweeps with deterministic,
+//!   JSON-serializable reports
 //! * [`power`] — McPAT-like energy model and EDP evaluation
 //!
 //! ## Quickstart
+//!
+//! Declare what to evaluate; the `Experiment` owns profiling (one pass per
+//! workload, paper §2.1), evaluator wiring, parallelism, and reporting:
 //!
 //! ```
 //! use mim::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // 1. Pick a workload and a machine.
-//! let program = mim::workloads::mibench::sha().tiny();
-//! let machine = MachineConfig::default_config();
+//! // 1. One experiment: a workload, the default machine, two evaluators.
+//! let report = Experiment::new()
+//!     .workload(mim::workloads::mibench::sha())
+//!     .size(WorkloadSize::Tiny)
+//!     .evaluators([EvalKind::Model, EvalKind::Sim])
+//!     .run()?;
 //!
-//! // 2. Profile once (architecture-independent + per-config statistics).
-//! let profile = Profiler::new(&machine).profile(&program)?;
+//! // 2. Every cell is a unified, serializable record.
+//! let model = report.get("sha", 0, "model").expect("model cell");
+//! assert!(model.cpi >= 1.0 / 4.0); // at least N/W on a 4-wide machine
+//! assert!(model.stack.is_some());  // analytical rows carry CPI stacks
 //!
-//! // 3. Evaluate the mechanistic model: instantaneous CPI prediction.
-//! let stack = MechanisticModel::new(&machine).predict(&profile);
-//! assert!(stack.cpi() >= 1.0 / machine.width as f64);
-//!
-//! // 4. Compare against detailed cycle-accurate simulation.
-//! let sim = PipelineSim::new(&machine).simulate(&program)?;
-//! let err = (stack.cpi() - sim.cpi()).abs() / sim.cpi();
-//! assert!(err < 0.15, "model within 15% of detailed simulation");
+//! // 3. Model-vs-simulation comparison is a generic two-evaluator diff.
+//! let diff = report.compare("model", "sim");
+//! assert!(diff[0].error_percent.abs() < 15.0, "model within 15% of sim");
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Design-space exploration is the same declaration plus a space and a
+//! thread count — the paper's 192-point Table 2 sweep:
+//!
+//! ```no_run
+//! use mim::prelude::*;
+//! use mim::core::DesignSpace;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let report = Experiment::new()
+//!     .workloads(mim::workloads::mibench::all())
+//!     .design_space(DesignSpace::paper_table2())
+//!     .evaluators([EvalKind::Model])
+//!     .energy(true)   // §6.3: EDP per design point
+//!     .threads(0)     // all cores; any thread count → identical bytes
+//!     .run()?;
+//! assert_eq!(report.machines.len(), 192);
+//! std::fs::write("sweep.json", report.to_json())?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The underlying subsystems remain directly usable (see
+//! [`profile::Profiler`](mim_profile::Profiler),
+//! [`core::MechanisticModel`](mim_core::MechanisticModel),
+//! [`pipeline::PipelineSim`](mim_pipeline::PipelineSim)) — the runner is
+//! composition, not a wall.
 
 pub use mim_bpred as bpred;
 pub use mim_cache as cache;
@@ -47,6 +82,7 @@ pub use mim_isa as isa;
 pub use mim_pipeline as pipeline;
 pub use mim_power as power;
 pub use mim_profile as profile;
+pub use mim_runner as runner;
 pub use mim_workloads as workloads;
 
 /// Convenient glob-import surface for applications.
@@ -56,5 +92,9 @@ pub mod prelude {
     pub use mim_pipeline::PipelineSim;
     pub use mim_power::{EnergyModel, EnergyReport};
     pub use mim_profile::Profiler;
+    pub use mim_runner::{
+        EvalKind, EvalResult, Evaluator, Experiment, ExperimentReport, ModelEvaluator,
+        OooEvaluator, SimEvaluator, WorkloadSpec,
+    };
     pub use mim_workloads::WorkloadSize;
 }

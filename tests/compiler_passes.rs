@@ -48,7 +48,10 @@ fn unrolling_reduces_dynamic_instructions_and_taken_branches() {
             reduced_taken += 1;
         }
     }
-    assert!(eligible >= 8, "unroller found only {eligible} eligible kernels");
+    assert!(
+        eligible >= 8,
+        "unroller found only {eligible} eligible kernels"
+    );
     assert!(
         reduced_taken * 2 > eligible,
         "taken branches reduced on only {reduced_taken}/{eligible} kernels"

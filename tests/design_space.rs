@@ -125,6 +125,12 @@ fn cpi_is_frequency_sensitive_only_through_memory() {
     };
     let cpu_ratio = at_freq(&program_cpu, 1.0) / at_freq(&program_cpu, 0.6);
     let mem_ratio = at_freq(&program_mem, 1.0) / at_freq(&program_mem, 0.6);
-    assert!(cpu_ratio < 1.1, "compute kernel CPI moved {cpu_ratio:.3}x with frequency");
-    assert!(mem_ratio > 1.3, "memory kernel CPI should scale with frequency, got {mem_ratio:.3}x");
+    assert!(
+        cpu_ratio < 1.1,
+        "compute kernel CPI moved {cpu_ratio:.3}x with frequency"
+    );
+    assert!(
+        mem_ratio > 1.3,
+        "memory kernel CPI should scale with frequency, got {mem_ratio:.3}x"
+    );
 }

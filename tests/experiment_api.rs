@@ -1,0 +1,65 @@
+//! Facade-level coverage of the unified evaluation API: the prelude must
+//! expose everything a downstream experiment needs, and the old
+//! hand-wired flow and the new `Experiment` flow must agree exactly.
+
+use mim::prelude::*;
+
+/// The prelude alone suffices for a model-vs-sim validation.
+#[test]
+fn prelude_supports_full_experiment_flow() {
+    let report = Experiment::new()
+        .title("facade")
+        .workload(mim::workloads::mibench::sha())
+        .size(WorkloadSize::Tiny)
+        .evaluators([EvalKind::Model, EvalKind::Sim])
+        .run()
+        .expect("experiment");
+    let diff = report.compare("model", "sim");
+    assert_eq!(diff.len(), 1);
+    assert!(diff[0].error_percent.abs() < 20.0);
+}
+
+/// The `Experiment` path must reproduce the legacy hand-wired flow
+/// bit-for-bit: same profile, same model, same simulator.
+#[test]
+fn experiment_matches_hand_wired_flow() {
+    let machine = MachineConfig::default_config();
+    let program = mim::workloads::mibench::qsort().program(WorkloadSize::Tiny);
+
+    // Legacy flow: wire Profiler -> MechanisticModel and PipelineSim.
+    let inputs = Profiler::new(&machine).profile(&program).expect("profile");
+    let stack = MechanisticModel::new(&machine).predict(&inputs);
+    let sim = PipelineSim::new(&machine).simulate(&program).expect("sim");
+
+    // New flow: declare the same study.
+    let report = Experiment::new()
+        .machine(machine)
+        .workload(mim::workloads::mibench::qsort())
+        .size(WorkloadSize::Tiny)
+        .evaluators([EvalKind::Model, EvalKind::Sim])
+        .run()
+        .expect("experiment");
+    let model_cell = report.get("qsort", 0, "model").expect("model cell");
+    let sim_cell = report.get("qsort", 0, "sim").expect("sim cell");
+
+    assert_eq!(model_cell.cpi, stack.cpi(), "model CPI is bit-identical");
+    assert_eq!(model_cell.stack.as_ref(), Some(&stack));
+    assert_eq!(sim_cell.cpi, sim.cpi(), "sim CPI is bit-identical");
+    assert_eq!(sim_cell.cycles, sim.cycles as f64);
+    assert_eq!(sim_cell.misses, Some(sim.misses));
+}
+
+/// Standalone trait objects work straight from the prelude.
+#[test]
+fn prelude_exposes_trait_object_evaluators() {
+    let machine = MachineConfig::default_config();
+    let evaluator: Box<dyn Evaluator> = Box::new(ModelEvaluator::new(&machine));
+    let result: EvalResult = evaluator
+        .evaluate(
+            &WorkloadSpec::from(mim::workloads::mibench::crc32()),
+            WorkloadSize::Tiny,
+        )
+        .expect("evaluate");
+    assert_eq!(result.kind, EvalKind::Model);
+    assert!(result.cpi >= 0.25);
+}

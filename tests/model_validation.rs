@@ -2,8 +2,8 @@
 //! simulation across the full workload suite (the paper's Figures 3 and 6
 //! in miniature — the `mim-bench` binaries run the full-size versions).
 
-use mim::prelude::*;
 use mim::core::MechanisticModel;
+use mim::prelude::*;
 
 fn validate(workloads: Vec<mim::workloads::Workload>, per_bench_bound: f64, avg_bound: f64) {
     let machine = MachineConfig::default_config();
@@ -68,10 +68,7 @@ fn model_is_exact_for_straight_line_alu_code() {
     // Everything except base and the I-side cold misses must be zero.
     assert_eq!(stack.dependencies(), 0.0);
     assert_eq!(stack.mul_div(), 0.0);
-    assert_eq!(
-        stack.cycles_of(mim::core::StackComponent::BranchMiss),
-        0.0
-    );
+    assert_eq!(stack.cycles_of(mim::core::StackComponent::BranchMiss), 0.0);
     assert!((stack.cycles_of(mim::core::StackComponent::Base) - 500.0).abs() < 1e-9);
 }
 
