@@ -30,7 +30,9 @@ fn main() -> std::io::Result<()> {
         .workloads([mibench::sha(), mibench::tiffdither(), mibench::dijkstra()])
         .size(WorkloadSize::Small)
         .design_space(
-            DesignSpace::new(MachineConfig::default_config()).with_widths(widths.to_vec()),
+            DesignSpace::new(MachineConfig::default_config())
+                .with_widths(widths.to_vec())
+                .expect("distinct widths"),
         )
         .evaluators([EvalKind::Model, EvalKind::Sim])
         .run()

@@ -13,6 +13,7 @@
 //! | `fig7_inorder_vs_ooo` | in-order vs out-of-order CPI stacks |
 //! | `fig8_compiler_opts` | normalized cycle stacks across compiler options |
 //! | `fig9_edp` | EDP design-space exploration, model vs simulation |
+//! | `fig10_pareto` | Pareto-frontier exploration with the hybrid model→sim workflow (extension of §5–6, built on `mim-explore`) |
 //!
 //! Every binary is built on the [`mim_runner`] evaluation API: an
 //! [`Experiment`](mim_runner::Experiment) declares the (workload ×

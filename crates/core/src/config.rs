@@ -7,7 +7,8 @@ use mim_bpred::PredictorConfig;
 use mim_cache::{CacheConfig, HierarchyConfig};
 use serde::{Deserialize, Serialize};
 
-/// Error produced by [`MachineConfig::validate`].
+/// Error produced by [`MachineConfig::validate`] and the [`DesignSpace`]
+/// builder.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
     /// Pipeline width outside the supported range.
@@ -22,6 +23,19 @@ pub enum ConfigError {
         /// Which latency was invalid.
         field: &'static str,
     },
+    /// A design-space axis was replaced with an empty candidate list.
+    EmptyAxis {
+        /// Which axis was empty.
+        axis: &'static str,
+    },
+    /// A design-space axis contains the same candidate twice (duplicates
+    /// would silently alias design points and skew frontier statistics).
+    DuplicateCandidate {
+        /// Which axis holds the duplicate.
+        axis: &'static str,
+        /// Display label of the duplicated candidate.
+        label: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -33,6 +47,12 @@ impl fmt::Display for ConfigError {
             ConfigError::BadDepth => write!(f, "front-end depth must be at least 1"),
             ConfigError::BadLatency { field } => {
                 write!(f, "latency parameter {field} must be positive and finite")
+            }
+            ConfigError::EmptyAxis { axis } => {
+                write!(f, "design-space axis `{axis}` must be non-empty")
+            }
+            ConfigError::DuplicateCandidate { axis, label } => {
+                write!(f, "design-space axis `{axis}` lists `{label}` twice")
             }
         }
     }
@@ -214,7 +234,7 @@ pub struct DesignPoint {
 /// assert_eq!(space.l2_configs().len(), 8);
 /// assert_eq!(space.predictor_configs().len(), 2);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignSpace {
     base: MachineConfig,
     depth_freq: Vec<(u32, f64)>,
@@ -233,7 +253,8 @@ impl DesignSpace {
     /// use mim_core::{DesignSpace, MachineConfig};
     ///
     /// let space = DesignSpace::new(MachineConfig::default_config())
-    ///     .with_widths(vec![1, 2, 3, 4]);
+    ///     .with_widths(vec![1, 2, 3, 4])
+    ///     .expect("distinct widths");
     /// assert_eq!(space.len(), 4);
     /// ```
     pub fn new(base: MachineConfig) -> DesignSpace {
@@ -246,35 +267,80 @@ impl DesignSpace {
         }
     }
 
+    /// Rejects empty or duplicate-carrying candidate lists; duplicates
+    /// would silently alias design points (and, for L2s/predictors, skew
+    /// the single-pass profiler's candidate lists).
+    fn validate_axis<T: PartialEq>(
+        axis: &'static str,
+        candidates: &[T],
+        label: impl Fn(&T) -> String,
+    ) -> Result<(), ConfigError> {
+        if candidates.is_empty() {
+            return Err(ConfigError::EmptyAxis { axis });
+        }
+        for (i, candidate) in candidates.iter().enumerate() {
+            if candidates[..i].contains(candidate) {
+                return Err(ConfigError::DuplicateCandidate {
+                    axis,
+                    label: label(candidate),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Replaces the pipeline-width axis.
-    pub fn with_widths(mut self, widths: Vec<u32>) -> DesignSpace {
-        assert!(!widths.is_empty(), "width axis must be non-empty");
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the list is empty or repeats a width.
+    pub fn with_widths(mut self, widths: Vec<u32>) -> Result<DesignSpace, ConfigError> {
+        Self::validate_axis("widths", &widths, |w| w.to_string())?;
         self.widths = widths;
-        self
+        Ok(self)
     }
 
     /// Replaces the paired (front-end depth, frequency GHz) axis.
-    pub fn with_depth_freq(mut self, depth_freq: Vec<(u32, f64)>) -> DesignSpace {
-        assert!(
-            !depth_freq.is_empty(),
-            "depth/frequency axis must be non-empty"
-        );
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the list is empty or repeats a pair.
+    pub fn with_depth_freq(
+        mut self,
+        depth_freq: Vec<(u32, f64)>,
+    ) -> Result<DesignSpace, ConfigError> {
+        Self::validate_axis("depth/frequency", &depth_freq, |(d, f)| {
+            format!("depth {d} @ {f} GHz")
+        })?;
         self.depth_freq = depth_freq;
-        self
+        Ok(self)
     }
 
     /// Replaces the L2 cache candidate axis.
-    pub fn with_l2s(mut self, l2s: Vec<CacheConfig>) -> DesignSpace {
-        assert!(!l2s.is_empty(), "L2 axis must be non-empty");
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the list is empty or repeats a
+    /// geometry.
+    pub fn with_l2s(mut self, l2s: Vec<CacheConfig>) -> Result<DesignSpace, ConfigError> {
+        Self::validate_axis("L2", &l2s, |c| c.name().to_string())?;
         self.l2s = l2s;
-        self
+        Ok(self)
     }
 
     /// Replaces the branch-predictor candidate axis.
-    pub fn with_predictors(mut self, predictors: Vec<PredictorConfig>) -> DesignSpace {
-        assert!(!predictors.is_empty(), "predictor axis must be non-empty");
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the list is empty or repeats a
+    /// predictor.
+    pub fn with_predictors(
+        mut self,
+        predictors: Vec<PredictorConfig>,
+    ) -> Result<DesignSpace, ConfigError> {
+        Self::validate_axis("predictor", &predictors, |p| p.name())?;
         self.predictors = predictors;
-        self
+        Ok(self)
     }
 
     /// The base machine the axes are applied to (fixes all parameters the
@@ -327,30 +393,79 @@ impl DesignSpace {
         self.len() == 0
     }
 
-    /// Enumerates every design point.
+    /// Candidate counts per axis, in enumeration order:
+    /// `[depth_freq, widths, l2s, predictors]`.
+    pub fn axis_lens(&self) -> [usize; 4] {
+        [
+            self.depth_freq.len(),
+            self.widths.len(),
+            self.l2s.len(),
+            self.predictors.len(),
+        ]
+    }
+
+    /// Decodes a flat point index into per-axis coordinates (the inverse
+    /// of [`index_of`](DesignSpace::index_of)). Returns `None` when the
+    /// index is out of range.
+    pub fn coords_of(&self, index: usize) -> Option<[usize; 4]> {
+        if index >= self.len() {
+            return None;
+        }
+        let [_, nw, nl, np] = self.axis_lens();
+        let pi = index % np;
+        let li = (index / np) % nl;
+        let wi = (index / (np * nl)) % nw;
+        let di = index / (np * nl * nw);
+        Some([di, wi, li, pi])
+    }
+
+    /// Encodes per-axis coordinates back into the flat point index.
+    /// Returns `None` when any coordinate is out of range.
+    pub fn index_of(&self, coords: [usize; 4]) -> Option<usize> {
+        let lens = self.axis_lens();
+        if coords.iter().zip(lens.iter()).any(|(c, l)| c >= l) {
+            return None;
+        }
+        let [_, nw, nl, np] = lens;
+        let [di, wi, li, pi] = coords;
+        Some(((di * nw + wi) * nl + li) * np + pi)
+    }
+
+    /// Generates the design point at a flat index without materializing
+    /// the whole space — `space.point_at(i)` equals `space.points().nth(i)`
+    /// but costs O(1), which is what lets search strategies walk
+    /// 10,000-point generated spaces lazily.
+    ///
+    /// Returns `None` when the index is out of range.
+    pub fn point_at(&self, index: usize) -> Option<DesignPoint> {
+        self.coords_of(index)
+            .map(|coords| self.point_from_coords(coords))
+    }
+
+    /// Generates the design point at in-range per-axis coordinates
+    /// (callers obtain valid coordinates from
+    /// [`coords_of`](DesignSpace::coords_of) or by staying inside
+    /// [`axis_lens`](DesignSpace::axis_lens)).
+    fn point_from_coords(&self, [di, wi, li, pi]: [usize; 4]) -> DesignPoint {
+        let (depth, freq) = self.depth_freq[di];
+        let mut machine = self.base.clone();
+        machine.frontend_depth = depth;
+        machine.frequency_ghz = freq;
+        machine.width = self.widths[wi];
+        machine.hierarchy = machine.hierarchy.clone().with_l2(self.l2s[li].clone());
+        machine.predictor = self.predictors[pi].clone();
+        DesignPoint {
+            machine,
+            l2_index: li,
+            predictor_index: pi,
+        }
+    }
+
+    /// Enumerates every design point, in flat-index order (so
+    /// `points().nth(i)` equals [`point_at(i)`](DesignSpace::point_at)).
     pub fn points(&self) -> impl Iterator<Item = DesignPoint> + '_ {
-        self.depth_freq.iter().flat_map(move |&(depth, freq)| {
-            self.widths.iter().flat_map(move |&width| {
-                self.l2s.iter().enumerate().flat_map(move |(l2_index, l2)| {
-                    self.predictors
-                        .iter()
-                        .enumerate()
-                        .map(move |(predictor_index, pred)| {
-                            let mut machine = self.base.clone();
-                            machine.frontend_depth = depth;
-                            machine.frequency_ghz = freq;
-                            machine.width = width;
-                            machine.hierarchy = machine.hierarchy.clone().with_l2(l2.clone());
-                            machine.predictor = pred.clone();
-                            DesignPoint {
-                                machine,
-                                l2_index,
-                                predictor_index,
-                            }
-                        })
-                })
-            })
-        })
+        (0..self.len())
+            .map(|index| self.point_from_coords(self.coords_of(index).expect("index within len")))
     }
 }
 
@@ -441,5 +556,104 @@ mod tests {
     fn error_display_nonempty() {
         assert!(!ConfigError::BadDepth.to_string().is_empty());
         assert!(!ConfigError::BadWidth { width: 0 }.to_string().is_empty());
+        assert!(!ConfigError::EmptyAxis { axis: "widths" }
+            .to_string()
+            .is_empty());
+        assert!(!ConfigError::DuplicateCandidate {
+            axis: "L2",
+            label: "L2-512K-8w".into()
+        }
+        .to_string()
+        .is_empty());
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let base = MachineConfig::default_config();
+        assert_eq!(
+            DesignSpace::new(base.clone()).with_widths(vec![]),
+            Err(ConfigError::EmptyAxis { axis: "widths" })
+        );
+        assert_eq!(
+            DesignSpace::new(base.clone()).with_depth_freq(vec![]),
+            Err(ConfigError::EmptyAxis {
+                axis: "depth/frequency"
+            })
+        );
+        assert_eq!(
+            DesignSpace::new(base.clone()).with_l2s(vec![]),
+            Err(ConfigError::EmptyAxis { axis: "L2" })
+        );
+        assert_eq!(
+            DesignSpace::new(base).with_predictors(vec![]),
+            Err(ConfigError::EmptyAxis { axis: "predictor" })
+        );
+    }
+
+    #[test]
+    fn duplicate_candidates_are_rejected() {
+        use mim_bpred::PredictorConfig;
+        use mim_cache::CacheConfig;
+        let base = MachineConfig::default_config();
+
+        let err = DesignSpace::new(base.clone())
+            .with_widths(vec![1, 2, 2])
+            .expect_err("duplicate width");
+        assert_eq!(
+            err,
+            ConfigError::DuplicateCandidate {
+                axis: "widths",
+                label: "2".into()
+            }
+        );
+
+        let l2 = CacheConfig::new("L2-512K-8w", 512 * 1024, 8, 64).expect("valid L2");
+        let err = DesignSpace::new(base.clone())
+            .with_l2s(vec![l2.clone(), l2])
+            .expect_err("duplicate L2");
+        assert!(matches!(
+            err,
+            ConfigError::DuplicateCandidate { axis: "L2", .. }
+        ));
+
+        let err = DesignSpace::new(base.clone())
+            .with_predictors(vec![
+                PredictorConfig::gshare_1k(),
+                PredictorConfig::gshare_1k(),
+            ])
+            .expect_err("duplicate predictor");
+        assert!(matches!(
+            err,
+            ConfigError::DuplicateCandidate {
+                axis: "predictor",
+                ..
+            }
+        ));
+
+        let err = DesignSpace::new(base)
+            .with_depth_freq(vec![(2, 0.6), (2, 0.6)])
+            .expect_err("duplicate depth/frequency pair");
+        assert!(matches!(
+            err,
+            ConfigError::DuplicateCandidate {
+                axis: "depth/frequency",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn point_at_matches_enumeration_order() {
+        let space = DesignSpace::paper_table2();
+        assert_eq!(space.axis_lens(), [3, 4, 8, 2]);
+        for (index, expected) in space.points().enumerate() {
+            let point = space.point_at(index).expect("in range");
+            assert_eq!(point, expected);
+            let coords = space.coords_of(index).expect("in range");
+            assert_eq!(space.index_of(coords), Some(index));
+        }
+        assert!(space.point_at(space.len()).is_none());
+        assert!(space.coords_of(space.len()).is_none());
+        assert!(space.index_of([3, 0, 0, 0]).is_none());
     }
 }

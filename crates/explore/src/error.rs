@@ -1,0 +1,61 @@
+//! Error type shared by objectives, strategies, and the exploration
+//! driver.
+
+use std::error::Error;
+use std::fmt;
+
+use mim_runner::EvalError;
+
+/// Error produced while exploring a design space.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExploreError {
+    /// The exploration was misconfigured (no workloads, no objectives,
+    /// an empty space, ...).
+    Config(String),
+    /// An underlying evaluation failed (program fault while profiling or
+    /// simulating).
+    Eval(EvalError),
+    /// An objective produced an unusable score (non-finite, or a metric
+    /// the evaluation did not collect).
+    Objective {
+        /// Objective that failed.
+        objective: String,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl ExploreError {
+    /// Creates a configuration error.
+    pub fn config(message: impl Into<String>) -> ExploreError {
+        ExploreError::Config(message.into())
+    }
+
+    /// Creates an objective-scoring error.
+    pub fn objective(objective: impl Into<String>, message: impl fmt::Display) -> ExploreError {
+        ExploreError::Objective {
+            objective: objective.into(),
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::Config(message) => write!(f, "exploration config: {message}"),
+            ExploreError::Eval(e) => write!(f, "exploration evaluation: {e}"),
+            ExploreError::Objective { objective, message } => {
+                write!(f, "objective `{objective}`: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ExploreError {}
+
+impl From<EvalError> for ExploreError {
+    fn from(e: EvalError) -> ExploreError {
+        ExploreError::Eval(e)
+    }
+}

@@ -1,0 +1,73 @@
+//! # mim-explore — design-space exploration
+//!
+//! The paper's one-pass mechanistic model exists to make design-space
+//! exploration cheap (§5–6): score hundreds of design points
+//! analytically, then spend simulator cycles only where it matters. This
+//! crate is that workflow as an API on top of
+//! [`mim-runner`](mim_runner):
+//!
+//! * [`Objective`] — named, minimized figures of merit over an
+//!   [`EvalResult`](mim_runner::EvalResult): CPI, delay, energy, EDP,
+//!   ED²P, die area, weighted blends, and custom closures.
+//! * [`Frontier`] — exact multi-objective Pareto extraction with
+//!   deterministic tie-breaking, JSON-serializable.
+//! * [`SearchStrategy`] — pluggable search: [`Exhaustive`] (delegates to
+//!   [`Experiment`](mim_runner::Experiment)), [`GreedyAscent`] (per-axis
+//!   hill climbing with seeded restarts), and [`Anneal`] (seeded,
+//!   deterministic simulated annealing with a budget). All strategies
+//!   share the exploration's one-pass
+//!   [`ProfileCache`](mim_runner::ProfileCache), so even a 10,000-point
+//!   generated space costs one profiling pass per workload.
+//! * [`Exploration`] — the driver. With
+//!   [`sim_verify`](Exploration::sim_verify) it runs the paper's headline
+//!   **hybrid workflow**: the model scores every candidate,
+//!   margin-relaxed dominance prunes the space to frontier contenders,
+//!   and only the survivors are re-scored with detailed simulation. The
+//!   [`ExplorationReport`] records the sim-verified frontier, the
+//!   simulated fraction of the space, and the model-vs-sim rank fidelity.
+//!
+//! ## Example: hybrid exploration in one declaration
+//!
+//! ```no_run
+//! use mim_core::DesignSpace;
+//! use mim_explore::{Exploration, Objective};
+//! use mim_workloads::{mibench, WorkloadSize};
+//!
+//! let report = Exploration::new(DesignSpace::paper_table2())
+//!     .workloads(mibench::all())
+//!     .size(WorkloadSize::Small)
+//!     .objectives([Objective::delay(), Objective::energy()])
+//!     .sim_verify(0.02) // prune with 2% slack, simulate survivors only
+//!     .threads(0)
+//!     .run()
+//!     .expect("exploration");
+//! let hybrid = report.hybrid.as_ref().expect("hybrid enabled");
+//! println!(
+//!     "sim-verified frontier: {} points, simulating {:.0}% of the space",
+//!     hybrid.frontier.len(),
+//!     100.0 * hybrid.sim_fraction,
+//! );
+//! ```
+//!
+//! Reports serialize to byte-identical JSON for any thread count,
+//! matching the `ExperimentReport` guarantee.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod exploration;
+mod objective;
+mod pareto;
+mod strategy;
+
+pub use error::ExploreError;
+pub use exploration::{
+    EvaluatedPoint, Exploration, ExplorationReport, ExplorationTiming, HybridPoint, HybridReport,
+};
+pub use objective::Objective;
+pub use pareto::{
+    dominates, kendall_tau, margin_dominates, pareto_indices, pruned_indices, Frontier,
+    FrontierPoint,
+};
+pub use strategy::{scalarize, Anneal, Exhaustive, GreedyAscent, SearchSpace, SearchStrategy};

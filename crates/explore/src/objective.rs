@@ -1,0 +1,276 @@
+//! The [`Objective`] abstraction: a named, minimized figure of merit
+//! extracted from an [`EvalResult`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use mim_core::MachineConfig;
+use mim_power::EnergyModel;
+use mim_runner::EvalResult;
+
+use crate::error::ExploreError;
+
+/// A named scalar objective over one evaluation cell, always **minimized**.
+///
+/// Built-in objectives cover the paper's metrics — CPI, execution delay,
+/// energy, EDP and ED²P (§6.3), and die area via `mim-power` — plus
+/// weighted combinations and arbitrary closures. Energy-derived objectives
+/// read [`EvalResult::energy`] (populated when an exploration enables
+/// energy evaluation) rather than recomputing activity counts.
+///
+/// # Example
+///
+/// ```
+/// use mim_core::MachineConfig;
+/// use mim_explore::Objective;
+/// use mim_runner::{EvalKind, ModelEvaluator, Evaluator, WorkloadSpec};
+/// use mim_workloads::{mibench, WorkloadSize};
+///
+/// let machine = MachineConfig::default_config();
+/// let evaluator = ModelEvaluator::new(&machine).with_energy(true);
+/// let result = evaluator
+///     .evaluate(&WorkloadSpec::from(mibench::sha()), WorkloadSize::Tiny)
+///     .expect("evaluation succeeds");
+///
+/// let delay = Objective::delay().score(&result, &machine).expect("finite");
+/// let edp = Objective::edp().score(&result, &machine).expect("finite");
+/// assert!(delay > 0.0 && edp > 0.0);
+///
+/// // Custom objectives are closures over the same unified record.
+/// let miss_rate = Objective::custom("l1d-misses-per-inst", |r, _machine| {
+///     r.misses.map_or(0.0, |m| m.l1d_misses as f64) / r.instructions as f64
+/// });
+/// assert!(miss_rate.score(&result, &machine).expect("finite") >= 0.0);
+/// ```
+#[derive(Clone)]
+pub struct Objective {
+    name: String,
+    kind: Kind,
+}
+
+/// A user-supplied scoring closure over one evaluation cell.
+type CustomScore = Arc<dyn Fn(&EvalResult, &MachineConfig) -> f64 + Send + Sync>;
+
+#[derive(Clone)]
+enum Kind {
+    Cpi,
+    Delay,
+    Energy,
+    Edp,
+    Ed2p,
+    Area,
+    Weighted(Vec<(Objective, f64)>),
+    Custom(CustomScore),
+}
+
+impl Objective {
+    /// Minimize cycles per instruction.
+    pub fn cpi() -> Objective {
+        Objective {
+            name: "cpi".into(),
+            kind: Kind::Cpi,
+        }
+    }
+
+    /// Minimize execution time in seconds (cycles at the design point's
+    /// own clock frequency, so frequency points trade off properly).
+    pub fn delay() -> Objective {
+        Objective {
+            name: "delay".into(),
+            kind: Kind::Delay,
+        }
+    }
+
+    /// Minimize total energy in joules. Requires energy evaluation.
+    pub fn energy() -> Objective {
+        Objective {
+            name: "energy".into(),
+            kind: Kind::Energy,
+        }
+    }
+
+    /// Minimize the energy-delay product (the paper's §6.3 metric).
+    /// Requires energy evaluation.
+    pub fn edp() -> Objective {
+        Objective {
+            name: "edp".into(),
+            kind: Kind::Edp,
+        }
+    }
+
+    /// Minimize the energy-delay-squared product. Requires energy
+    /// evaluation.
+    pub fn ed2p() -> Objective {
+        Objective {
+            name: "ed2p".into(),
+            kind: Kind::Ed2p,
+        }
+    }
+
+    /// Minimize the die-area proxy of the design point (constant per
+    /// machine — pairs with a performance objective to expose
+    /// area/performance frontiers).
+    pub fn area() -> Objective {
+        Objective {
+            name: "area".into(),
+            kind: Kind::Area,
+        }
+    }
+
+    /// Minimize a weighted sum of other objectives. Weights apply to the
+    /// raw scores, so mixed-scale parts should be normalized by the
+    /// caller.
+    pub fn weighted(name: impl Into<String>, parts: Vec<(Objective, f64)>) -> Objective {
+        Objective {
+            name: name.into(),
+            kind: Kind::Weighted(parts),
+        }
+    }
+
+    /// Minimize an arbitrary closure over the evaluation record and its
+    /// machine configuration.
+    pub fn custom(
+        name: impl Into<String>,
+        score: impl Fn(&EvalResult, &MachineConfig) -> f64 + Send + Sync + 'static,
+    ) -> Objective {
+        Objective {
+            name: name.into(),
+            kind: Kind::Custom(Arc::new(score)),
+        }
+    }
+
+    /// The objective's display name (keys report columns).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True when scoring reads [`EvalResult::energy`], so the exploration
+    /// must enable energy evaluation.
+    pub fn needs_energy(&self) -> bool {
+        match &self.kind {
+            Kind::Energy | Kind::Edp | Kind::Ed2p => true,
+            Kind::Weighted(parts) => parts.iter().any(|(o, _)| o.needs_energy()),
+            Kind::Cpi | Kind::Delay | Kind::Area | Kind::Custom(_) => false,
+        }
+    }
+
+    /// Scores one evaluation cell; smaller is better.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExploreError`] when the score is non-finite or the
+    /// evaluation lacks the required energy report.
+    pub fn score(&self, result: &EvalResult, machine: &MachineConfig) -> Result<f64, ExploreError> {
+        let energy = |metric: fn(&EvalResult) -> Option<f64>| {
+            metric(result).ok_or_else(|| {
+                ExploreError::objective(
+                    &self.name,
+                    "requires energy evaluation (enable it on the exploration)",
+                )
+            })
+        };
+        let value = match &self.kind {
+            Kind::Cpi => result.cpi,
+            Kind::Delay => result.cycles * machine.cycle_seconds(),
+            Kind::Energy => energy(EvalResult::total_joules)?,
+            Kind::Edp => energy(EvalResult::edp)?,
+            Kind::Ed2p => energy(EvalResult::ed2p)?,
+            Kind::Area => EnergyModel::new(machine).area_units(),
+            Kind::Weighted(parts) => {
+                let mut sum = 0.0;
+                for (objective, weight) in parts {
+                    sum += weight * objective.score(result, machine)?;
+                }
+                sum
+            }
+            Kind::Custom(f) => f(result, machine),
+        };
+        if !value.is_finite() {
+            return Err(ExploreError::objective(
+                &self.name,
+                format!(
+                    "produced a non-finite score ({value}) — frontiers need totally ordered scores"
+                ),
+            ));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Debug for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Objective")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mim_runner::{Evaluator, ModelEvaluator, WorkloadSpec};
+    use mim_workloads::{mibench, WorkloadSize};
+
+    fn sample(energy: bool) -> (EvalResult, MachineConfig) {
+        let machine = MachineConfig::default_config();
+        let result = ModelEvaluator::new(&machine)
+            .with_energy(energy)
+            .evaluate(&WorkloadSpec::from(mibench::crc32()), WorkloadSize::Tiny)
+            .expect("evaluation succeeds");
+        (result, machine)
+    }
+
+    #[test]
+    fn builtin_objectives_score_consistently() {
+        let (result, machine) = sample(true);
+        let cpi = Objective::cpi().score(&result, &machine).expect("cpi");
+        assert!((cpi - result.cpi).abs() < 1e-12);
+        let delay = Objective::delay().score(&result, &machine).expect("delay");
+        assert!((delay - result.cycles * machine.cycle_seconds()).abs() < 1e-18);
+        let energy = Objective::energy()
+            .score(&result, &machine)
+            .expect("energy");
+        let edp = Objective::edp().score(&result, &machine).expect("edp");
+        let ed2p = Objective::ed2p().score(&result, &machine).expect("ed2p");
+        // EDP = E * T and ED²P = E * T², all read from the one report.
+        assert!((edp - energy * result.delay_seconds().expect("energy on")).abs() < 1e-18);
+        assert!((ed2p - edp * result.delay_seconds().expect("energy on")).abs() < 1e-24);
+        let area = Objective::area().score(&result, &machine).expect("area");
+        assert!(area > 0.0);
+    }
+
+    #[test]
+    fn energy_objectives_fail_without_energy_evaluation() {
+        let (result, machine) = sample(false);
+        for objective in [Objective::energy(), Objective::edp(), Objective::ed2p()] {
+            assert!(objective.needs_energy());
+            let err = objective
+                .score(&result, &machine)
+                .expect_err("needs energy");
+            assert!(matches!(err, ExploreError::Objective { .. }));
+        }
+        assert!(!Objective::cpi().needs_energy());
+        assert!(Objective::weighted(
+            "mix",
+            vec![(Objective::cpi(), 0.5), (Objective::edp(), 0.5)]
+        )
+        .needs_energy());
+    }
+
+    #[test]
+    fn weighted_and_custom_objectives_compose() {
+        let (result, machine) = sample(true);
+        let w = Objective::weighted(
+            "cpi+delay",
+            vec![(Objective::cpi(), 2.0), (Objective::delay(), 1.0)],
+        );
+        let expected = 2.0 * result.cpi + result.cycles * machine.cycle_seconds();
+        assert!((w.score(&result, &machine).expect("weighted") - expected).abs() < 1e-12);
+
+        let c = Objective::custom("width", |_r, m| f64::from(m.width));
+        assert_eq!(c.score(&result, &machine).expect("custom"), 4.0);
+
+        let bad = Objective::custom("nan", |_r, _m| f64::NAN);
+        assert!(bad.score(&result, &machine).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! Exact multi-objective Pareto-frontier extraction with deterministic
+//! tie-breaking, plus the margin-relaxed dominance used by the hybrid
+//! model→sim workflow.
+
+use serde::{Deserialize, Serialize};
+
+/// True when `a` dominates `b` under minimization: `a` is no worse in
+/// every objective and strictly better in at least one.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    margin_dominates(a, b, 0.0)
+}
+
+/// True when `a` beats `b` by more than `margin` (relative to `b`'s
+/// magnitude) in **every** objective, and strictly in at least one.
+/// `margin = 0.0` is exact dominance; a positive margin is the slack the
+/// hybrid workflow grants an approximate model: a candidate only gets
+/// pruned when something beats it decisively enough that model error
+/// cannot have flipped the comparison.
+pub fn margin_dominates(a: &[f64], b: &[f64], margin: f64) -> bool {
+    debug_assert_eq!(a.len(), b.len(), "objective vectors must align");
+    let mut strict = false;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        if x > y - margin * y.abs() {
+            return false;
+        }
+        if x < y {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Indices of the vectors that survive `margin`-relaxed dominance,
+/// ascending. With `margin = 0.0` this is the exact Pareto frontier.
+///
+/// Deterministic: the scan visits candidates in lexicographic score order
+/// (ties broken by index), under which every potential dominator precedes
+/// the points it dominates, and the survivors come back sorted by index —
+/// the same bytes for any caller thread count.
+pub fn pruned_indices(scores: &[Vec<f64>], margin: f64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| lex_cmp(&scores[a], &scores[b]).then_with(|| a.cmp(&b)));
+    let mut survivors: Vec<usize> = Vec::new();
+    'candidates: for &i in &order {
+        for &s in &survivors {
+            if margin_dominates(&scores[s], &scores[i], margin) {
+                continue 'candidates;
+            }
+        }
+        survivors.push(i);
+    }
+    survivors.sort_unstable();
+    survivors
+}
+
+/// Indices of the exact Pareto frontier (minimization), ascending.
+pub fn pareto_indices(scores: &[Vec<f64>]) -> Vec<usize> {
+    pruned_indices(scores, 0.0)
+}
+
+fn lex_cmp(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        match x.partial_cmp(&y) {
+            Some(std::cmp::Ordering::Equal) | None => continue,
+            Some(other) => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// One design point on a frontier: its flat index in the design space,
+/// its machine id, and its objective scores (one per objective, in the
+/// exploration's objective order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    /// Flat index of the point within its design space.
+    pub point_index: usize,
+    /// Machine id of the design point.
+    pub machine_id: String,
+    /// Objective scores, aggregated across the exploration's workloads.
+    pub scores: Vec<f64>,
+}
+
+/// A Pareto frontier: the mutually non-dominated subset of the evaluated
+/// points, sorted by point index (deterministic tie-breaking).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frontier {
+    /// Objective names, in score order.
+    pub objectives: Vec<String>,
+    /// Non-dominated points, ascending by `point_index`.
+    pub points: Vec<FrontierPoint>,
+}
+
+impl Frontier {
+    /// Extracts the exact frontier from `(point_index, machine_id,
+    /// scores)` candidates.
+    pub fn from_candidates(
+        objectives: Vec<String>,
+        candidates: &[(usize, String, Vec<f64>)],
+    ) -> Frontier {
+        let scores: Vec<Vec<f64>> = candidates.iter().map(|(_, _, s)| s.clone()).collect();
+        let points = pareto_indices(&scores)
+            .into_iter()
+            .map(|i| FrontierPoint {
+                point_index: candidates[i].0,
+                machine_id: candidates[i].1.clone(),
+                scores: candidates[i].2.clone(),
+            })
+            .collect();
+        Frontier { objectives, points }
+    }
+
+    /// Number of frontier points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the frontier is empty (no points were evaluated).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// True when the frontier contains the design point.
+    pub fn contains(&self, point_index: usize) -> bool {
+        self.points.iter().any(|p| p.point_index == point_index)
+    }
+
+    /// Fraction of `reference`'s points present in `self` — the recall
+    /// metric the hybrid workflow reports against the exhaustive
+    /// simulation frontier. `1.0` when the reference is empty.
+    pub fn recall_of(&self, reference: &Frontier) -> f64 {
+        if reference.points.is_empty() {
+            return 1.0;
+        }
+        let hit = reference
+            .points
+            .iter()
+            .filter(|p| self.contains(p.point_index))
+            .count();
+        hit as f64 / reference.points.len() as f64
+    }
+}
+
+/// Kendall rank correlation (tau-a) between two paired score sequences —
+/// the model-vs-simulation rank-fidelity measure: `1.0` when the model
+/// orders every candidate pair exactly as the simulator does, `-1.0` when
+/// it inverts every pair.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "paired sequences must align");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let product = da * db;
+            if product > 0.0 {
+                concordant += 1;
+            } else if product < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(dominates(&[0.5, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]), "equal vectors tie");
+        assert!(!dominates(&[0.5, 4.0], &[1.0, 3.0]), "trade-off");
+    }
+
+    #[test]
+    fn margin_requires_a_decisive_win() {
+        // 5% better everywhere: dominates at margin 0, not at margin 10%.
+        assert!(margin_dominates(&[0.95, 0.95], &[1.0, 1.0], 0.0));
+        assert!(!margin_dominates(&[0.95, 0.95], &[1.0, 1.0], 0.10));
+        assert!(margin_dominates(&[0.80, 0.80], &[1.0, 1.0], 0.10));
+    }
+
+    #[test]
+    fn frontier_extraction_keeps_trade_offs_and_ties() {
+        // Points: a (1,4), b (2,2), c (4,1) form the frontier; d (3,3) is
+        // dominated by b; e duplicates b and is kept (mutually
+        // non-dominated).
+        let scores = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 2.0],
+            vec![4.0, 1.0],
+            vec![3.0, 3.0],
+            vec![2.0, 2.0],
+        ];
+        assert_eq!(pareto_indices(&scores), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn wider_margins_keep_more_survivors() {
+        let scores = vec![
+            vec![1.00, 1.00],
+            vec![1.04, 1.04], // within 5% of the frontier point
+            vec![2.00, 2.00], // decisively dominated
+        ];
+        assert_eq!(pruned_indices(&scores, 0.0), vec![0]);
+        assert_eq!(pruned_indices(&scores, 0.05), vec![0, 1]);
+        assert_eq!(pruned_indices(&scores, 2.0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn recall_counts_reference_points_recovered() {
+        let objectives = vec!["a".to_string(), "b".to_string()];
+        let full = Frontier::from_candidates(
+            objectives.clone(),
+            &[
+                (0, "m0".into(), vec![1.0, 2.0]),
+                (1, "m1".into(), vec![2.0, 1.0]),
+            ],
+        );
+        let half = Frontier::from_candidates(
+            objectives,
+            &[
+                (0, "m0".into(), vec![1.0, 2.0]),
+                (2, "m2".into(), vec![3.0, 0.5]),
+            ],
+        );
+        assert_eq!(full.len(), 2);
+        assert_eq!(half.len(), 2);
+        assert!(full.contains(0) && !full.contains(2));
+        // `half` recovers one of `full`'s two points, and vice versa.
+        assert!((half.recall_of(&full) - 0.5).abs() < 1e-12);
+        assert!((full.recall_of(&half) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_tau_spans_agreement_to_inversion() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [40.0, 30.0, 20.0, 10.0];
+        assert!((kendall_tau(&a, &up) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&a, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(kendall_tau(&[1.0], &[2.0]), 1.0, "degenerate");
+    }
+}

@@ -139,6 +139,13 @@ impl EnergyReport {
     pub fn edp(&self) -> f64 {
         self.total_joules() * self.time_seconds
     }
+
+    /// Energy-delay-squared product in joule-seconds² — the
+    /// voltage-scaling-insensitive cousin of EDP, used as an exploration
+    /// objective when delay matters more than energy.
+    pub fn ed2p(&self) -> f64 {
+        self.total_joules() * self.time_seconds * self.time_seconds
+    }
 }
 
 /// McPAT-style analytical energy model for one machine configuration.
@@ -276,6 +283,7 @@ mod tests {
         assert!(r.leakage_joules > 0.0);
         assert!((r.total_joules() - r.dynamic_joules - r.leakage_joules).abs() < 1e-18);
         assert!(r.edp() > 0.0);
+        assert!((r.ed2p() - r.edp() * r.time_seconds).abs() < 1e-24);
     }
 
     #[test]
@@ -295,10 +303,9 @@ mod tests {
         use mim_cache::CacheConfig;
         let a = base_activity();
         let mut small = MachineConfig::default_config();
-        small.hierarchy = small
-            .hierarchy
-            .clone()
-            .with_l2(CacheConfig::new("L2", 128 * 1024, 8, 64).unwrap());
+        small.hierarchy = small.hierarchy.clone().with_l2(
+            CacheConfig::new("L2", 128 * 1024, 8, 64).expect("128 KB 8-way is a valid L2 geometry"),
+        );
         let big = MachineConfig::default_config(); // 512 KB
         let es = EnergyModel::new(&small).evaluate(&a);
         let eb = EnergyModel::new(&big).evaluate(&a);

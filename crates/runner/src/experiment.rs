@@ -16,9 +16,12 @@ use crate::evaluator::{Evaluator, ModelEvaluator, OooEvaluator, SimEvaluator};
 use crate::result::{EvalError, EvalKind, EvalResult};
 use crate::spec::WorkloadSpec;
 
-/// Runs `f` over `items` on up to `threads` worker threads, preserving
-/// input order in the returned vector.
-fn parallel_map<T: Sync, R: Send, F: Fn(usize, &T) -> R + Sync>(
+/// Runs `f(index, item)` over `items` on up to `threads` worker threads,
+/// preserving input order in the returned vector — the per-cell iteration
+/// primitive behind [`Experiment::run`], exposed so downstream drivers
+/// (e.g. `mim-explore`'s hybrid sim-verification pass) can fan out over
+/// arbitrary point sets with the same ordering guarantee.
+pub fn parallel_map<T: Sync, R: Send, F: Fn(usize, &T) -> R + Sync>(
     threads: usize,
     items: &[T],
     f: F,
@@ -251,7 +254,11 @@ pub struct Experiment {
     energy: bool,
     threads: usize,
     cache: ProfileCache,
+    on_cell: Option<CellCallback>,
 }
+
+/// Progress callback fired once per evaluated cell.
+type CellCallback = Arc<dyn Fn(&EvalResult) + Send + Sync>;
 
 impl Default for Experiment {
     fn default() -> Experiment {
@@ -276,6 +283,7 @@ impl Experiment {
             energy: false,
             threads: 0,
             cache: ProfileCache::new(),
+            on_cell: None,
         }
     }
 
@@ -369,11 +377,32 @@ impl Experiment {
         self
     }
 
+    /// Registers a progress callback fired once per successfully evaluated
+    /// cell (no-op by default). Long sweeps report progress through it —
+    /// e.g. bump an `AtomicUsize` and redraw a counter — and `mim-explore`
+    /// charges search budgets with it.
+    ///
+    /// The callback runs on worker threads as cells complete, so arrival
+    /// order varies run to run; the report's contents and serialization
+    /// stay deterministic regardless.
+    pub fn on_cell(mut self, callback: impl Fn(&EvalResult) + Send + Sync + 'static) -> Experiment {
+        self.on_cell = Some(Arc::new(callback));
+        self
+    }
+
     /// The experiment's shared profile cache. Hand this to custom
     /// evaluators (`with_cache`) so they reuse the experiment's one
     /// profiling pass per workload.
     pub fn profile_cache(&self) -> ProfileCache {
         self.cache.clone()
+    }
+
+    /// Replaces the experiment's profile cache with a shared one, so
+    /// several experiments (or an outer driver like `mim-explore`) reuse a
+    /// single profiling pass per workload across runs.
+    pub fn with_cache(mut self, cache: ProfileCache) -> Experiment {
+        self.cache = cache;
+        self
     }
 
     fn resolved_threads(&self) -> usize {
@@ -562,6 +591,9 @@ impl Experiment {
             parallel_map(threads, &cells, |_, &(wi, pi, ei)| {
                 let mut result = evaluators[pi][ei].evaluate(&self.workloads[wi], self.size)?;
                 result.machine_index = pi;
+                if let Some(on_cell) = &self.on_cell {
+                    on_cell(&result);
+                }
                 Ok(result)
             });
         let eval_seconds = t_eval.elapsed().as_secs_f64();

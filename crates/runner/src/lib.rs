@@ -66,7 +66,7 @@ mod spec;
 pub use cache::ProfileCache;
 pub use evaluator::{Evaluator, ModelEvaluator, OooEvaluator, SimEvaluator};
 pub use experiment::{
-    print_comparison, CpiComparison, Experiment, ExperimentReport, ExperimentTiming,
+    parallel_map, print_comparison, CpiComparison, Experiment, ExperimentReport, ExperimentTiming,
 };
 pub use result::{BranchSummary, EvalError, EvalKind, EvalResult};
 pub use spec::WorkloadSpec;

@@ -106,6 +106,23 @@ impl EvalResult {
     pub fn edp(&self) -> Option<f64> {
         self.energy.as_ref().map(EnergyReport::edp)
     }
+
+    /// The energy-delay-squared product, if energy evaluation was enabled.
+    pub fn ed2p(&self) -> Option<f64> {
+        self.energy.as_ref().map(EnergyReport::ed2p)
+    }
+
+    /// Total energy in joules, if energy evaluation was enabled.
+    pub fn total_joules(&self) -> Option<f64> {
+        self.energy.as_ref().map(EnergyReport::total_joules)
+    }
+
+    /// Execution time in seconds as the energy model accounted it (cycles
+    /// at the design point's own frequency), if energy evaluation was
+    /// enabled. Objectives read delay here instead of recomputing activity.
+    pub fn delay_seconds(&self) -> Option<f64> {
+        self.energy.as_ref().map(|e| e.time_seconds)
+    }
 }
 
 /// Error produced by an evaluator (program fault during profiling or

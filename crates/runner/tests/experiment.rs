@@ -68,7 +68,9 @@ fn width_sweep(threads: usize) -> ExperimentReport {
         .workloads([mibench::sha(), mibench::qsort()])
         .size(WorkloadSize::Tiny)
         .design_space(
-            DesignSpace::new(MachineConfig::default_config()).with_widths(vec![1, 2, 3, 4]),
+            DesignSpace::new(MachineConfig::default_config())
+                .with_widths(vec![1, 2, 3, 4])
+                .expect("distinct widths"),
         )
         .evaluators([EvalKind::Model, EvalKind::Sim])
         .energy(true)
@@ -120,7 +122,9 @@ fn design_space_sweep_profiles_each_workload_once() {
         .workloads([mibench::sha(), mibench::crc32()])
         .size(WorkloadSize::Tiny)
         .design_space(
-            DesignSpace::new(MachineConfig::default_config()).with_widths(vec![1, 2, 3, 4]),
+            DesignSpace::new(MachineConfig::default_config())
+                .with_widths(vec![1, 2, 3, 4])
+                .expect("distinct widths"),
         )
         .evaluators([EvalKind::Model]);
     let cache = experiment.profile_cache();
@@ -195,6 +199,43 @@ fn configuration_errors_are_reported() {
         .run()
         .expect_err("custom evaluator + design space");
     assert!(err.message.contains("custom evaluators"));
+}
+
+/// The `on_cell` progress callback fires exactly once per evaluated cell,
+/// and registering it does not perturb report determinism.
+#[test]
+fn on_cell_fires_once_per_cell() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let count = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&count);
+    let report = Experiment::new()
+        .title("determinism")
+        .workloads([mibench::sha(), mibench::qsort()])
+        .size(WorkloadSize::Tiny)
+        .design_space(
+            DesignSpace::new(MachineConfig::default_config())
+                .with_widths(vec![1, 2, 3, 4])
+                .expect("distinct widths"),
+        )
+        .evaluators([EvalKind::Model, EvalKind::Sim])
+        .energy(true)
+        .threads(4)
+        .on_cell(move |cell| {
+            assert!(cell.cpi > 0.0, "callbacks observe finished cells");
+            seen.fetch_add(1, Ordering::Relaxed);
+        })
+        .run()
+        .expect("experiment");
+    assert_eq!(report.rows.len(), 2 * 4 * 2);
+    assert_eq!(
+        count.load(Ordering::Relaxed),
+        report.rows.len(),
+        "one callback per cell"
+    );
+    // Identical JSON to the callback-free sweep of the same grid.
+    assert_eq!(report.to_json(), width_sweep(1).to_json());
 }
 
 /// Names key the report and the program cache, so duplicates are

@@ -1,0 +1,72 @@
+//! Design-space exploration with Pareto frontiers and the hybrid
+//! model→sim workflow: the mechanistic model scores every point of the
+//! paper's 192-point Table 2 space from one profiling pass, margin
+//! pruning keeps the frontier contenders, and detailed simulation
+//! verifies only those — the paper's §5–6 exploration story in one
+//! declaration.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example explore [benchmark]
+//! ```
+
+use mim::prelude::*;
+use mim::workloads::mibench;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "sha".into());
+    let workload = mibench::all()
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| format!("unknown benchmark {name}"))?;
+
+    let report = Exploration::new(DesignSpace::paper_table2())
+        .title("delay/energy Pareto exploration")
+        .workload(workload)
+        .size(WorkloadSize::Small)
+        .limit(200_000)
+        .objectives([Objective::delay(), Objective::energy()])
+        .sim_verify(0.12) // prune with 12% slack, simulate survivors only
+        .threads(0)
+        .run()?;
+    let hybrid = report.hybrid.as_ref().expect("sim_verify enabled");
+
+    println!(
+        "{name}: model scored all {} points in {:.2} s; simulation verified \
+         {} survivors ({:.1}% of the space) in {:.2} s\n",
+        report.space_points,
+        report.timing.search_seconds,
+        hybrid.sim_points,
+        100.0 * hybrid.sim_fraction,
+        report.timing.sim_seconds,
+    );
+    println!("sim-verified Pareto frontier (delay vs energy):");
+    for point in &hybrid.frontier.points {
+        println!(
+            "  {:<44} delay {:.3e} s  energy {:.3e} J",
+            point.machine_id, point.scores[0], point.scores[1],
+        );
+    }
+    println!(
+        "\nmodel-vs-sim rank fidelity over the contenders: {:.3} (Kendall tau)",
+        hybrid.rank_fidelity,
+    );
+
+    // Single-objective optima fall out of the same report.
+    let best_delay = hybrid
+        .frontier
+        .points
+        .iter()
+        .min_by(|a, b| a.scores[0].partial_cmp(&b.scores[0]).expect("finite"))
+        .expect("nonempty frontier");
+    let best_energy = hybrid
+        .frontier
+        .points
+        .iter()
+        .min_by(|a, b| a.scores[1].partial_cmp(&b.scores[1]).expect("finite"))
+        .expect("nonempty frontier");
+    println!("\nfastest configuration:       {}", best_delay.machine_id);
+    println!("most efficient configuration: {}", best_energy.machine_id);
+    Ok(())
+}

@@ -19,6 +19,12 @@
 //!   builder for parallel design-space sweeps with deterministic,
 //!   JSON-serializable reports
 //! * [`power`] — McPAT-like energy model and EDP evaluation
+//! * [`explore`] — **design-space exploration**: minimized
+//!   [`Objective`](mim_explore::Objective)s over evaluation results, exact
+//!   Pareto [`Frontier`](mim_explore::Frontier)s, pluggable
+//!   [`SearchStrategy`](mim_explore::SearchStrategy)s (exhaustive, greedy,
+//!   annealing), and the paper's hybrid model→sim workflow
+//!   ([`Exploration::sim_verify`](mim_explore::Exploration::sim_verify))
 //!
 //! ## Quickstart
 //!
@@ -78,6 +84,7 @@
 pub use mim_bpred as bpred;
 pub use mim_cache as cache;
 pub use mim_core as core;
+pub use mim_explore as explore;
 pub use mim_isa as isa;
 pub use mim_pipeline as pipeline;
 pub use mim_power as power;
@@ -88,6 +95,10 @@ pub use mim_workloads as workloads;
 /// Convenient glob-import surface for applications.
 pub mod prelude {
     pub use mim_core::{CpiStack, DesignSpace, MachineConfig, MechanisticModel, OooModel};
+    pub use mim_explore::{
+        Anneal, Exhaustive, Exploration, ExplorationReport, Frontier, GreedyAscent, Objective,
+        SearchStrategy,
+    };
     pub use mim_isa::{Program, ProgramBuilder, Reg, Vm};
     pub use mim_pipeline::PipelineSim;
     pub use mim_power::{EnergyModel, EnergyReport};
