@@ -1,0 +1,123 @@
+//! `trace_replay_throughput`: replay vs functional re-execution.
+//!
+//! Quantifies the trace layer's premise — replaying a recorded dynamic
+//! instruction stream is much faster than re-interpreting the program —
+//! and writes the measured speedup to `BENCH_trace.json` at the workspace
+//! root so the perf trajectory is tracked across PRs.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mim_core::MachineConfig;
+use mim_pipeline::PipelineSim;
+use mim_trace::{LiveVm, Sampling, Trace, TraceSource};
+use mim_workloads::{mibench, WorkloadSize};
+use serde::Serialize;
+
+fn drain<S: TraceSource>(mut source: S) -> u64 {
+    let mut events = 0u64;
+    source
+        .drive(&mut |ev| {
+            events += 1;
+            black_box(ev.pc);
+        })
+        .expect("stream");
+    events
+}
+
+fn bench_trace_replay(c: &mut Criterion) {
+    let program = mibench::sha().program(WorkloadSize::Small);
+    let trace = Trace::record(&program, None).expect("record");
+    let n = trace.len();
+
+    let mut group = c.benchmark_group("trace_replay_throughput");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("execute", |b| {
+        b.iter(|| black_box(drain(LiveVm::new(&program))))
+    });
+    group.bench_function("replay", |b| {
+        b.iter(|| black_box(drain(trace.replay(&program).expect("replay"))))
+    });
+    group.bench_function("replay_sampled_1_in_10", |b| {
+        b.iter(|| {
+            black_box(drain(
+                trace
+                    .sampled_replay(&program, Sampling::new(1000, 100))
+                    .expect("replay"),
+            ))
+        })
+    });
+    group.finish();
+
+    // A sweep consumer's view: cycle-accurate simulation fed by replay vs
+    // by live execution (the timing model dominates, so the gap narrows —
+    // this is the end-to-end win per design point).
+    let sim = PipelineSim::new(&MachineConfig::default_config());
+    let mut group = c.benchmark_group("sim_from");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("live_vm", |b| {
+        b.iter(|| black_box(sim.simulate(&program).expect("sim")))
+    });
+    group.bench_function("replay", |b| {
+        b.iter(|| {
+            let mut replay = trace.replay(&program).expect("replay");
+            black_box(sim.simulate_source(&mut replay).expect("sim"))
+        })
+    });
+    group.finish();
+
+    write_bench_record(&program, &trace);
+}
+
+#[derive(Serialize)]
+struct BenchRecord {
+    bench: &'static str,
+    workload: String,
+    instructions: u64,
+    execute_minsts_per_sec: f64,
+    replay_minsts_per_sec: f64,
+    replay_speedup: f64,
+    in_memory_bytes: usize,
+    serialized_bytes: usize,
+    serialized_bytes_per_kilo_inst: f64,
+}
+
+/// Steady-state measurement (separate from the criterion reporting above)
+/// persisted as `BENCH_trace.json` for the repo's perf trajectory.
+fn write_bench_record(program: &mim_isa::Program, trace: &Trace) {
+    let rate = |f: &mut dyn FnMut() -> u64| {
+        let mut best = f64::MIN;
+        for _ in 0..5 {
+            let t = Instant::now();
+            let events = f();
+            best = best.max(events as f64 / t.elapsed().as_secs_f64());
+        }
+        best / 1e6
+    };
+    let execute = rate(&mut || drain(LiveVm::new(program)));
+    let replay = rate(&mut || drain(trace.replay(program).expect("replay")));
+    let serialized = trace.to_bytes().len();
+    let record = BenchRecord {
+        bench: "trace_replay_throughput",
+        workload: trace.name().to_string(),
+        instructions: trace.len(),
+        execute_minsts_per_sec: execute,
+        replay_minsts_per_sec: replay,
+        replay_speedup: replay / execute,
+        in_memory_bytes: trace.encoded_bytes(),
+        serialized_bytes: serialized,
+        serialized_bytes_per_kilo_inst: serialized as f64 / (trace.len() as f64 / 1e3),
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    let json = serde_json::to_string_pretty(&record).expect("serialize");
+    std::fs::write(path, json).expect("write BENCH_trace.json");
+    println!(
+        "trace replay: {replay:.1} Minsts/s vs execute {execute:.1} Minsts/s \
+         ({:.1}x) -> BENCH_trace.json",
+        record.replay_speedup
+    );
+}
+
+criterion_group!(benches, bench_trace_replay);
+criterion_main!(benches);

@@ -3,16 +3,26 @@
 //!
 //! The paper reports an average CPI prediction error of 3.1% with a
 //! maximum of 8.4% on this experiment.
+//!
+//! `--quick` runs the `Tiny` workload size (CI's smoke configuration):
+//! the same grid and assertions, minutes faster, with a slightly looser
+//! error bound (short runs weight cold-start effects more heavily).
 
 use mim_bench::write_json;
 use mim_runner::{print_comparison, EvalKind, Experiment};
 use mim_workloads::{mibench, WorkloadSize};
 
 fn main() -> std::io::Result<()> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (size, bound) = if quick {
+        (WorkloadSize::Tiny, 10.0)
+    } else {
+        (WorkloadSize::Small, 8.0)
+    };
     let report = Experiment::new()
         .title("Figure 3: MiBench CPI validation (default machine)")
         .workloads(mibench::all())
-        .size(WorkloadSize::Small)
+        .size(size)
         .evaluators([EvalKind::Model, EvalKind::Sim])
         .run()
         .expect("experiment");
@@ -20,6 +30,6 @@ fn main() -> std::io::Result<()> {
     let (avg, _max) = print_comparison(&report.title, &rows);
     println!("\npaper reference: avg 3.1%, max 8.4%");
     write_json("fig3_validation", &rows)?;
-    assert!(avg < 8.0, "average error regressed: {avg:.2}%");
+    assert!(avg < bound, "average error regressed: {avg:.2}%");
     Ok(())
 }

@@ -168,7 +168,7 @@ impl MachineConfig {
 
     /// Clock period in seconds.
     pub fn cycle_seconds(&self) -> f64 {
-        1e-9 / self.frequency_ghz
+        crate::cycles_to_seconds(1.0, self.frequency_ghz)
     }
 
     /// Short identifier, e.g. `"s9@1.0GHz-w4-L2-512K-8w-gshare-12b"`.

@@ -51,6 +51,18 @@ mod ooo;
 mod stack;
 
 pub use config::{ConfigError, DesignPoint, DesignSpace, MachineConfig};
+
+/// Converts a cycle count at `frequency_ghz` into wall-clock seconds.
+///
+/// The single authoritative frequency→seconds conversion: every
+/// `time_seconds`-style accessor across the workspace
+/// ([`CpiStack::time_seconds`], `SimResult::time_seconds`,
+/// `EvalResult::time_seconds`, [`MachineConfig::cycle_seconds`]) delegates
+/// here rather than hand-rolling `cycles * 1e-9 / ghz`.
+#[inline]
+pub fn cycles_to_seconds(cycles: f64, frequency_ghz: f64) -> f64 {
+    cycles * 1e-9 / frequency_ghz
+}
 pub use inputs::{BranchStats, DepHistogram, InstMix, ModelInputs, MAX_DEP_DISTANCE};
 pub use model::MechanisticModel;
 pub use ooo::{OooConfig, OooModel};

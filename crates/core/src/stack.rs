@@ -171,7 +171,7 @@ impl CpiStack {
 
     /// Execution time in seconds at the given clock frequency.
     pub fn time_seconds(&self, frequency_ghz: f64) -> f64 {
-        self.total_cycles() * 1e-9 / frequency_ghz
+        crate::cycles_to_seconds(self.total_cycles(), frequency_ghz)
     }
 
     /// Iterates `(component, cycles)` pairs in canonical order.

@@ -5,7 +5,7 @@
 use std::time::Instant;
 
 use mim_core::DesignSpace;
-use mim_runner::{parallel_map, EvalKind, ProfileCache, WorkloadSpec};
+use mim_runner::{parallel_map, EvalKind, WorkloadSpec, WorkloadStore};
 use mim_workloads::WorkloadSize;
 use serde::{Deserialize, Serialize};
 
@@ -145,7 +145,7 @@ impl ExplorationReport {
 ///
 /// Like [`Experiment`](mim_runner::Experiment), each workload is profiled
 /// **once** per exploration — the strategy, the exhaustive grid, and the
-/// hybrid sim-verification pass all share one [`ProfileCache`].
+/// hybrid sim-verification pass all share one [`WorkloadStore`].
 ///
 /// # Example
 ///
@@ -177,7 +177,7 @@ pub struct Exploration {
     kind: EvalKind,
     energy: bool,
     threads: usize,
-    cache: ProfileCache,
+    cache: WorkloadStore,
     sim_verify: Option<f64>,
 }
 
@@ -196,7 +196,7 @@ impl Exploration {
             kind: EvalKind::Model,
             energy: false,
             threads: 0,
-            cache: ProfileCache::new(),
+            cache: WorkloadStore::new(),
             sim_verify: None,
         }
     }
@@ -293,12 +293,12 @@ impl Exploration {
 
     /// The exploration's shared profile cache (hand it to other
     /// experiments to reuse the same one-pass profiles).
-    pub fn profile_cache(&self) -> ProfileCache {
+    pub fn profile_cache(&self) -> WorkloadStore {
         self.cache.clone()
     }
 
     /// Replaces the profile cache with a shared one.
-    pub fn with_cache(mut self, cache: ProfileCache) -> Exploration {
+    pub fn with_cache(mut self, cache: WorkloadStore) -> Exploration {
         self.cache = cache;
         self
     }
@@ -329,6 +329,22 @@ impl Exploration {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
         };
+
+        // Hybrid runs simulate survivors later: record each workload's
+        // trace now so the model search's profiling pass replays the same
+        // recording phase 2 will — one functional execution per workload
+        // for the whole exploration. (Model-only runs skip this and let
+        // the profiler stream, trace-free.)
+        if self.sim_verify.is_some() || self.kind != EvalKind::Model {
+            let warmed: Vec<Result<(), ExploreError>> =
+                parallel_map(threads, &self.workloads, |_, spec| {
+                    self.cache.trace(spec, self.size, self.limit)?;
+                    Ok(())
+                });
+            for outcome in warmed {
+                outcome?;
+            }
+        }
 
         // Phase 1 — model-guided search. Every point the strategy visits
         // is scored through the shared, memoized search space.
@@ -439,6 +455,8 @@ impl Exploration {
             objectives: self.objectives.clone(),
             threads,
         };
+        // Recordings were warmed by `run` before the model search, so the
+        // parallel fan-out below only ever replays.
         let outcomes = parallel_map(threads, &survivor_positions, |_, &position| {
             sim_scorer.score_point(evaluated[position].point_index)
         });

@@ -16,7 +16,7 @@
 //!   hill climbing with seeded restarts), and [`Anneal`] (seeded,
 //!   deterministic simulated annealing with a budget). All strategies
 //!   share the exploration's one-pass
-//!   [`ProfileCache`](mim_runner::ProfileCache), so even a 10,000-point
+//!   [`WorkloadStore`](mim_runner::WorkloadStore), so even a 10,000-point
 //!   generated space costs one profiling pass per workload.
 //! * [`Exploration`] — the driver. With
 //!   [`sim_verify`](Exploration::sim_verify) it runs the paper's headline

@@ -9,8 +9,8 @@ use std::sync::Mutex;
 
 use mim_core::{DesignPoint, DesignSpace};
 use mim_runner::{
-    EvalKind, EvalResult, Evaluator, Experiment, ModelEvaluator, OooEvaluator, ProfileCache,
-    SimEvaluator, WorkloadSpec,
+    EvalKind, EvalResult, Evaluator, Experiment, ModelEvaluator, OooEvaluator, SimEvaluator,
+    WorkloadSpec, WorkloadStore,
 };
 use mim_workloads::WorkloadSize;
 
@@ -60,7 +60,7 @@ pub(crate) struct PointScorer {
     pub(crate) limit: Option<u64>,
     pub(crate) kind: EvalKind,
     pub(crate) energy: bool,
-    pub(crate) cache: ProfileCache,
+    pub(crate) cache: WorkloadStore,
     pub(crate) objectives: Vec<Objective>,
     pub(crate) threads: usize,
 }

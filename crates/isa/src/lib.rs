@@ -60,4 +60,4 @@ pub use error::VmError;
 pub use inst::{Cond, Inst, InstClass, Opcode};
 pub use program::{Program, WORD_BYTES};
 pub use reg::{Reg, NUM_REGS};
-pub use vm::{RunOutcome, TraceEvent, Vm};
+pub use vm::{functional_executions, RunOutcome, TraceEvent, Vm};

@@ -1,9 +1,26 @@
 //! Functional (architectural) simulation of programs.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::error::VmError;
 use crate::inst::{InstClass, Opcode};
 use crate::program::{Program, WORD_BYTES};
 use crate::reg::{Reg, NUM_REGS};
+
+/// Process-wide count of functional execution passes started via
+/// [`Vm::run`]/[`Vm::run_with`].
+static FUNCTIONAL_EXECUTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of functional execution passes ([`Vm::run`] / [`Vm::run_with`]
+/// calls) started in this process so far.
+///
+/// The record-once trace layer (`mim-trace`) exists to keep this number at
+/// one per `(workload, size)` no matter how many design points consume the
+/// dynamic instruction stream; tests assert that invariant by sampling the
+/// counter around a sweep. Monotone, never reset; measure deltas.
+pub fn functional_executions() -> u64 {
+    FUNCTIONAL_EXECUTIONS.load(Ordering::Relaxed)
+}
 
 /// One dynamically executed instruction, as observed by trace consumers.
 ///
@@ -302,6 +319,7 @@ impl<'p> Vm<'p> {
     where
         F: FnMut(&TraceEvent),
     {
+        FUNCTIONAL_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
         let limit = limit.unwrap_or(u64::MAX);
         let start = self.retired;
         while self.retired - start < limit {

@@ -10,7 +10,8 @@
 use mim_bpred::BranchPredictor;
 use mim_cache::{Hierarchy, MemAccessKind, MemLevel, MissCounts};
 use mim_core::MachineConfig;
-use mim_isa::{InstClass, Program, Vm, VmError, NUM_REGS};
+use mim_isa::{InstClass, Program, VmError, NUM_REGS};
+use mim_trace::{LiveVm, TraceError, TraceSource};
 
 /// Outcome of a detailed simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,7 +44,7 @@ impl SimResult {
 
     /// Execution time in seconds at the given frequency.
     pub fn time_seconds(&self, frequency_ghz: f64) -> f64 {
-        self.cycles as f64 * 1e-9 / frequency_ghz
+        mim_core::cycles_to_seconds(self.cycles as f64, frequency_ghz)
     }
 }
 
@@ -82,7 +83,13 @@ impl PipelineSim {
         self.simulate_limit(program, None)
     }
 
-    /// Simulates at most `limit` instructions (or to completion).
+    /// Simulates at most `limit` instructions (or to completion), driving
+    /// a live functional execution.
+    ///
+    /// Design-space sweeps should record the workload once
+    /// (`mim_trace::Trace::record`) and call
+    /// [`simulate_source`](PipelineSim::simulate_source) with a replay
+    /// instead — the simulation is then a pure timing pass.
     ///
     /// # Errors
     ///
@@ -92,6 +99,26 @@ impl PipelineSim {
         program: &Program,
         limit: Option<u64>,
     ) -> Result<SimResult, VmError> {
+        self.simulate_source(&mut LiveVm::new(program).with_limit(limit))
+            .map_err(TraceError::into_vm)
+    }
+
+    /// Simulates the dynamic instruction stream produced by any
+    /// [`TraceSource`] — the core timing pass, functionally decoupled.
+    ///
+    /// With a [`Replay`](mim_trace::Replay) source this performs **no**
+    /// functional execution: the pipeline timing model consumes the
+    /// recorded stream directly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's [`TraceError`] (a functional fault for live
+    /// sources, a corrupt recording for replays).
+    pub fn simulate_source<S: TraceSource + ?Sized>(
+        &self,
+        source: &mut S,
+    ) -> Result<SimResult, TraceError> {
+        let name = source.name().to_string();
         let m = &self.machine;
         let w = u64::from(m.width);
         let depth = u64::from(m.frontend_depth);
@@ -137,8 +164,7 @@ impl PipelineSim {
         let mut taken_correct = 0u64;
         let mut retired = 0u64;
 
-        let mut vm = Vm::new(program);
-        vm.run_with(limit, |ev| {
+        source.drive(&mut |ev| {
             retired += 1;
             let idx = (retired - 1) as usize % cap;
 
@@ -288,7 +314,7 @@ impl PipelineSim {
         // Drain: memory + writeback stages after the last completion event.
         let cycles = last_completion.max(mem_busy_until) + 2;
         Ok(SimResult {
-            name: program.name().to_string(),
+            name,
             instructions: retired,
             cycles,
             misses: hierarchy.counts(),

@@ -42,5 +42,5 @@ mod mlp;
 mod sweep;
 
 pub use deps::DepTracker;
-pub use mlp::{estimate_mlp, MlpEstimate};
+pub use mlp::{estimate_mlp, estimate_mlp_source, MlpEstimate};
 pub use sweep::{Profiler, SweepProfiler, WorkloadProfile};

@@ -13,7 +13,8 @@
 //! * MLP = misses / serialization groups.
 
 use mim_cache::{Hierarchy, HierarchyConfig, MemAccessKind, MemLevel};
-use mim_isa::{InstClass, Program, Vm, VmError, NUM_REGS};
+use mim_isa::{InstClass, Program, VmError, NUM_REGS};
+use mim_trace::{LiveVm, TraceError, TraceSource};
 
 /// MLP estimate for one workload against one cache hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,6 +60,26 @@ pub fn estimate_mlp(
     rob_size: u32,
     limit: Option<u64>,
 ) -> Result<MlpEstimate, VmError> {
+    estimate_mlp_source(
+        &mut LiveVm::new(program).with_limit(limit),
+        hierarchy,
+        rob_size,
+    )
+    .map_err(TraceError::into_vm)
+}
+
+/// Estimates MLP from any [`TraceSource`] — the replay-friendly core of
+/// [`estimate_mlp`], so sweep drivers reuse one recorded execution instead
+/// of re-running the program per estimate.
+///
+/// # Errors
+///
+/// Propagates the source's [`TraceError`].
+pub fn estimate_mlp_source<S: TraceSource + ?Sized>(
+    source: &mut S,
+    hierarchy: &HierarchyConfig,
+    rob_size: u32,
+) -> Result<MlpEstimate, TraceError> {
     let rob = u64::from(rob_size);
     let mut caches = Hierarchy::new(hierarchy.clone());
     // Per-register taint: sequence number of the pending miss whose value
@@ -69,8 +90,7 @@ pub fn estimate_mlp(
     let mut groups: u64 = 0;
     let mut group_start: Option<u64> = None;
 
-    let mut vm = Vm::new(program);
-    vm.run_with(limit, |ev| {
+    source.drive(&mut |ev| {
         seq += 1;
         // Warm the caches exactly like the profiler does.
         caches.access(MemAccessKind::Fetch, Program::inst_addr(ev.pc));

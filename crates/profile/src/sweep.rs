@@ -3,7 +3,8 @@
 use mim_bpred::{MultiPredictor, PredictorConfig, PredictorStats};
 use mim_cache::{CacheConfig, HierarchyConfig, MemAccessKind, MissCounts, MultiConfig};
 use mim_core::{BranchStats, InstMix, MachineConfig, ModelInputs};
-use mim_isa::{InstClass, Program, Vm, VmError};
+use mim_isa::{InstClass, Program, VmError};
+use mim_trace::{LiveVm, TraceError, TraceSource};
 use serde::{Deserialize, Serialize};
 
 use crate::deps::DepTracker;
@@ -124,6 +125,11 @@ impl SweepProfiler {
     /// `limit` bounds the number of retired instructions (useful for
     /// sampling long workloads); `None` runs to completion.
     ///
+    /// Design-space sweeps should record the workload once
+    /// (`mim_trace::Trace::record`) and call
+    /// [`profile_source`](SweepProfiler::profile_source) with a replay
+    /// instead, so profiling performs no functional execution of its own.
+    ///
     /// # Errors
     ///
     /// Propagates [`VmError`] if the program faults.
@@ -132,13 +138,28 @@ impl SweepProfiler {
         program: &Program,
         limit: Option<u64>,
     ) -> Result<WorkloadProfile, VmError> {
+        self.profile_source(&mut LiveVm::new(program).with_limit(limit))
+            .map_err(TraceError::into_vm)
+    }
+
+    /// Profiles the dynamic instruction stream produced by any
+    /// [`TraceSource`], collecting all sweep statistics in one pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's [`TraceError`] (a functional fault for live
+    /// sources, a corrupt recording for replays).
+    pub fn profile_source<S: TraceSource + ?Sized>(
+        &self,
+        source: &mut S,
+    ) -> Result<WorkloadProfile, TraceError> {
+        let name = source.name().to_string();
         let mut caches = MultiConfig::new(&self.base, self.l2s.clone());
         let mut preds = MultiPredictor::new(&self.predictors);
         let mut deps = DepTracker::new();
         let mut mix = InstMix::default();
 
-        let mut vm = Vm::new(program);
-        vm.run_with(limit, |ev| {
+        source.drive(&mut |ev| {
             // Instruction mix.
             match ev.class {
                 InstClass::Mul => mix.mul += 1,
@@ -171,7 +192,7 @@ impl SweepProfiler {
         let (deps_unit, deps_ll, deps_load) = deps.into_histograms();
         let misses = (0..self.l2s.len()).map(|i| caches.counts(i)).collect();
         Ok(WorkloadProfile {
-            name: program.name().to_string(),
+            name,
             num_insts: mix.total(),
             mix,
             deps_unit,

@@ -3,9 +3,11 @@
 //! Every evaluator maps `(workload, size)` to a unified [`EvalResult`];
 //! model-vs-simulation comparison is a generic diff of two results rather
 //! than bespoke per-binary wiring. All three implementations share a
-//! [`ProfileCache`], so a workload is profiled exactly once per sweep no
-//! matter how many evaluators and design points consume the profile
-//! (the paper's §2.1 framework).
+//! [`WorkloadStore`], so a workload is functionally executed exactly once
+//! per sweep — recorded into a trace that is replayed for profiling,
+//! simulation, and MLP estimation alike, no matter how many evaluators
+//! and design points consume it (the paper's §2.1 framework applied to
+//! the whole stack).
 
 use std::time::Instant;
 
@@ -19,9 +21,9 @@ use mim_pipeline::{PipelineSim, SimResult};
 use mim_power::{Activity, EnergyModel};
 use mim_workloads::WorkloadSize;
 
-use crate::cache::ProfileCache;
 use crate::result::{BranchSummary, EvalError, EvalKind, EvalResult};
 use crate::spec::WorkloadSpec;
+use crate::store::WorkloadStore;
 
 /// An object-safe performance evaluator: anything that can score a
 /// workload on its machine configuration.
@@ -105,12 +107,12 @@ impl SweepContext {
 
     fn inputs(
         &self,
-        cache: &ProfileCache,
+        store: &WorkloadStore,
         spec: &WorkloadSpec,
         size: WorkloadSize,
         limit: Option<u64>,
     ) -> Result<ModelInputs, EvalError> {
-        let profile = cache.profile(
+        let profile = store.profile(
             spec,
             size,
             limit,
@@ -164,7 +166,7 @@ fn result_from_stack(
 pub struct ModelEvaluator {
     machine: MachineConfig,
     sweep: SweepContext,
-    cache: ProfileCache,
+    store: WorkloadStore,
     limit: Option<u64>,
     name: String,
     ablated: Vec<StackComponent>,
@@ -177,7 +179,7 @@ impl ModelEvaluator {
         ModelEvaluator {
             machine: machine.clone(),
             sweep: SweepContext::single(machine),
-            cache: ProfileCache::new(),
+            store: WorkloadStore::new(),
             limit: None,
             name: EvalKind::Model.label().to_string(),
             ablated: Vec::new(),
@@ -186,15 +188,15 @@ impl ModelEvaluator {
     }
 
     /// Model evaluator for one point of a design space. All points of the
-    /// same space share a single profiling pass per workload (provided
-    /// they share a [`ProfileCache`], see [`with_cache`]).
+    /// same space share a single recording + profiling pass per workload
+    /// (provided they share a [`WorkloadStore`], see [`with_cache`]).
     ///
     /// [`with_cache`]: ModelEvaluator::with_cache
     pub fn for_point(space: &DesignSpace, point: &DesignPoint) -> ModelEvaluator {
         ModelEvaluator {
             machine: point.machine.clone(),
             sweep: SweepContext::for_point(space, point),
-            cache: ProfileCache::new(),
+            store: WorkloadStore::new(),
             limit: None,
             name: EvalKind::Model.label().to_string(),
             ablated: Vec::new(),
@@ -202,9 +204,10 @@ impl ModelEvaluator {
         }
     }
 
-    /// Shares a profile cache with other evaluators.
-    pub fn with_cache(mut self, cache: ProfileCache) -> ModelEvaluator {
-        self.cache = cache;
+    /// Shares a workload store (recordings + profiles) with other
+    /// evaluators.
+    pub fn with_cache(mut self, store: WorkloadStore) -> ModelEvaluator {
+        self.store = store;
         self
     }
 
@@ -250,7 +253,7 @@ impl Evaluator for ModelEvaluator {
         size: WorkloadSize,
     ) -> Result<EvalResult, EvalError> {
         let t0 = Instant::now();
-        let inputs = self.sweep.inputs(&self.cache, workload, size, self.limit)?;
+        let inputs = self.sweep.inputs(&self.store, workload, size, self.limit)?;
         let model = MechanisticModel::new(&self.machine);
         let stack = if self.ablated.is_empty() {
             model.predict(&inputs)
@@ -278,7 +281,7 @@ impl Evaluator for ModelEvaluator {
 pub struct SimEvaluator {
     machine: MachineConfig,
     sweep: SweepContext,
-    cache: ProfileCache,
+    store: WorkloadStore,
     limit: Option<u64>,
     name: String,
     energy: bool,
@@ -290,7 +293,7 @@ impl SimEvaluator {
         SimEvaluator {
             machine: machine.clone(),
             sweep: SweepContext::single(machine),
-            cache: ProfileCache::new(),
+            store: WorkloadStore::new(),
             limit: None,
             name: EvalKind::Sim.label().to_string(),
             energy: false,
@@ -306,10 +309,11 @@ impl SimEvaluator {
         }
     }
 
-    /// Shares a profile cache (only consulted when energy evaluation needs
-    /// the instruction mix).
-    pub fn with_cache(mut self, cache: ProfileCache) -> SimEvaluator {
-        self.cache = cache;
+    /// Shares a workload store: the simulator replays the store's one
+    /// recorded execution per workload (and reads the profile from it when
+    /// energy evaluation needs the instruction mix).
+    pub fn with_cache(mut self, store: WorkloadStore) -> SimEvaluator {
+        self.store = store;
         self
     }
 
@@ -379,12 +383,19 @@ impl Evaluator for SimEvaluator {
         size: WorkloadSize,
     ) -> Result<EvalResult, EvalError> {
         let t0 = Instant::now();
-        let program = self.cache.program(workload, size);
+        // Pure timing pass: replay the store's one recorded functional
+        // execution instead of re-interpreting the program per design
+        // point.
+        let program = self.store.program(workload, size);
+        let trace = self.store.trace(workload, size, self.limit)?;
+        let mut replay = trace
+            .replay(&program)
+            .map_err(|e| EvalError::trace(workload.name(), &self.name, &e))?;
         let sim = PipelineSim::new(&self.machine)
-            .simulate_limit(&program, self.limit)
-            .map_err(|e| EvalError::vm(workload.name(), &self.name, &e))?;
+            .simulate_source(&mut replay)
+            .map_err(|e| EvalError::trace(workload.name(), &self.name, &e))?;
         let inputs = if self.energy {
-            Some(self.sweep.inputs(&self.cache, workload, size, self.limit)?)
+            Some(self.sweep.inputs(&self.store, workload, size, self.limit)?)
         } else {
             None
         };
@@ -400,7 +411,7 @@ impl Evaluator for SimEvaluator {
 pub struct OooEvaluator {
     machine: MachineConfig,
     sweep: SweepContext,
-    cache: ProfileCache,
+    store: WorkloadStore,
     limit: Option<u64>,
     name: String,
     rob_size: u32,
@@ -415,7 +426,7 @@ impl OooEvaluator {
         OooEvaluator {
             machine: machine.clone(),
             sweep: SweepContext::single(machine),
-            cache: ProfileCache::new(),
+            store: WorkloadStore::new(),
             limit: None,
             name: EvalKind::Ooo.label().to_string(),
             rob_size: 128,
@@ -433,9 +444,10 @@ impl OooEvaluator {
         }
     }
 
-    /// Shares a profile cache with other evaluators.
-    pub fn with_cache(mut self, cache: ProfileCache) -> OooEvaluator {
-        self.cache = cache;
+    /// Shares a workload store (recordings + profiles) with other
+    /// evaluators.
+    pub fn with_cache(mut self, store: WorkloadStore) -> OooEvaluator {
+        self.store = store;
         self
     }
 
@@ -486,18 +498,21 @@ impl Evaluator for OooEvaluator {
         size: WorkloadSize,
     ) -> Result<EvalResult, EvalError> {
         let t0 = Instant::now();
-        let inputs = self.sweep.inputs(&self.cache, workload, size, self.limit)?;
+        let inputs = self.sweep.inputs(&self.store, workload, size, self.limit)?;
         let mlp = match self.fixed_mlp {
             Some(mlp) => mlp,
             None => {
-                let program = self.cache.program(workload, size);
-                mim_profile::estimate_mlp(
-                    &program,
+                let program = self.store.program(workload, size);
+                let trace = self.store.trace(workload, size, self.limit)?;
+                let mut replay = trace
+                    .replay(&program)
+                    .map_err(|e| EvalError::trace(workload.name(), &self.name, &e))?;
+                mim_profile::estimate_mlp_source(
+                    &mut replay,
                     &self.machine.hierarchy,
                     self.rob_size,
-                    self.limit,
                 )
-                .map_err(|e| EvalError::vm(workload.name(), &self.name, &e))?
+                .map_err(|e| EvalError::trace(workload.name(), &self.name, &e))?
                 .mlp
             }
         };

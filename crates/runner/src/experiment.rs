@@ -11,10 +11,10 @@ use mim_core::{DesignPoint, DesignSpace, MachineConfig};
 use mim_workloads::WorkloadSize;
 use serde::{Deserialize, Serialize};
 
-use crate::cache::ProfileCache;
 use crate::evaluator::{Evaluator, ModelEvaluator, OooEvaluator, SimEvaluator};
 use crate::result::{EvalError, EvalKind, EvalResult};
 use crate::spec::WorkloadSpec;
+use crate::store::WorkloadStore;
 
 /// Runs `f(index, item)` over `items` on up to `threads` worker threads,
 /// preserving input order in the returned vector — the per-cell iteration
@@ -253,7 +253,7 @@ pub struct Experiment {
     rob_size: u32,
     energy: bool,
     threads: usize,
-    cache: ProfileCache,
+    cache: WorkloadStore,
     on_cell: Option<CellCallback>,
 }
 
@@ -282,7 +282,7 @@ impl Experiment {
             rob_size: 128,
             energy: false,
             threads: 0,
-            cache: ProfileCache::new(),
+            cache: WorkloadStore::new(),
             on_cell: None,
         }
     }
@@ -390,17 +390,17 @@ impl Experiment {
         self
     }
 
-    /// The experiment's shared profile cache. Hand this to custom
+    /// The experiment's shared workload store. Hand this to custom
     /// evaluators (`with_cache`) so they reuse the experiment's one
-    /// profiling pass per workload.
-    pub fn profile_cache(&self) -> ProfileCache {
+    /// recording + profiling pass per workload.
+    pub fn profile_cache(&self) -> WorkloadStore {
         self.cache.clone()
     }
 
-    /// Replaces the experiment's profile cache with a shared one, so
+    /// Replaces the experiment's workload store with a shared one, so
     /// several experiments (or an outer driver like `mim-explore`) reuse a
-    /// single profiling pass per workload across runs.
-    pub fn with_cache(mut self, cache: ProfileCache) -> Experiment {
+    /// single recording + profiling pass per workload across runs.
+    pub fn with_cache(mut self, cache: WorkloadStore) -> Experiment {
         self.cache = cache;
         self
     }
@@ -541,8 +541,10 @@ impl Experiment {
             }],
         };
 
-        // Phase 1 — one profiling pass per workload (§2.1), parallel over
-        // workloads. Simulation-only experiments without energy skip this.
+        // Phase 1 — one recording (and, where needed, one replayed
+        // profiling pass) per workload (§2.1), parallel over workloads.
+        // Simulation-only experiments without energy skip the profile but
+        // still record the trace their simulations replay.
         let t_profile = Instant::now();
         let needs_profile = self.energy
             || self
@@ -562,8 +564,22 @@ impl Experiment {
                 vec![self.machine.predictor.clone()],
             ),
         };
+        // Record a trace only when a grid cell will replay it repeatedly
+        // (simulation per design point, MLP estimation). Model-only
+        // experiments keep the O(1)-memory streaming profile pass — still
+        // exactly one functional execution per workload either way.
+        let needs_trace = self
+            .kinds
+            .iter()
+            .any(|k| matches!(k, EvalKind::Sim | EvalKind::Ooo));
         let warm: Vec<Result<(), EvalError>> = parallel_map(threads, &self.workloads, |_, spec| {
             self.cache.program(spec, self.size);
+            if needs_trace {
+                // The one functional execution per workload: every grid
+                // cell below (profile, simulation, MLP) replays this
+                // recording.
+                self.cache.trace(spec, self.size, self.limit)?;
+            }
             if needs_profile {
                 self.cache
                     .profile(spec, self.size, self.limit, &hierarchy, &l2s, &predictors)?;

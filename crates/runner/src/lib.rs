@@ -14,11 +14,15 @@
 //!   (cycle-accurate pipeline), [`OooEvaluator`] (out-of-order interval
 //!   model).
 //! * [`Experiment`] — a builder running the (workload × design-point ×
-//!   evaluator) grid: one [`SweepProfiler`](mim_profile::SweepProfiler)
-//!   pass per workload reused across all design points (the §2.1
-//!   framework), parallel execution across `threads(n)` workers with
-//!   deterministic result ordering, and a JSON-serializable
-//!   [`ExperimentReport`] whose bytes are identical for any thread count.
+//!   evaluator) grid: each workload is functionally executed **once**
+//!   (recorded into a [`Trace`](mim_trace::Trace) held by the shared
+//!   [`WorkloadStore`]) and every consumer — the
+//!   [`SweepProfiler`](mim_profile::SweepProfiler) pass, every
+//!   cycle-accurate simulation cell, the MLP estimator — replays that
+//!   recording (the §2.1 framework applied to the whole stack). The grid
+//!   runs across `threads(n)` workers with deterministic result ordering
+//!   and a JSON-serializable [`ExperimentReport`] whose bytes are
+//!   identical for any thread count.
 //!
 //! ## Example: model-vs-simulation validation in six lines
 //!
@@ -57,16 +61,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod cache;
 mod evaluator;
 mod experiment;
 mod result;
 mod spec;
+mod store;
 
-pub use cache::ProfileCache;
 pub use evaluator::{Evaluator, ModelEvaluator, OooEvaluator, SimEvaluator};
 pub use experiment::{
     parallel_map, print_comparison, CpiComparison, Experiment, ExperimentReport, ExperimentTiming,
 };
 pub use result::{BranchSummary, EvalError, EvalKind, EvalResult};
 pub use spec::WorkloadSpec;
+pub use store::{ProfileCache, WorkloadStore};

@@ -99,7 +99,7 @@ pub struct EvalResult {
 impl EvalResult {
     /// Execution time in seconds at `frequency_ghz`.
     pub fn time_seconds(&self, frequency_ghz: f64) -> f64 {
-        self.cycles * 1e-9 / frequency_ghz
+        mim_core::cycles_to_seconds(self.cycles, frequency_ghz)
     }
 
     /// The energy-delay product, if energy evaluation was enabled.
@@ -153,6 +153,11 @@ impl EvalError {
 
     /// Wraps a VM fault.
     pub fn vm(workload: &str, evaluator: &str, error: &VmError) -> EvalError {
+        EvalError::new(workload, evaluator, error)
+    }
+
+    /// Wraps a trace-layer error (recording fault or corrupt replay).
+    pub fn trace(workload: &str, evaluator: &str, error: &mim_trace::TraceError) -> EvalError {
         EvalError::new(workload, evaluator, error)
     }
 }

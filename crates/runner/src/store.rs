@@ -1,0 +1,231 @@
+//! Shared memoization of programs, recorded traces, and one-pass profiles.
+//!
+//! The paper's framework (§2.1) separates machine-independent workload
+//! behavior from machine-dependent timing; [`WorkloadStore`] is that
+//! invariant made concrete for the whole stack. Per `(workload, size,
+//! limit)` it memoizes the instantiated [`Program`], the **one** recorded
+//! functional execution (a [`Trace`]), and the one-pass sweep
+//! [`WorkloadProfile`] replayed from it — so every evaluator, every design
+//! point, and every search strategy of an experiment shares a single
+//! functional execution per workload. The store is cheaply cloneable (an
+//! `Arc` handle) and thread-safe.
+
+use std::sync::{Arc, Mutex};
+
+use mim_bpred::PredictorConfig;
+use mim_cache::{CacheConfig, HierarchyConfig};
+use mim_isa::Program;
+use mim_profile::{SweepProfiler, WorkloadProfile};
+use mim_trace::Trace;
+use mim_workloads::WorkloadSize;
+
+use crate::result::EvalError;
+use crate::spec::WorkloadSpec;
+
+/// Identifies one profiling pass: workload, size, truncation, and the
+/// sweep's candidate lists.
+#[derive(Clone, PartialEq)]
+struct ProfileKey {
+    workload: String,
+    size: WorkloadSize,
+    limit: Option<u64>,
+    hierarchy: HierarchyConfig,
+    l2s: Vec<CacheConfig>,
+    predictors: Vec<PredictorConfig>,
+}
+
+type ProgramKey = (String, WorkloadSize);
+
+/// Identifies one recording: workload, size, and instruction limit.
+type TraceKey = (String, WorkloadSize, Option<u64>);
+
+#[derive(Default)]
+struct Inner {
+    programs: Mutex<Vec<(ProgramKey, Arc<Program>)>>,
+    traces: Mutex<Vec<(TraceKey, Arc<Trace>)>>,
+    profiles: Mutex<Vec<(ProfileKey, Arc<WorkloadProfile>)>>,
+}
+
+/// Thread-safe store of instantiated programs, recorded execution traces,
+/// and sweep profiles — one functional execution per `(workload, size,
+/// limit)`, replayed by every consumer.
+///
+/// Entry counts are small (one per workload × size × sweep), so lookups
+/// are linear scans — no hashing requirements on the config types.
+///
+/// # Example
+///
+/// ```
+/// use mim_runner::{WorkloadSpec, WorkloadStore};
+/// use mim_workloads::{mibench, WorkloadSize};
+///
+/// let store = WorkloadStore::new();
+/// let spec = WorkloadSpec::from(mibench::sha());
+/// let trace = store.trace(&spec, WorkloadSize::Tiny, None).unwrap();
+/// // Second request replays the memoized recording — no re-execution.
+/// let again = store.trace(&spec, WorkloadSize::Tiny, None).unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&trace, &again));
+/// ```
+#[derive(Clone, Default)]
+pub struct WorkloadStore {
+    inner: Arc<Inner>,
+}
+
+/// Pre-trace-layer name for [`WorkloadStore`], kept as an alias for
+/// downstream code written against the PR-1 API.
+pub type ProfileCache = WorkloadStore;
+
+impl WorkloadStore {
+    /// Creates an empty store.
+    pub fn new() -> WorkloadStore {
+        WorkloadStore::default()
+    }
+
+    /// Returns the workload's program at `size`, instantiating it on first
+    /// use.
+    pub fn program(&self, spec: &WorkloadSpec, size: WorkloadSize) -> Arc<Program> {
+        let key = (spec.name().to_string(), size);
+        if let Some((_, p)) = self
+            .inner
+            .programs
+            .lock()
+            .expect("program cache poisoned")
+            .iter()
+            .find(|(k, _)| *k == key)
+        {
+            return Arc::clone(p);
+        }
+        // Generate outside the lock; kernels are deterministic, so a racing
+        // duplicate generation is wasted work but not an inconsistency.
+        let program = spec.program_at(size);
+        let mut programs = self.inner.programs.lock().expect("program cache poisoned");
+        if let Some((_, p)) = programs.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(p);
+        }
+        programs.push((key, Arc::clone(&program)));
+        program
+    }
+
+    /// Returns the workload's recorded execution trace (at most `limit`
+    /// retired instructions), recording it on first use — the **single**
+    /// functional execution every downstream timing pass replays.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] if the program faults while recording.
+    pub fn trace(
+        &self,
+        spec: &WorkloadSpec,
+        size: WorkloadSize,
+        limit: Option<u64>,
+    ) -> Result<Arc<Trace>, EvalError> {
+        let key = (spec.name().to_string(), size, limit);
+        if let Some(t) = self.cached_trace(&key) {
+            return Ok(t);
+        }
+        let program = self.program(spec, size);
+        let trace = Trace::record(&program, limit)
+            .map_err(|e| EvalError::vm(spec.name(), "recorder", &e))?;
+        let trace = Arc::new(trace);
+        let mut traces = self.inner.traces.lock().expect("trace cache poisoned");
+        if let Some((_, t)) = traces.iter().find(|(k, _)| *k == key) {
+            return Ok(Arc::clone(t));
+        }
+        traces.push((key, Arc::clone(&trace)));
+        Ok(trace)
+    }
+
+    fn cached_trace(&self, key: &TraceKey) -> Option<Arc<Trace>> {
+        self.inner
+            .traces
+            .lock()
+            .expect("trace cache poisoned")
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, t)| Arc::clone(t))
+    }
+
+    /// Returns the workload's one-pass sweep profile for the given
+    /// candidate lists, computing it on first use.
+    ///
+    /// When the store already holds the workload's recording (i.e. a
+    /// repeat consumer like the simulator shares this store), the profile
+    /// replays it; otherwise the profiler streams one live functional
+    /// pass directly — same single execution, but no O(trace) memory for
+    /// profile-only workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] if the program faults while profiling.
+    pub fn profile(
+        &self,
+        spec: &WorkloadSpec,
+        size: WorkloadSize,
+        limit: Option<u64>,
+        hierarchy: &HierarchyConfig,
+        l2s: &[CacheConfig],
+        predictors: &[PredictorConfig],
+    ) -> Result<Arc<WorkloadProfile>, EvalError> {
+        let key = ProfileKey {
+            workload: spec.name().to_string(),
+            size,
+            limit,
+            hierarchy: hierarchy.clone(),
+            l2s: l2s.to_vec(),
+            predictors: predictors.to_vec(),
+        };
+        if let Some((_, p)) = self
+            .inner
+            .profiles
+            .lock()
+            .expect("profile cache poisoned")
+            .iter()
+            .find(|(k, _)| *k == key)
+        {
+            return Ok(Arc::clone(p));
+        }
+        let program = self.program(spec, size);
+        let profiler = SweepProfiler::new(hierarchy.clone(), l2s.to_vec(), predictors.to_vec());
+        let trace_key = (spec.name().to_string(), size, limit);
+        let profile = match self.cached_trace(&trace_key) {
+            Some(trace) => {
+                let mut replay = trace
+                    .replay(&program)
+                    .map_err(|e| EvalError::trace(spec.name(), "profiler", &e))?;
+                profiler
+                    .profile_source(&mut replay)
+                    .map_err(|e| EvalError::trace(spec.name(), "profiler", &e))?
+            }
+            None => profiler
+                .profile(&program, limit)
+                .map_err(|e| EvalError::vm(spec.name(), "profiler", &e))?,
+        };
+        let profile = Arc::new(profile);
+        let mut profiles = self.inner.profiles.lock().expect("profile cache poisoned");
+        if let Some((_, p)) = profiles.iter().find(|(k, _)| *k == key) {
+            return Ok(Arc::clone(p));
+        }
+        profiles.push((key, Arc::clone(&profile)));
+        Ok(profile)
+    }
+
+    /// Number of cached profiles (used by tests to assert the one-pass
+    /// invariant).
+    pub fn cached_profiles(&self) -> usize {
+        self.inner
+            .profiles
+            .lock()
+            .expect("profile cache poisoned")
+            .len()
+    }
+
+    /// Number of recorded traces (used by tests to assert the record-once
+    /// invariant).
+    pub fn cached_traces(&self) -> usize {
+        self.inner
+            .traces
+            .lock()
+            .expect("trace cache poisoned")
+            .len()
+    }
+}

@@ -135,6 +135,12 @@ fn design_space_sweep_profiles_each_workload_once() {
         2,
         "one profiling pass per workload"
     );
+    assert_eq!(
+        cache.cached_traces(),
+        0,
+        "model-only sweeps stream their single profiling pass without \
+         materializing a trace"
+    );
     // Model CPI varies across widths from that single profile.
     let cpis: Vec<f64> = report
         .rows_for("model")
@@ -143,6 +149,34 @@ fn design_space_sweep_profiles_each_workload_once() {
         .collect();
     assert_eq!(cpis.len(), 4);
     assert!(cpis[0] > cpis[3], "width 1 must be slower than width 4");
+}
+
+/// The record-once invariant: a simulation sweep records each workload's
+/// functional execution exactly once and replays it per design point.
+#[test]
+fn sim_sweep_records_one_trace_per_workload() {
+    let experiment = Experiment::new()
+        .workloads([mibench::sha(), mibench::crc32()])
+        .size(WorkloadSize::Tiny)
+        .design_space(
+            DesignSpace::new(MachineConfig::default_config())
+                .with_widths(vec![1, 2, 3, 4])
+                .expect("distinct widths"),
+        )
+        .evaluators([EvalKind::Sim]);
+    let cache = experiment.profile_cache();
+    let report = experiment.run().expect("experiment");
+    assert_eq!(report.rows.len(), 2 * 4);
+    assert_eq!(
+        cache.cached_traces(),
+        2,
+        "one recording per workload, shared by all four widths"
+    );
+    assert_eq!(
+        cache.cached_profiles(),
+        0,
+        "a sim-only sweep needs no profile at all"
+    );
 }
 
 /// Comparison rows pair cells correctly across a design space.

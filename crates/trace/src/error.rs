@@ -1,0 +1,66 @@
+//! Errors raised by trace recording, replay, and decoding.
+
+use std::error::Error;
+use std::fmt;
+
+use mim_isa::VmError;
+
+/// Error produced while driving a [`TraceSource`](crate::TraceSource) or
+/// decoding a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The program faulted during live functional execution (recording or
+    /// a live one-shot pass).
+    Vm(VmError),
+    /// A trace was replayed against a program it was not recorded from.
+    ProgramMismatch {
+        /// Name stored in the trace.
+        trace: String,
+        /// Name of the program handed to replay.
+        program: String,
+    },
+    /// A serialized trace failed to decode, or a replay walked off the
+    /// program text (the trace does not describe this program's control
+    /// flow).
+    Corrupt(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Vm(e) => write!(f, "functional execution faulted: {e}"),
+            TraceError::ProgramMismatch { trace, program } => write!(
+                f,
+                "trace `{trace}` was not recorded from program `{program}` \
+                 (fingerprint mismatch)"
+            ),
+            TraceError::Corrupt(reason) => write!(f, "corrupt trace: {reason}"),
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+impl TraceError {
+    /// Unwraps the functional fault inside a live-execution error.
+    ///
+    /// For drivers of a [`LiveVm`](crate::LiveVm) source — which can raise
+    /// nothing but [`TraceError::Vm`] — this converts back to the
+    /// [`VmError`] the pre-trace APIs exposed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the replay-only variants.
+    pub fn into_vm(self) -> VmError {
+        match self {
+            TraceError::Vm(e) => e,
+            other => panic!("live functional execution raised a replay error: {other}"),
+        }
+    }
+}
+
+impl From<VmError> for TraceError {
+    fn from(e: VmError) -> TraceError {
+        TraceError::Vm(e)
+    }
+}

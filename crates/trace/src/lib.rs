@@ -1,0 +1,329 @@
+//! # mim-trace — record-once dynamic instruction traces
+//!
+//! The paper's central trick (§2.1) is separating machine-independent
+//! workload behavior from machine-dependent timing. This crate applies
+//! that separation to the *whole* stack: each `(workload, size)` is
+//! functionally executed **exactly once** (recorded into a [`Trace`]),
+//! and every timing consumer — the cycle-accurate pipeline simulator, the
+//! sweep profiler, the MLP estimator — replays the recording instead of
+//! re-interpreting the program.
+//!
+//! * [`Trace`] — the compact recording: 1 direction bit per conditional
+//!   branch plus 1 effective address per memory operation; everything
+//!   else is reconstructed from the static program during replay.
+//!   Deterministic byte serialization ([`Trace::to_bytes`] /
+//!   [`Trace::write_to`]) persists recordings across processes.
+//! * [`TraceSource`] — the stream interface consumers are written
+//!   against; [`LiveVm`] (functional execution, the recording backend)
+//!   and [`Replay`] (trace replay) both implement it.
+//! * [`Sampling`] — systematic (SMARTS-style periodic) sampling of the
+//!   replayed stream for `Large` runs.
+//!
+//! Replay streams events ~2.5× faster than functional re-execution (no
+//! register file, no data memory, no ALU — measured by the
+//! `trace_replay_throughput` bench in `mim-bench` and tracked in
+//! `BENCH_trace.json`), and — the bigger win — a design-space sweep
+//! amortizes the one recording over every design point instead of
+//! re-executing per point.
+//!
+//! ## Example: record once, replay everywhere
+//!
+//! ```
+//! use mim_isa::{ProgramBuilder, Reg};
+//! use mim_trace::{LiveVm, Trace, TraceSource};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ProgramBuilder::named("demo");
+//! b.li(Reg::R1, 4);
+//! let top = b.here();
+//! b.addi(Reg::R1, Reg::R1, -1);
+//! b.bne(Reg::R1, Reg::R0, top);
+//! b.halt();
+//! let p = b.build();
+//!
+//! // One functional execution...
+//! let trace = Trace::record(&p, None)?;
+//!
+//! // ...then any number of replay passes, each yielding the identical
+//! // event stream a live pass would.
+//! let mut live = Vec::new();
+//! LiveVm::new(&p).drive(&mut |ev| live.push(*ev))?;
+//! let mut replayed = Vec::new();
+//! trace.replay(&p)?.drive(&mut |ev| replayed.push(*ev))?;
+//! assert_eq!(live, replayed);
+//!
+//! // Recordings serialize to deterministic bytes.
+//! let bytes = trace.to_bytes();
+//! assert_eq!(Trace::from_bytes(&bytes)?, trace);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod source;
+mod trace;
+
+pub use error::TraceError;
+pub use source::{LiveVm, Replay, Sampling, TraceSource};
+pub use trace::Trace;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mim_isa::{Program, ProgramBuilder, Reg, RunOutcome, TraceEvent, VmError};
+
+    /// A small kernel exercising every event shape: ALU, load, store,
+    /// taken/not-taken branches, jump, mul.
+    fn kernel() -> Program {
+        let mut b = ProgramBuilder::named("kernel");
+        let data = b.data_words(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        b.li(Reg::R1, data as i64);
+        b.li(Reg::R2, 0);
+        b.li(Reg::R3, 8);
+        let top = b.here();
+        b.ld(Reg::R4, Reg::R1, 0);
+        b.mul(Reg::R5, Reg::R4, Reg::R4);
+        b.add(Reg::R2, Reg::R2, Reg::R5);
+        b.st(Reg::R2, Reg::R1, 0);
+        b.addi(Reg::R1, Reg::R1, 8);
+        b.addi(Reg::R3, Reg::R3, -1);
+        b.bne(Reg::R3, Reg::R0, top);
+        b.halt();
+        b.build()
+    }
+
+    fn live_events(p: &Program, limit: Option<u64>) -> (Vec<TraceEvent>, RunOutcome) {
+        let mut events = Vec::new();
+        let outcome = LiveVm::new(p)
+            .with_limit(limit)
+            .drive(&mut |ev| events.push(*ev))
+            .expect("live run");
+        (events, outcome)
+    }
+
+    #[test]
+    fn replay_reproduces_live_stream_and_outcome() {
+        let p = kernel();
+        let trace = Trace::record(&p, None).unwrap();
+        let (live, live_outcome) = live_events(&p, None);
+        let mut replayed = Vec::new();
+        let outcome = trace
+            .replay(&p)
+            .unwrap()
+            .drive(&mut |ev| replayed.push(*ev))
+            .unwrap();
+        assert_eq!(live, replayed);
+        assert_eq!(live_outcome, outcome);
+        assert_eq!(trace.len(), live.len() as u64);
+        assert!(trace.halted());
+    }
+
+    #[test]
+    fn replay_limits_match_vm_limit_semantics() {
+        let p = kernel();
+        let trace = Trace::record(&p, None).unwrap();
+        let n = trace.len();
+        // Truncating, exact, and beyond-the-end limits all behave like a
+        // live run with the same limit.
+        for limit in [1, 5, n - 1, n, n + 1] {
+            let (live, live_outcome) = live_events(&p, Some(limit));
+            let mut replayed = Vec::new();
+            let outcome = trace
+                .replay(&p)
+                .unwrap()
+                .with_limit(Some(limit))
+                .drive(&mut |ev| replayed.push(*ev))
+                .unwrap();
+            assert_eq!(live, replayed, "limit {limit}");
+            assert_eq!(live_outcome, outcome, "limit {limit}");
+        }
+    }
+
+    #[test]
+    fn truncated_recording_replays_its_window() {
+        let p = kernel();
+        let trace = Trace::record(&p, Some(10)).unwrap();
+        assert!(!trace.halted());
+        assert_eq!(trace.len(), 10);
+        let (live, _) = live_events(&p, Some(10));
+        let mut replayed = Vec::new();
+        let outcome = trace
+            .replay(&p)
+            .unwrap()
+            .drive(&mut |ev| replayed.push(*ev))
+            .unwrap();
+        assert_eq!(live, replayed);
+        assert_eq!(outcome, RunOutcome::LimitReached { instructions: 10 });
+    }
+
+    #[test]
+    fn serialization_round_trips_deterministically() {
+        let p = kernel();
+        let trace = Trace::record(&p, None).unwrap();
+        let bytes = trace.to_bytes();
+        assert_eq!(bytes, trace.to_bytes(), "encoding is deterministic");
+        let decoded = Trace::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, trace);
+        assert_eq!(decoded.to_bytes(), bytes);
+        // The decoded trace still replays.
+        let (live, _) = live_events(&p, None);
+        let mut replayed = Vec::new();
+        decoded
+            .replay(&p)
+            .unwrap()
+            .drive(&mut |ev| replayed.push(*ev))
+            .unwrap();
+        assert_eq!(live, replayed);
+    }
+
+    #[test]
+    fn corrupt_bytes_are_rejected_not_panicked() {
+        let p = kernel();
+        let bytes = Trace::record(&p, None).unwrap().to_bytes();
+        assert!(matches!(
+            Trace::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(TraceError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Trace::from_bytes(b"NOTATRACE"),
+            Err(TraceError::Corrupt(_))
+        ));
+        let mut versioned = bytes.clone();
+        versioned[8] = 0xee; // version field
+        assert!(matches!(
+            Trace::from_bytes(&versioned),
+            Err(TraceError::Corrupt(_))
+        ));
+        // Truncating at every prefix length must error, never panic.
+        for len in 0..bytes.len().min(64) {
+            assert!(Trace::from_bytes(&bytes[..len]).is_err());
+        }
+    }
+
+    #[test]
+    fn replaying_against_wrong_program_is_rejected() {
+        let p = kernel();
+        let trace = Trace::record(&p, None).unwrap();
+        let mut other = ProgramBuilder::named("kernel"); // same name, different text
+        other.li(Reg::R1, 1);
+        other.halt();
+        let other = other.build();
+        assert!(!trace.matches(&other));
+        assert!(matches!(
+            trace.replay(&other),
+            Err(TraceError::ProgramMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn huge_header_counts_are_rejected_without_allocating() {
+        let p = kernel();
+        let bytes = Trace::record(&p, None).unwrap().to_bytes();
+        // Header layout: magic(8) version(4) flags(1) name_len(4) name
+        // text_len(4) fingerprint(8) events(8) taken_bits(8) ...
+        let name_len = p.name().len();
+        let events_off = 17 + name_len + 4 + 8;
+        let taken_off = events_off + 8;
+        let mut crafted = bytes.clone();
+        crafted[events_off..events_off + 8].copy_from_slice(&(1u64 << 62).to_le_bytes());
+        crafted[taken_off..taken_off + 8].copy_from_slice(&(1u64 << 62).to_le_bytes());
+        // Must reject (bitvector larger than input), not abort in the
+        // allocator.
+        assert!(matches!(
+            Trace::from_bytes(&crafted),
+            Err(TraceError::Corrupt(_))
+        ));
+        // Same for an oversized address count with sane branch bits (the
+        // kernel's 8 branch bits occupy one 64-bit word after taken_bits).
+        let addr_off = taken_off + 8 + 8;
+        let mut crafted = bytes;
+        crafted[events_off..events_off + 8].copy_from_slice(&(1u64 << 62).to_le_bytes());
+        crafted[addr_off..addr_off + 8].copy_from_slice(&(1u64 << 62).to_le_bytes());
+        assert!(matches!(
+            Trace::from_bytes(&crafted),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn renamed_identical_program_still_matches() {
+        let p = kernel();
+        let trace = Trace::record(&p, None).unwrap();
+        let renamed = Program::from_parts("kernel/O3", p.text().to_vec(), p.data().to_vec());
+        assert!(trace.matches(&renamed), "fingerprint is content, not name");
+        let mut events = 0u64;
+        trace
+            .replay(&renamed)
+            .unwrap()
+            .drive(&mut |_| events += 1)
+            .unwrap();
+        assert_eq!(events, trace.len());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let p = kernel();
+        let trace = Trace::record(&p, None).unwrap();
+        let path = std::env::temp_dir().join(format!("mim-trace-{}.bin", std::process::id()));
+        trace.write_to(&path).unwrap();
+        let back = Trace::read_from(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn sampling_emits_only_window_events() {
+        let p = kernel();
+        let trace = Trace::record(&p, None).unwrap();
+        let sampling = Sampling::new(10, 3);
+        let (live, _) = live_events(&p, None);
+        let expected: Vec<TraceEvent> = live
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| sampling.contains(*i as u64))
+            .map(|(_, ev)| *ev)
+            .collect();
+        let mut sampled = Vec::new();
+        let outcome = trace
+            .sampled_replay(&p, sampling)
+            .unwrap()
+            .drive(&mut |ev| sampled.push(*ev))
+            .unwrap();
+        assert_eq!(sampled, expected);
+        // The walk still covers the full stream.
+        assert_eq!(outcome.instructions(), trace.len());
+        assert!((sampling.fraction() - 0.3).abs() < 1e-12);
+        assert!((sampling.scale() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recording_faulting_program_propagates_vm_error() {
+        let mut b = ProgramBuilder::named("fault");
+        b.li(Reg::R1, 1);
+        b.div(Reg::R2, Reg::R1, Reg::R0);
+        b.halt();
+        let p = b.build();
+        assert_eq!(
+            Trace::record(&p, None),
+            Err(VmError::DivideByZero { pc: 1 })
+        );
+    }
+
+    #[test]
+    fn encoded_size_is_compact() {
+        let p = kernel();
+        let trace = Trace::record(&p, None).unwrap();
+        // 8 iterations × (1 load + 1 store) = 16 addresses, 8 branch bits.
+        assert_eq!(trace.mem_ops(), 16);
+        assert_eq!(trace.branches(), 8);
+        // Nearby addresses delta-encode to a handful of bytes each.
+        assert!(
+            trace.to_bytes().len() < 128,
+            "encoding ballooned: {} bytes",
+            trace.to_bytes().len()
+        );
+    }
+}

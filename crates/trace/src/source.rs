@@ -1,0 +1,273 @@
+//! The [`TraceSource`] abstraction: one interface over live functional
+//! execution and recorded-trace replay.
+
+use mim_isa::{InstClass, Program, RunOutcome, TraceEvent, Vm};
+
+use crate::error::TraceError;
+use crate::trace::Trace;
+
+/// A producer of the dynamic instruction stream.
+///
+/// Timing consumers (`mim-pipeline`'s simulator, `mim-profile`'s
+/// profilers) are written against this trait, so they neither know nor
+/// care whether events come from a live [`Vm`] pass ([`LiveVm`]) or from a
+/// recorded [`Trace`] ([`Replay`]). That decoupling is the paper's §2.1
+/// framework applied to the whole stack: functional execution happens
+/// once, timing passes happen per design point.
+///
+/// A source is driven **once**: [`drive`](TraceSource::drive) consumes the
+/// stream from the source's current position to its end (instruction
+/// limits are a property of the source, fixed at construction).
+pub trait TraceSource {
+    /// Name of the workload producing the stream.
+    fn name(&self) -> &str;
+
+    /// Drives `observer` over every remaining event of the stream and
+    /// reports how the underlying execution ended.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveVm`] propagates functional faults as [`TraceError::Vm`];
+    /// [`Replay`] raises [`TraceError::Corrupt`] if the trace walks off
+    /// the program text (possible only for hand-built or corrupted
+    /// traces — [`Trace::replay`] already rejects mismatched programs).
+    fn drive(&mut self, observer: &mut dyn FnMut(&TraceEvent)) -> Result<RunOutcome, TraceError>;
+}
+
+/// The live recording backend: drives a functional [`Vm`] pass, emitting
+/// each retired instruction as it executes.
+///
+/// This is the only [`TraceSource`] that actually executes the program;
+/// it backs the legacy program-based entry points
+/// (`PipelineSim::simulate`, `SweepProfiler::profile`) and
+/// [`Trace::record`].
+pub struct LiveVm<'p> {
+    program: &'p Program,
+    vm: Vm<'p>,
+    limit: Option<u64>,
+}
+
+impl<'p> LiveVm<'p> {
+    /// A live source over a fresh VM for `program`, unlimited.
+    pub fn new(program: &'p Program) -> LiveVm<'p> {
+        LiveVm {
+            program,
+            vm: Vm::new(program),
+            limit: None,
+        }
+    }
+
+    /// Bounds the pass to `limit` retired instructions.
+    pub fn with_limit(mut self, limit: Option<u64>) -> LiveVm<'p> {
+        self.limit = limit;
+        self
+    }
+}
+
+impl TraceSource for LiveVm<'_> {
+    fn name(&self) -> &str {
+        self.program.name()
+    }
+
+    fn drive(&mut self, observer: &mut dyn FnMut(&TraceEvent)) -> Result<RunOutcome, TraceError> {
+        Ok(self.vm.run_with(self.limit, |ev| observer(ev))?)
+    }
+}
+
+/// Systematic sampling plan for replay: out of every `period` events, the
+/// first `length` are emitted (the classic SMARTS-style periodic sampling
+/// of the dynamic instruction stream).
+///
+/// Intended for `Large` runs where even replay is worth truncating:
+/// consumers observe `length/period` of the stream and scale additive
+/// statistics by [`scale`](Sampling::scale). The replay still *walks* the
+/// skipped events (the control-flow chain must advance), but skipping the
+/// observer — the expensive part, cache/predictor simulation — is where
+/// the time goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sampling {
+    period: u64,
+    length: u64,
+}
+
+impl Sampling {
+    /// A plan emitting the first `length` of every `period` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < length <= period`.
+    pub fn new(period: u64, length: u64) -> Sampling {
+        assert!(
+            length > 0 && length <= period,
+            "sampling needs 0 < length ({length}) <= period ({period})"
+        );
+        Sampling { period, length }
+    }
+
+    /// Events emitted per period.
+    pub fn length(&self) -> u64 {
+        self.length
+    }
+
+    /// Period of the plan, in events.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// True if the event at stream position `pos` is inside a sample
+    /// window.
+    pub fn contains(&self, pos: u64) -> bool {
+        pos % self.period < self.length
+    }
+
+    /// Fraction of the stream observed (`length / period`).
+    pub fn fraction(&self) -> f64 {
+        self.length as f64 / self.period as f64
+    }
+
+    /// Factor by which additive statistics gathered under this plan should
+    /// be scaled to estimate full-stream values (`period / length`).
+    pub fn scale(&self) -> f64 {
+        self.period as f64 / self.length as f64
+    }
+}
+
+/// Replays a recorded [`Trace`] against its program, reconstructing the
+/// exact [`TraceEvent`] stream of the original execution without
+/// functional interpretation.
+///
+/// Construct via [`Trace::replay`] (which validates the program
+/// fingerprint). The replay walks the program text following the
+/// recorded branch directions; per event it does a fetch, a static-field
+/// copy, and at most one bit/word read — no register file, no data
+/// memory, no arithmetic.
+pub struct Replay<'a> {
+    trace: &'a Trace,
+    program: &'a Program,
+    limit: u64,
+    sampling: Option<Sampling>,
+    pos: u64,
+    pc: u32,
+    taken_idx: u64,
+    addr_idx: usize,
+}
+
+impl<'a> Replay<'a> {
+    pub(crate) fn new(trace: &'a Trace, program: &'a Program) -> Replay<'a> {
+        Replay {
+            trace,
+            program,
+            limit: u64::MAX,
+            sampling: None,
+            pos: 0,
+            pc: 0,
+            taken_idx: 0,
+            addr_idx: 0,
+        }
+    }
+
+    /// Bounds the replay to the first `limit` recorded events, with the
+    /// same semantics as [`Vm::run`]'s limit: replaying a full trace with
+    /// limit `n` is equivalent to having executed with limit `n`.
+    pub fn with_limit(mut self, limit: Option<u64>) -> Replay<'a> {
+        self.limit = limit.unwrap_or(u64::MAX);
+        self
+    }
+
+    /// Restricts the observer to systematically sampled windows (see
+    /// [`Sampling`]); skipped events are still walked, not emitted.
+    pub fn with_sampling(mut self, sampling: Sampling) -> Replay<'a> {
+        self.sampling = Some(sampling);
+        self
+    }
+}
+
+impl TraceSource for Replay<'_> {
+    fn name(&self) -> &str {
+        self.trace.name()
+    }
+
+    fn drive(&mut self, observer: &mut dyn FnMut(&TraceEvent)) -> Result<RunOutcome, TraceError> {
+        let total = self.trace.events().min(self.limit);
+        while self.pos < total {
+            let pc = self.pc;
+            let inst = self.program.fetch(pc).ok_or_else(|| {
+                TraceError::Corrupt(format!(
+                    "replay of `{}` left the program text at pc {pc}",
+                    self.trace.name()
+                ))
+            })?;
+            let class = inst.class();
+            if class == InstClass::Halt {
+                return Err(TraceError::Corrupt(format!(
+                    "replay of `{}` reached halt at pc {pc} with {} events left",
+                    self.trace.name(),
+                    total - self.pos
+                )));
+            }
+
+            let mut eff_addr = None;
+            let mut taken = None;
+            let mut next_pc = pc + 1;
+            match class {
+                InstClass::Load | InstClass::Store => {
+                    eff_addr = Some(self.trace.addr(self.addr_idx).ok_or_else(|| {
+                        TraceError::Corrupt(format!(
+                            "replay of `{}` ran out of addresses at pc {pc}",
+                            self.trace.name()
+                        ))
+                    })?);
+                    self.addr_idx += 1;
+                }
+                InstClass::CondBranch => {
+                    if self.taken_idx >= self.trace.taken_len() {
+                        return Err(TraceError::Corrupt(format!(
+                            "replay of `{}` ran out of branch bits at pc {pc}",
+                            self.trace.name()
+                        )));
+                    }
+                    let t = self.trace.bit(self.taken_idx);
+                    self.taken_idx += 1;
+                    taken = Some(t);
+                    if t {
+                        next_pc = inst.imm as u32;
+                    }
+                }
+                InstClass::Jump => {
+                    taken = Some(true);
+                    next_pc = inst.imm as u32;
+                }
+                _ => {}
+            }
+
+            let emit = self.sampling.is_none_or(|s| s.contains(self.pos));
+            self.pos += 1;
+            self.pc = next_pc;
+            if emit {
+                observer(&TraceEvent {
+                    pc,
+                    opcode: inst.opcode,
+                    class,
+                    dst: inst.writes(),
+                    sources: inst.sources(),
+                    eff_addr,
+                    taken,
+                    next_pc,
+                });
+            }
+        }
+
+        // Mirror Vm::run_with: `Halted` only when the program halted
+        // strictly before the limit; hitting the limit exactly on the last
+        // retired instruction reports `LimitReached`, like the live VM.
+        if self.trace.halted() && self.trace.events() < self.limit {
+            Ok(RunOutcome::Halted {
+                instructions: total,
+            })
+        } else {
+            Ok(RunOutcome::LimitReached {
+                instructions: total,
+            })
+        }
+    }
+}

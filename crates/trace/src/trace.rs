@@ -1,0 +1,536 @@
+//! The recorded trace: a compact encoding of one functional execution.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use mim_isa::{Cond, InstClass, Opcode, Program, RunOutcome, Vm, VmError};
+
+use crate::error::TraceError;
+use crate::source::{Replay, Sampling};
+
+/// Magic bytes opening every serialized trace.
+const MAGIC: &[u8; 8] = b"MIMTRACE";
+
+/// Serialization format version.
+const VERSION: u32 = 1;
+
+/// A recorded dynamic instruction trace: everything machine-independent
+/// about one functional execution of a [`Program`], encoded compactly.
+///
+/// Because the ISA is deterministic, the dynamic instruction stream is
+/// fully determined by the static program plus two per-execution streams:
+/// the **direction bit** of every conditional branch (1 bit each) and the
+/// **effective address** of every load/store (one word each). `Trace`
+/// stores exactly those two streams — everything else
+/// ([`TraceEvent`](mim_isa::TraceEvent) fields like opcode, class,
+/// operands, `next_pc`) is reconstructed from the program text during
+/// [`replay`](Trace::replay), which is why replay is much faster than
+/// re-interpreting the program: no register file, no data memory, no ALU.
+///
+/// This is the paper's §2.1 record-once premise made concrete: record each
+/// `(workload, size)` once, then replay it into the profiler and the
+/// cycle-accurate simulator for every design point of a sweep.
+///
+/// # Example
+///
+/// ```
+/// use mim_isa::{ProgramBuilder, Reg};
+/// use mim_trace::{Trace, TraceSource};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::R1, 3);
+/// let top = b.here();
+/// b.addi(Reg::R1, Reg::R1, -1);
+/// b.bne(Reg::R1, Reg::R0, top);
+/// b.halt();
+/// let p = b.build();
+///
+/// let trace = Trace::record(&p, None)?;
+/// assert_eq!(trace.len(), 7); // 1 li + 3 × (addi, bne)
+/// assert!(trace.halted());
+///
+/// // Replay reconstructs the identical event stream without executing.
+/// let mut classes = Vec::new();
+/// trace.replay(&p)?.drive(&mut |ev| classes.push(ev.class))?;
+/// assert_eq!(classes.len(), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    fingerprint: u64,
+    text_len: u32,
+    events: u64,
+    halted: bool,
+    taken_bits: u64,
+    taken: Vec<u64>,
+    addrs: Vec<u64>,
+}
+
+impl Trace {
+    /// Records the program's functional execution (at most `limit` retired
+    /// instructions, or to completion) into a trace.
+    ///
+    /// This is the **only** place the trace layer runs the [`Vm`]; every
+    /// downstream consumer replays the recording instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] raised during execution.
+    pub fn record(program: &Program, limit: Option<u64>) -> Result<Trace, VmError> {
+        let mut trace = Trace {
+            name: program.name().to_string(),
+            fingerprint: Trace::fingerprint_of(program),
+            text_len: program.len() as u32,
+            events: 0,
+            halted: false,
+            taken_bits: 0,
+            taken: Vec::new(),
+            addrs: Vec::new(),
+        };
+        let mut vm = Vm::new(program);
+        let outcome = vm.run_with(limit, |ev| {
+            trace.events += 1;
+            if ev.class == InstClass::CondBranch {
+                trace.push_bit(ev.taken == Some(true));
+            }
+            if let Some(addr) = ev.eff_addr {
+                trace.addrs.push(addr);
+            }
+        })?;
+        trace.halted = outcome.halted();
+        Ok(trace)
+    }
+
+    /// Name of the recorded program.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of retired instructions recorded.
+    pub fn len(&self) -> u64 {
+        self.events
+    }
+
+    /// True for a trace of zero retired instructions.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// True if the recorded execution ran to `halt` (as opposed to hitting
+    /// the recording's instruction limit).
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Conditional branches recorded (= direction bits stored).
+    pub fn branches(&self) -> u64 {
+        self.taken_bits
+    }
+
+    /// Memory operations recorded (= effective addresses stored).
+    pub fn mem_ops(&self) -> u64 {
+        self.addrs.len() as u64
+    }
+
+    /// Approximate in-memory footprint of the encoded streams, in bytes —
+    /// 1 bit per branch plus 8 bytes per memory operation, versus the
+    /// full [`TraceEvent`](mim_isa::TraceEvent) this expands to on replay.
+    pub fn encoded_bytes(&self) -> usize {
+        self.taken.len() * 8 + self.addrs.len() * 8
+    }
+
+    /// True if `program` is the program this trace was recorded from
+    /// (matched by a stable content fingerprint, not by name).
+    pub fn matches(&self, program: &Program) -> bool {
+        self.text_len == program.len() as u32 && self.fingerprint == Trace::fingerprint_of(program)
+    }
+
+    /// Replays the recording against its program, yielding a
+    /// [`TraceSource`](crate::TraceSource) that reconstructs the identical
+    /// event stream without functional execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::ProgramMismatch`] if `program` is not the
+    /// program this trace was recorded from.
+    pub fn replay<'a>(&'a self, program: &'a Program) -> Result<Replay<'a>, TraceError> {
+        if !self.matches(program) {
+            return Err(TraceError::ProgramMismatch {
+                trace: self.name.clone(),
+                program: program.name().to_string(),
+            });
+        }
+        Ok(Replay::new(self, program))
+    }
+
+    /// Replays only systematically sampled windows of the recording (for
+    /// `Large` runs where even replay is worth truncating); see
+    /// [`Sampling`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::ProgramMismatch`] if `program` is not the
+    /// program this trace was recorded from.
+    pub fn sampled_replay<'a>(
+        &'a self,
+        program: &'a Program,
+        sampling: Sampling,
+    ) -> Result<Replay<'a>, TraceError> {
+        Ok(self.replay(program)?.with_sampling(sampling))
+    }
+
+    /// The stored outcome of the recorded execution, as a [`RunOutcome`].
+    pub fn outcome(&self) -> RunOutcome {
+        if self.halted {
+            RunOutcome::Halted {
+                instructions: self.events,
+            }
+        } else {
+            RunOutcome::LimitReached {
+                instructions: self.events,
+            }
+        }
+    }
+
+    // ---- encoding internals ------------------------------------------------
+
+    fn push_bit(&mut self, bit: bool) {
+        let word = (self.taken_bits / 64) as usize;
+        if word == self.taken.len() {
+            self.taken.push(0);
+        }
+        if bit {
+            self.taken[word] |= 1u64 << (self.taken_bits % 64);
+        }
+        self.taken_bits += 1;
+    }
+
+    pub(crate) fn bit(&self, index: u64) -> bool {
+        (self.taken[(index / 64) as usize] >> (index % 64)) & 1 == 1
+    }
+
+    pub(crate) fn addr(&self, index: usize) -> Option<u64> {
+        self.addrs.get(index).copied()
+    }
+
+    pub(crate) fn events(&self) -> u64 {
+        self.events
+    }
+
+    pub(crate) fn taken_len(&self) -> u64 {
+        self.taken_bits
+    }
+
+    /// Stable 64-bit FNV-1a content fingerprint of a program (text and
+    /// initial data image — deliberately **not** the name, so renamed
+    /// copies of the same program still match their traces), used to pair
+    /// traces with programs across serialization. Independent of
+    /// `std::hash` so the bytes written by [`to_bytes`](Trace::to_bytes)
+    /// are identical across builds.
+    pub fn fingerprint_of(program: &Program) -> u64 {
+        let mut h = Fnv::new();
+        h.u32(program.len() as u32);
+        for inst in program.text() {
+            h.byte(opcode_code(inst.opcode));
+            h.byte(inst.dst.index() as u8);
+            h.byte(inst.src1.index() as u8);
+            h.byte(inst.src2.index() as u8);
+            h.u64(inst.imm as u64);
+        }
+        h.u64(program.data().len() as u64);
+        for &word in program.data() {
+            h.u64(word as u64);
+        }
+        h.finish()
+    }
+
+    // ---- serialization -----------------------------------------------------
+
+    /// Serializes the trace to a deterministic byte image: the same trace
+    /// always produces the same bytes, on every platform and build.
+    ///
+    /// Layout: magic, version, flags, name, program identity, event count,
+    /// the branch-direction bitvector, and the zigzag-delta LEB128-encoded
+    /// address stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.taken.len() * 8 + self.addrs.len() * 2);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(u8::from(self.halted));
+        out.extend_from_slice(&(self.name.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.name.as_bytes());
+        out.extend_from_slice(&self.text_len.to_le_bytes());
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.extend_from_slice(&self.events.to_le_bytes());
+        out.extend_from_slice(&self.taken_bits.to_le_bytes());
+        for &word in &self.taken {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.addrs.len() as u64).to_le_bytes());
+        let mut prev = 0u64;
+        for &addr in &self.addrs {
+            // Consecutive memory addresses are usually near each other:
+            // zigzag deltas keep most of the stream at one byte per access.
+            write_varint(&mut out, zigzag(addr.wrapping_sub(prev) as i64));
+            prev = addr;
+        }
+        out
+    }
+
+    /// Decodes a trace from bytes produced by [`to_bytes`](Trace::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Corrupt`] on any malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceError> {
+        let mut r = Reader::new(bytes);
+        if r.take(MAGIC.len())? != MAGIC.as_slice() {
+            return Err(TraceError::Corrupt("bad magic".into()));
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(TraceError::Corrupt(format!(
+                "unsupported version {version} (expected {VERSION})"
+            )));
+        }
+        let flags = r.u8()?;
+        if flags > 1 {
+            return Err(TraceError::Corrupt(format!("unknown flags {flags:#x}")));
+        }
+        let name_len = r.u32()? as usize;
+        let name = String::from_utf8(r.take(name_len)?.to_vec())
+            .map_err(|_| TraceError::Corrupt("name is not UTF-8".into()))?;
+        let text_len = r.u32()?;
+        let fingerprint = r.u64()?;
+        let events = r.u64()?;
+        let taken_bits = r.u64()?;
+        if taken_bits > events {
+            return Err(TraceError::Corrupt("more branch bits than events".into()));
+        }
+        // Bound every allocation by the bytes actually present, so crafted
+        // headers with huge counts are rejected instead of aborting the
+        // process in the allocator.
+        let words = taken_bits.div_ceil(64);
+        if words > (r.remaining() / 8) as u64 {
+            return Err(TraceError::Corrupt(
+                "branch bitvector larger than input".into(),
+            ));
+        }
+        let words = words as usize;
+        let mut taken = Vec::with_capacity(words);
+        for _ in 0..words {
+            taken.push(r.u64()?);
+        }
+        let addr_count = r.u64()?;
+        if addr_count > events {
+            return Err(TraceError::Corrupt("more addresses than events".into()));
+        }
+        if addr_count > r.remaining() as u64 {
+            // Each address takes at least one varint byte.
+            return Err(TraceError::Corrupt(
+                "address stream larger than input".into(),
+            ));
+        }
+        let mut addrs = Vec::with_capacity(addr_count as usize);
+        let mut prev = 0u64;
+        for _ in 0..addr_count {
+            let delta = unzigzag(r.varint()?);
+            prev = prev.wrapping_add(delta as u64);
+            addrs.push(prev);
+        }
+        if !r.at_end() {
+            return Err(TraceError::Corrupt("trailing bytes".into()));
+        }
+        Ok(Trace {
+            name,
+            fingerprint,
+            text_len,
+            events,
+            halted: flags == 1,
+            taken_bits,
+            taken,
+            addrs,
+        })
+    }
+
+    /// Writes the trace to `path` (see [`to_bytes`](Trace::to_bytes)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a trace previously written with [`write_to`](Trace::write_to).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors; decoding failures surface as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn read_from(path: impl AsRef<Path>) -> io::Result<Trace> {
+        let bytes = fs::read(path)?;
+        Trace::from_bytes(&bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// Stable byte encoding of an opcode for fingerprinting (not persisted in
+/// traces themselves — the trace stores no instructions).
+fn opcode_code(op: Opcode) -> u8 {
+    match op {
+        Opcode::Add => 0,
+        Opcode::Sub => 1,
+        Opcode::And => 2,
+        Opcode::Or => 3,
+        Opcode::Xor => 4,
+        Opcode::Sll => 5,
+        Opcode::Srl => 6,
+        Opcode::Sra => 7,
+        Opcode::Slt => 8,
+        Opcode::SltU => 9,
+        Opcode::Addi => 10,
+        Opcode::Andi => 11,
+        Opcode::Ori => 12,
+        Opcode::Xori => 13,
+        Opcode::Slli => 14,
+        Opcode::Srli => 15,
+        Opcode::Srai => 16,
+        Opcode::Slti => 17,
+        Opcode::Li => 18,
+        Opcode::Mul => 19,
+        Opcode::Div => 20,
+        Opcode::Rem => 21,
+        Opcode::Ld => 22,
+        Opcode::St => 23,
+        Opcode::J => 24,
+        Opcode::Nop => 25,
+        Opcode::Halt => 26,
+        Opcode::Br(Cond::Eq) => 27,
+        Opcode::Br(Cond::Ne) => 28,
+        Opcode::Br(Cond::Lt) => 29,
+        Opcode::Br(Cond::Ge) => 30,
+        Opcode::Br(Cond::LtU) => 31,
+        Opcode::Br(Cond::GeU) => 32,
+    }
+}
+
+/// Incremental FNV-1a (64-bit).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v as u64) << 1) ^ ((v >> 63) as u64)
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Bounds-checked little reader over a byte slice.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| TraceError::Corrupt("truncated input".into()))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn varint(&mut self) -> Result<u64, TraceError> {
+        let mut value = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            // The 10th byte holds only the top bit (shift 63): payload
+            // bits that would shift out mark a non-canonical encoding.
+            if shift == 63 && byte > 1 {
+                return Err(TraceError::Corrupt("varint overflows 64 bits".into()));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(TraceError::Corrupt("varint overran 64 bits".into()))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}

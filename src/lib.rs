@@ -11,6 +11,9 @@
 //!   machine configurations, design spaces, and the out-of-order interval
 //!   model used as a comparator (paper §6.1)
 //! * [`workloads`] — MiBench-like and SPEC-like kernels plus compiler passes
+//! * [`trace`] — **record-once dynamic traces**: each `(workload, size)` is
+//!   functionally executed exactly once ([`Trace`](mim_trace::Trace)), and
+//!   the profiler, simulator, and MLP estimator replay the recording
 //! * [`profile`] — one-pass profiler producing the model's inputs (Table 1)
 //! * [`pipeline`] — cycle-accurate in-order pipeline simulator (the "M5")
 //! * [`runner`] — **the unified evaluation API**: the object-safe
@@ -90,6 +93,7 @@ pub use mim_pipeline as pipeline;
 pub use mim_power as power;
 pub use mim_profile as profile;
 pub use mim_runner as runner;
+pub use mim_trace as trace;
 pub use mim_workloads as workloads;
 
 /// Convenient glob-import surface for applications.
@@ -105,7 +109,8 @@ pub mod prelude {
     pub use mim_profile::Profiler;
     pub use mim_runner::{
         EvalKind, EvalResult, Evaluator, Experiment, ExperimentReport, ModelEvaluator,
-        OooEvaluator, SimEvaluator, WorkloadSpec,
+        OooEvaluator, SimEvaluator, WorkloadSpec, WorkloadStore,
     };
+    pub use mim_trace::{LiveVm, Sampling, Trace, TraceSource};
     pub use mim_workloads::WorkloadSize;
 }

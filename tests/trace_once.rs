@@ -1,0 +1,85 @@
+//! The record-once acceptance test: a full `table2`-style design-space
+//! simulation sweep performs **exactly one** functional `Vm` execution per
+//! `(workload, size)` — every one of the 192 design points' simulations,
+//! profiles, and MLP estimates replays the single recording.
+//!
+//! This file intentionally holds a single `#[test]`: it measures a
+//! process-global execution counter, so it must not share its process
+//! with other tests that run the `Vm`.
+
+use mim::core::DesignSpace;
+use mim::explore::{Exploration, Objective};
+use mim::isa::functional_executions;
+use mim::runner::{EvalKind, Experiment};
+use mim::workloads::{mibench, WorkloadSize};
+
+#[test]
+fn table2_sim_sweep_executes_each_workload_exactly_once() {
+    let workloads = [mibench::sha(), mibench::qsort(), mibench::dijkstra()];
+    let n_workloads = workloads.len() as u64;
+    let space = DesignSpace::paper_table2();
+    assert_eq!(space.len(), 192, "paper's table 2 space");
+
+    // Simulation-only sweep: the historical worst case (one functional
+    // re-execution per design point per workload = 576 runs + 3 profiler
+    // runs before the trace layer).
+    let before = functional_executions();
+    let report = Experiment::new()
+        .title("record-once acceptance")
+        .workloads(workloads.clone())
+        .size(WorkloadSize::Tiny)
+        .limit(20_000)
+        .design_space(space.clone())
+        .evaluators([EvalKind::Sim])
+        .threads(2)
+        .run()
+        .expect("sweep");
+    let executed = functional_executions() - before;
+    assert_eq!(report.rows.len(), 3 * 192);
+    assert_eq!(
+        executed, n_workloads,
+        "a sim sweep must functionally execute each (workload, size) exactly once"
+    );
+
+    // Adding the model and the out-of-order comparator (profiling + MLP
+    // estimation) still replays the same recordings: zero additional
+    // functional executions beyond the one per workload.
+    let before = functional_executions();
+    let report = Experiment::new()
+        .title("record-once acceptance: all evaluator families")
+        .workloads(workloads)
+        .size(WorkloadSize::Tiny)
+        .limit(20_000)
+        .design_space(space)
+        .stride(8) // 24 points × 3 evaluators: keep the grid quick
+        .evaluators([EvalKind::Model, EvalKind::Sim, EvalKind::Ooo])
+        .threads(2)
+        .run()
+        .expect("sweep");
+    let executed = functional_executions() - before;
+    assert_eq!(report.rows.len(), 3 * 24 * 3);
+    assert_eq!(
+        executed, n_workloads,
+        "model + sim + ooo sweeps must share the single recording per workload"
+    );
+
+    // The headline hybrid workflow (model search, then sim-verification of
+    // the survivors) records up front, so the whole exploration is also
+    // one functional execution per workload.
+    let before = functional_executions();
+    let exploration = Exploration::new(DesignSpace::paper_table2())
+        .workloads([mibench::sha(), mibench::qsort(), mibench::dijkstra()])
+        .size(WorkloadSize::Tiny)
+        .limit(20_000)
+        .objectives([Objective::cpi()])
+        .sim_verify(0.02)
+        .threads(2)
+        .run()
+        .expect("hybrid exploration");
+    assert!(exploration.hybrid.is_some());
+    let executed = functional_executions() - before;
+    assert_eq!(
+        executed, n_workloads,
+        "hybrid model→sim exploration must execute each workload exactly once"
+    );
+}
