@@ -6,28 +6,18 @@
 //!
 //! `--quick` runs the `Tiny` workload size (CI's smoke configuration):
 //! the same grid and assertions, minutes faster, with a slightly looser
-//! error bound (short runs weight cold-start effects more heavily).
+//! error bound (short runs weight cold-start effects more heavily). The
+//! `--quick` JSON output is snapshot-tested byte-for-byte in
+//! `tests/golden.rs`.
 
-use mim_bench::write_json;
-use mim_runner::{print_comparison, EvalKind, Experiment};
-use mim_workloads::{mibench, WorkloadSize};
+use mim_bench::{figures, write_json};
+use mim_runner::print_comparison;
 
 fn main() -> std::io::Result<()> {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (size, bound) = if quick {
-        (WorkloadSize::Tiny, 10.0)
-    } else {
-        (WorkloadSize::Small, 8.0)
-    };
-    let report = Experiment::new()
-        .title("Figure 3: MiBench CPI validation (default machine)")
-        .workloads(mibench::all())
-        .size(size)
-        .evaluators([EvalKind::Model, EvalKind::Sim])
-        .run()
-        .expect("experiment");
-    let rows = report.compare("model", "sim");
-    let (avg, _max) = print_comparison(&report.title, &rows);
+    let bound = if quick { 10.0 } else { 8.0 };
+    let rows = figures::fig3_rows(quick);
+    let (avg, _max) = print_comparison("Figure 3: MiBench CPI validation (default machine)", &rows);
     println!("\npaper reference: avg 3.1%, max 8.4%");
     write_json("fig3_validation", &rows)?;
     assert!(avg < bound, "average error regressed: {avg:.2}%");

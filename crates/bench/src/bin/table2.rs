@@ -1,5 +1,6 @@
 //! Table 2: the architecture design space and default configuration.
 
+use mim_bench::figures;
 use mim_core::{DesignSpace, MachineConfig};
 
 fn main() -> std::io::Result<()> {
@@ -32,7 +33,8 @@ fn main() -> std::io::Result<()> {
     println!("  total design points: {}", space.len());
     assert_eq!(space.len(), 192, "paper's space has 192 points");
 
-    let ids: Vec<String> = space.points().map(|p| p.machine.id()).collect();
+    let ids = figures::table2_design_point_ids();
+    assert_eq!(ids.len(), 192);
     mim_bench::write_json("table2_design_points", &ids)?;
     Ok(())
 }

@@ -1,0 +1,121 @@
+//! Shared experiment definitions behind the figure binaries.
+//!
+//! Each function builds exactly the grid its binary reports, so the
+//! golden snapshot tests (`tests/golden.rs` at the workspace root) can
+//! regenerate a binary's JSON output in-process and assert byte identity
+//! against the checked-in snapshot — catching silent numeric drift that
+//! unit-level assertions with tolerance bands would miss.
+
+use mim_core::DesignSpace;
+use mim_runner::{CpiComparison, EvalKind, Experiment};
+use mim_workloads::{mibench, WorkloadSize};
+use serde::{Deserialize, Serialize};
+
+use crate::SWEEP_LIMIT;
+
+/// The Figure 3 grid: every MiBench kernel, default machine, model vs
+/// detailed simulation. `quick` runs the `Tiny` size (CI smoke / golden
+/// snapshot configuration); otherwise `Small`.
+pub fn fig3_rows(quick: bool) -> Vec<CpiComparison> {
+    let size = if quick {
+        WorkloadSize::Tiny
+    } else {
+        WorkloadSize::Small
+    };
+    let report = Experiment::new()
+        .title("Figure 3: MiBench CPI validation (default machine)")
+        .workloads(mibench::all())
+        .size(size)
+        .evaluators([EvalKind::Model, EvalKind::Sim])
+        .run()
+        .expect("experiment");
+    report.compare("model", "sim")
+}
+
+/// One benchmark's outcome in the Figure 9 EDP exploration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdpResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Machine id of the model's EDP-optimal pick.
+    pub model_optimum: String,
+    /// Machine id of the simulator's EDP-optimal pick.
+    pub sim_optimum: String,
+    /// True when the model picked the simulator's optimum exactly.
+    pub exact_match: bool,
+    /// EDP excess of the model's pick over the simulator's optimum, %.
+    pub edp_gap_percent: f64,
+}
+
+/// The Figure 9 EDP design-space exploration over the Table 2 space.
+///
+/// `quick` shrinks the run to the golden-snapshot configuration (`Tiny`
+/// size, truncated instruction budget, every 4th design point);
+/// `all_benchmarks` evaluates the full 19-kernel suite instead of the
+/// paper's four plotted benchmarks.
+pub fn fig9_results(quick: bool, all_benchmarks: bool) -> Vec<EdpResult> {
+    let workloads = if all_benchmarks {
+        mibench::all()
+    } else {
+        vec![
+            mibench::adpcm_d(),
+            mibench::gsm_c(),
+            mibench::lame(),
+            mibench::patricia(),
+        ]
+    };
+    let mut experiment = Experiment::new()
+        .title("Figure 9: EDP design-space exploration")
+        .workloads(workloads)
+        .design_space(DesignSpace::paper_table2())
+        .evaluators([EvalKind::Model, EvalKind::Sim])
+        .energy(true)
+        .threads(0);
+    experiment = if quick {
+        experiment.size(WorkloadSize::Tiny).limit(40_000).stride(4)
+    } else {
+        experiment.size(WorkloadSize::Small).limit(SWEEP_LIMIT)
+    };
+    let report = experiment.run().expect("experiment");
+
+    let mut results = Vec::new();
+    for benchmark in &report.workloads {
+        // The model's EDP landscape picks a configuration...
+        let (model_pick, _) = report
+            .rows_for("model")
+            .filter(|r| &r.workload == benchmark)
+            .map(|r| (r.machine_index, r.edp().expect("energy enabled")))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite EDP"))
+            .expect("nonempty");
+        // ...which is scored by, and compared against, detailed simulation.
+        let (sim_pick, best_sim_edp) = report
+            .rows_for("sim")
+            .filter(|r| &r.workload == benchmark)
+            .map(|r| (r.machine_index, r.edp().expect("energy enabled")))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite EDP"))
+            .expect("nonempty");
+        let model_pick_sim_edp = report
+            .get(benchmark, model_pick, "sim")
+            .and_then(|r| r.edp())
+            .expect("sim cell at model pick");
+        let model_optimum = report.machines[model_pick].clone();
+        let sim_optimum = report.machines[sim_pick].clone();
+        let gap = 100.0 * (model_pick_sim_edp - best_sim_edp) / best_sim_edp;
+        results.push(EdpResult {
+            benchmark: benchmark.clone(),
+            exact_match: model_optimum == sim_optimum,
+            model_optimum,
+            sim_optimum,
+            edp_gap_percent: gap,
+        });
+    }
+    results
+}
+
+/// The Table 2 design-point ids, in enumeration order.
+pub fn table2_design_point_ids() -> Vec<String> {
+    DesignSpace::paper_table2()
+        .points()
+        .map(|p| p.machine.id())
+        .collect()
+}

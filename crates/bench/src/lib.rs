@@ -27,6 +27,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod figures;
+
 use std::fs;
 use std::io;
 use std::path::PathBuf;

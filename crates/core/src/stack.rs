@@ -204,6 +204,31 @@ impl CpiStack {
     pub fn l2_miss(&self) -> f64 {
         self.cycles_of(StackComponent::IL2Miss) + self.cycles_of(StackComponent::DL2Miss)
     }
+
+    // -- aggregations matching mim-validate's attribution terms --------------
+
+    /// Instruction-side cache-miss cycles (L1I misses serviced by L2 or
+    /// memory). TLB-walk cycles are kept separate because the model lumps
+    /// instruction and data walks into one component; use
+    /// [`MechanisticModel::miss_penalty`](crate::MechanisticModel::miss_penalty)
+    /// with the per-side walk counts to split them.
+    pub fn icache_cycles(&self) -> f64 {
+        self.cycles_of(StackComponent::IL2Access) + self.cycles_of(StackComponent::IL2Miss)
+    }
+
+    /// Data-side cache cycles: L1D misses serviced by L2 or memory, plus
+    /// any extra L1-hit latency.
+    pub fn dcache_cycles(&self) -> f64 {
+        self.cycles_of(StackComponent::DL2Access)
+            + self.cycles_of(StackComponent::DL2Miss)
+            + self.cycles_of(StackComponent::L1HitExtra)
+    }
+
+    /// All branch-induced cycles: misprediction flushes plus taken-branch
+    /// fetch bubbles.
+    pub fn branch_cycles(&self) -> f64 {
+        self.cycles_of(StackComponent::BranchMiss) + self.cycles_of(StackComponent::TakenBranch)
+    }
 }
 
 impl fmt::Display for CpiStack {

@@ -11,9 +11,13 @@ enum Op {
     Li(u8, i32),
     Ld(u8, u8),
     St(u8, u8),
+    Br(u8, u8, u8, u8), // cond-select, a, b, forward skip
+    J(u8),              // forward skip
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
+/// Straight-line operations only (no control flow), for properties that
+/// need every instruction to retire exactly once.
+fn linear_op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u8..13, 1u8..28, 0u8..28, 0u8..28).prop_map(|(o, d, a, b)| Op::Rrr(o, d, a, b)),
         (0u8..8, 1u8..28, 0u8..28, -1000i32..1000).prop_map(|(o, d, a, i)| Op::Rri(o, d, a, i)),
@@ -23,8 +27,17 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => linear_op_strategy(),
+        1 => (0u8..6, 0u8..28, 0u8..28, 0u8..8).prop_map(|(c, a, b, s)| Op::Br(c, a, b, s)),
+        1 => (0u8..8).prop_map(Op::J),
+    ]
+}
+
 /// Builds a safe random program: registers initialized, divides excluded
-/// from Rrr (no trap hazards), all memory inside a 16-word arena.
+/// from Rrr (no trap hazards), all memory inside a 16-word arena, and all
+/// control flow strictly forward (guaranteed termination).
 fn build(ops: &[Op]) -> Program {
     let mut b = ProgramBuilder::named("random");
     b.alloc_words(16);
@@ -34,7 +47,12 @@ fn build(ops: &[Op]) -> Program {
         b.li(Reg::from_index(i).unwrap(), i as i64 + 1);
     }
     let reg = |i: u8| Reg::from_index(i as usize).unwrap();
-    for op in ops {
+    // One label per op position plus one for the final halt; branch
+    // targets are always forward, so every path reaches `halt`.
+    let labels: Vec<_> = (0..=ops.len()).map(|_| b.label()).collect();
+    let target = |i: usize, skip: u8| labels[(i + 1 + skip as usize).min(ops.len())];
+    for (i, op) in ops.iter().enumerate() {
+        b.bind(labels[i]);
         match *op {
             Op::Rrr(o, d, a, c) => {
                 let (d, a, c) = (reg(d), reg(a), reg(c));
@@ -70,8 +88,22 @@ fn build(ops: &[Op]) -> Program {
             Op::Li(d, i) => b.li(reg(d), i64::from(i)),
             Op::Ld(d, s) => b.ld(reg(d), base, i64::from(s) * 8),
             Op::St(v, s) => b.st(reg(v), base, i64::from(s) * 8),
+            Op::Br(c, a, x, s) => {
+                let t = target(i, s);
+                let (a, x) = (reg(a), reg(x));
+                match c {
+                    0 => b.beq(a, x, t),
+                    1 => b.bne(a, x, t),
+                    2 => b.blt(a, x, t),
+                    3 => b.bge(a, x, t),
+                    4 => b.bltu(a, x, t),
+                    _ => b.bgeu(a, x, t),
+                }
+            }
+            Op::J(s) => b.jmp(target(i, s)),
         }
     }
+    b.bind(labels[ops.len()]);
     b.halt();
     b.build()
 }
@@ -108,13 +140,41 @@ proptest! {
     /// The VM retires exactly the number of non-halt instructions for
     /// straight-line programs that do not fault.
     #[test]
-    fn straight_line_retires_every_instruction(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+    fn straight_line_retires_every_instruction(ops in proptest::collection::vec(linear_op_strategy(), 1..100)) {
         let p = build(&ops);
         let mut vm = Vm::new(&p);
         if let Ok(outcome) = vm.run(None) {
             prop_assert!(outcome.halted());
             prop_assert_eq!(outcome.instructions(), p.len() as u64 - 1);
         }
+    }
+
+    /// Forward-only control flow guarantees termination: every non-faulting
+    /// run halts, retiring at most the static instruction count (taken
+    /// branches skip instructions, so strictly fewer when any branch fires).
+    #[test]
+    fn forward_programs_always_halt(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let p = build(&ops);
+        let mut vm = Vm::new(&p);
+        if let Ok(outcome) = vm.run(Some(p.len() as u64 + 1)) {
+            prop_assert!(outcome.halted(), "forward control flow must reach halt");
+            prop_assert!(outcome.instructions() < p.len() as u64);
+        }
+    }
+
+    /// asm -> disasm -> asm is a fixed point: assembling the disassembly
+    /// and disassembling again reproduces the identical source text (so
+    /// `.s` files, including branch targets, survive arbitrary round
+    /// trips).
+    #[test]
+    fn asm_disasm_asm_is_a_fixed_point(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let p = build(&ops);
+        let text1 = disassemble(&p);
+        let p2 = assemble("random", &text1).unwrap();
+        let text2 = disassemble(&p2);
+        prop_assert_eq!(&text1, &text2);
+        prop_assert_eq!(p.text(), p2.text());
+        prop_assert_eq!(p.data(), p2.data());
     }
 
     /// Trace events are well-formed: memory ops carry addresses, control

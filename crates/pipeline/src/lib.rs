@@ -42,4 +42,4 @@
 
 mod sim;
 
-pub use sim::{PipelineSim, SimResult};
+pub use sim::{PipelineSim, SimIdealization, SimResult};

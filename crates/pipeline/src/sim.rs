@@ -48,10 +48,51 @@ impl SimResult {
     }
 }
 
+/// Counterfactual knobs: selectively idealize one pipeline mechanism while
+/// keeping everything else (including cache/predictor state evolution and
+/// the retired instruction stream) bit-identical.
+///
+/// Differential validation (`mim-validate`) measures the simulator's
+/// *effective* penalty of mechanism X as `cycles(full) - cycles(ideal X)`
+/// and compares it against the mechanistic model's closed-form term for X,
+/// attributing model-vs-simulation CPI error to the term whose
+/// approximation diverges most. Cache and predictor structures are still
+/// accessed and updated under every knob, so idealizing one mechanism
+/// never perturbs the others' behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimIdealization {
+    /// Instruction fetch never stalls (L1I/ITLB misses cost zero cycles).
+    pub perfect_icache: bool,
+    /// Loads and stores complete with the L1 hit latency of one cycle
+    /// (D-cache/DTLB misses cost zero extra cycles).
+    pub perfect_dcache: bool,
+    /// Branch directions are predicted perfectly; taken branches still pay
+    /// their fetch bubble (that is a front-end redirect, not a prediction).
+    pub oracle_branches: bool,
+    /// Correctly predicted taken branches and unconditional jumps redirect
+    /// fetch for free (no one-cycle bubble). Combined with
+    /// `oracle_branches` this removes every cycle the model's branch terms
+    /// (Eq. 4 plus the taken-branch hit penalty) account for.
+    pub free_taken_bubbles: bool,
+    /// Multiply/divide execute in one pipelined cycle like ALU ops.
+    pub unit_latencies: bool,
+    /// Operand dependencies never delay issue (register values are
+    /// forwarded with zero latency from any distance).
+    pub no_dependencies: bool,
+}
+
+impl SimIdealization {
+    /// No idealization: the full detailed simulation.
+    pub fn none() -> SimIdealization {
+        SimIdealization::default()
+    }
+}
+
 /// Cycle-accurate simulator for one machine configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineSim {
     machine: MachineConfig,
+    ideal: SimIdealization,
 }
 
 impl PipelineSim {
@@ -66,7 +107,15 @@ impl PipelineSim {
             .expect("machine configuration must be valid");
         PipelineSim {
             machine: machine.clone(),
+            ideal: SimIdealization::none(),
         }
+    }
+
+    /// Selectively idealizes pipeline mechanisms (counterfactual runs for
+    /// per-term error attribution).
+    pub fn with_idealization(mut self, ideal: SimIdealization) -> PipelineSim {
+        self.ideal = ideal;
+        self
     }
 
     /// The simulated machine.
@@ -189,6 +238,9 @@ impl PipelineSim {
             if itlb_miss {
                 stall += tlb_lat;
             }
+            if self.ideal.perfect_icache {
+                stall = 0;
+            }
             if stall > 0 {
                 fetch_cycle += stall;
                 fetch_slots = 0;
@@ -199,8 +251,10 @@ impl PipelineSim {
 
             // ---------------- execute entry ----------------------------------
             let mut earliest = f + depth;
-            for src in ev.sources.into_iter().flatten() {
-                earliest = earliest.max(avail[src.index()]);
+            if !self.ideal.no_dependencies {
+                for src in ev.sources.into_iter().flatten() {
+                    earliest = earliest.max(avail[src.index()]);
+                }
             }
             let t;
             // Stages shift as units (paper §2.2): instructions from
@@ -235,7 +289,9 @@ impl PipelineSim {
 
             // ---------------- per-class effects --------------------------------
             match ev.class {
-                InstClass::Mul | InstClass::Div => {
+                // Under unit_latencies, mul/div fall through to the ALU
+                // arm below.
+                InstClass::Mul | InstClass::Div if !self.ideal.unit_latencies => {
                     let lat = if ev.class == InstClass::Mul {
                         mul_lat
                     } else {
@@ -266,6 +322,9 @@ impl PipelineSim {
                     if dtlb_miss {
                         lat += tlb_lat;
                     }
+                    if self.ideal.perfect_dcache {
+                        lat = 1;
+                    }
                     // MEM entry: the group's EX-exit plus any misses already
                     // serialized within this group.
                     let mem_entry = group_leave + group_mem_extra;
@@ -283,7 +342,11 @@ impl PipelineSim {
                 InstClass::CondBranch => {
                     branches += 1;
                     let taken = ev.taken == Some(true);
-                    let pred = predictor.predict(ev.pc);
+                    let pred = if self.ideal.oracle_branches {
+                        taken
+                    } else {
+                        predictor.predict(ev.pc)
+                    };
                     predictor.update(ev.pc, taken);
                     if pred != taken {
                         mispredicts += 1;
@@ -293,14 +356,18 @@ impl PipelineSim {
                     } else if taken {
                         taken_correct += 1;
                         // Correct taken prediction: one fetch bubble.
-                        fetch_min = fetch_min.max(f + 2);
-                        fetch_slots = w;
+                        if !self.ideal.free_taken_bubbles {
+                            fetch_min = fetch_min.max(f + 2);
+                            fetch_slots = w;
+                        }
                     }
                 }
                 InstClass::Jump => {
                     // Unconditional: always taken, one fetch bubble.
-                    fetch_min = fetch_min.max(f + 2);
-                    fetch_slots = w;
+                    if !self.ideal.free_taken_bubbles {
+                        fetch_min = fetch_min.max(f + 2);
+                        fetch_slots = w;
+                    }
                 }
                 _ => {
                     if let Some(dst) = ev.dst {
@@ -597,6 +664,84 @@ mod tests {
             assert_eq!(sim.mispredicts, prof.branch.mispredicts, "{}", w.name());
             assert_eq!(sim.taken_correct, prof.branch.taken_correct, "{}", w.name());
         }
+    }
+
+    #[test]
+    fn idealization_knobs_remove_their_own_penalty_only() {
+        // Each knob must make the run no slower, and the targeted knob
+        // must remove (nearly) all of its mechanism's cycles.
+        let m = machine(4);
+        let p = mim_workloads::mibench::qsort().program(mim_workloads::WorkloadSize::Tiny);
+        let full = PipelineSim::new(&m).simulate(&p).unwrap();
+        let run = |ideal: SimIdealization| {
+            PipelineSim::new(&m)
+                .with_idealization(ideal)
+                .simulate(&p)
+                .unwrap()
+        };
+        for ideal in [
+            SimIdealization {
+                perfect_icache: true,
+                ..SimIdealization::none()
+            },
+            SimIdealization {
+                perfect_dcache: true,
+                ..SimIdealization::none()
+            },
+            SimIdealization {
+                oracle_branches: true,
+                ..SimIdealization::none()
+            },
+            SimIdealization {
+                unit_latencies: true,
+                ..SimIdealization::none()
+            },
+            SimIdealization {
+                no_dependencies: true,
+                ..SimIdealization::none()
+            },
+            SimIdealization {
+                free_taken_bubbles: true,
+                ..SimIdealization::none()
+            },
+        ] {
+            let r = run(ideal);
+            assert!(
+                r.cycles <= full.cycles,
+                "{ideal:?} slower: {} > {}",
+                r.cycles,
+                full.cycles
+            );
+            // The retired stream and cache/predictor state evolution are
+            // untouched by idealization.
+            assert_eq!(r.instructions, full.instructions, "{ideal:?}");
+            assert_eq!(r.misses, full.misses, "{ideal:?}");
+            assert_eq!(r.branches, full.branches, "{ideal:?}");
+        }
+        // Oracle prediction eliminates mispredicts entirely.
+        let oracle = run(SimIdealization {
+            oracle_branches: true,
+            ..SimIdealization::none()
+        });
+        assert_eq!(oracle.mispredicts, 0);
+        assert!(full.mispredicts > 0);
+        // A memory-bound kernel loses most of its cycles to the D-cache
+        // knob.
+        let mcf = mim_workloads::spec::mcf_like().program(mim_workloads::WorkloadSize::Tiny);
+        let mcf_full = PipelineSim::new(&m).simulate(&mcf).unwrap();
+        let mcf_ideal = PipelineSim::new(&m)
+            .with_idealization(SimIdealization {
+                perfect_dcache: true,
+                ..SimIdealization::none()
+            })
+            .simulate(&mcf)
+            .unwrap();
+        assert!(
+            (mcf_ideal.cycles as f64) < 0.3 * mcf_full.cycles as f64,
+            "perfect D-cache should collapse a pointer chase: {} vs {}",
+            mcf_ideal.cycles,
+            mcf_full.cycles
+        );
     }
 
     #[test]

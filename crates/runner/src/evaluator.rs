@@ -9,6 +9,7 @@
 //! and design points consume it (the paper's §2.1 framework applied to
 //! the whole stack).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use mim_bpred::PredictorConfig;
@@ -160,6 +161,15 @@ fn result_from_stack(
     }
 }
 
+/// Transformation applied to the profiled [`ModelInputs`] before the model
+/// evaluates them — the per-term *profile swap hook*.
+///
+/// Differential validation uses it to substitute externally measured
+/// statistics (e.g. the simulator's miss counts) into the profile one term
+/// at a time, isolating how much of a model-vs-simulation disagreement is
+/// a *measurement* difference versus an *approximation* difference.
+pub type InputsMap = Arc<dyn Fn(ModelInputs) -> ModelInputs + Send + Sync>;
+
 /// Evaluates workloads with the paper's mechanistic in-order model: one
 /// cached profiling pass, then closed-form prediction per design point.
 #[derive(Clone)]
@@ -171,6 +181,7 @@ pub struct ModelEvaluator {
     name: String,
     ablated: Vec<StackComponent>,
     energy: bool,
+    inputs_map: Option<InputsMap>,
 }
 
 impl ModelEvaluator {
@@ -184,6 +195,7 @@ impl ModelEvaluator {
             name: EvalKind::Model.label().to_string(),
             ablated: Vec::new(),
             energy: false,
+            inputs_map: None,
         }
     }
 
@@ -201,6 +213,7 @@ impl ModelEvaluator {
             name: EvalKind::Model.label().to_string(),
             ablated: Vec::new(),
             energy: false,
+            inputs_map: None,
         }
     }
 
@@ -236,6 +249,43 @@ impl ModelEvaluator {
         self.energy = energy;
         self
     }
+
+    /// Installs a profile-swap hook: the profiled [`ModelInputs`] pass
+    /// through `map` before the model evaluates them.
+    ///
+    /// This is the substitution point for differential validation — swap
+    /// simulator-measured miss or branch statistics into the profile one
+    /// term at a time and re-predict, attributing disagreement to the
+    /// specific input term that moved the prediction.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mim_core::MachineConfig;
+    /// use mim_runner::{Evaluator, ModelEvaluator, WorkloadSpec};
+    /// use mim_workloads::{mibench, WorkloadSize};
+    ///
+    /// let machine = MachineConfig::default_config();
+    /// let pessimist = ModelEvaluator::new(&machine)
+    ///     .with_name("model+10%misses")
+    ///     .with_inputs_map(|mut inputs| {
+    ///         inputs.misses.l1d_misses += inputs.misses.l1d_misses / 10;
+    ///         inputs
+    ///     });
+    /// let spec = WorkloadSpec::from(mibench::sha());
+    /// let base = ModelEvaluator::new(&machine)
+    ///     .evaluate(&spec, WorkloadSize::Tiny)
+    ///     .unwrap();
+    /// let swapped = pessimist.evaluate(&spec, WorkloadSize::Tiny).unwrap();
+    /// assert!(swapped.cpi >= base.cpi);
+    /// ```
+    pub fn with_inputs_map(
+        mut self,
+        map: impl Fn(ModelInputs) -> ModelInputs + Send + Sync + 'static,
+    ) -> ModelEvaluator {
+        self.inputs_map = Some(Arc::new(map));
+        self
+    }
 }
 
 impl Evaluator for ModelEvaluator {
@@ -253,7 +303,10 @@ impl Evaluator for ModelEvaluator {
         size: WorkloadSize,
     ) -> Result<EvalResult, EvalError> {
         let t0 = Instant::now();
-        let inputs = self.sweep.inputs(&self.store, workload, size, self.limit)?;
+        let mut inputs = self.sweep.inputs(&self.store, workload, size, self.limit)?;
+        if let Some(map) = &self.inputs_map {
+            inputs = map(inputs);
+        }
         let model = MechanisticModel::new(&self.machine);
         let stack = if self.ablated.is_empty() {
             model.predict(&inputs)

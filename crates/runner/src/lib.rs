@@ -67,7 +67,7 @@ mod result;
 mod spec;
 mod store;
 
-pub use evaluator::{Evaluator, ModelEvaluator, OooEvaluator, SimEvaluator};
+pub use evaluator::{Evaluator, InputsMap, ModelEvaluator, OooEvaluator, SimEvaluator};
 pub use experiment::{
     parallel_map, print_comparison, CpiComparison, Experiment, ExperimentReport, ExperimentTiming,
 };

@@ -10,6 +10,7 @@
 //! functional execution per workload. The store is cheaply cloneable (an
 //! `Arc` handle) and thread-safe.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use mim_bpred::PredictorConfig;
@@ -44,6 +45,11 @@ struct Inner {
     programs: Mutex<Vec<(ProgramKey, Arc<Program>)>>,
     traces: Mutex<Vec<(TraceKey, Arc<Trace>)>>,
     profiles: Mutex<Vec<(ProfileKey, Arc<WorkloadProfile>)>>,
+    /// Functional `Vm` executions this store has triggered (recordings and
+    /// live profiling passes). Unlike `mim_isa::functional_executions`,
+    /// this counter is scoped to the store, so record-once assertions are
+    /// immune to unrelated VM activity elsewhere in the test process.
+    executions: AtomicU64,
 }
 
 /// Thread-safe store of instantiated programs, recorded execution traces,
@@ -124,6 +130,7 @@ impl WorkloadStore {
             return Ok(t);
         }
         let program = self.program(spec, size);
+        self.inner.executions.fetch_add(1, Ordering::Relaxed);
         let trace = Trace::record(&program, limit)
             .map_err(|e| EvalError::vm(spec.name(), "recorder", &e))?;
         let trace = Arc::new(trace);
@@ -196,9 +203,12 @@ impl WorkloadStore {
                     .profile_source(&mut replay)
                     .map_err(|e| EvalError::trace(spec.name(), "profiler", &e))?
             }
-            None => profiler
-                .profile(&program, limit)
-                .map_err(|e| EvalError::vm(spec.name(), "profiler", &e))?,
+            None => {
+                self.inner.executions.fetch_add(1, Ordering::Relaxed);
+                profiler
+                    .profile(&program, limit)
+                    .map_err(|e| EvalError::vm(spec.name(), "profiler", &e))?
+            }
         };
         let profile = Arc::new(profile);
         let mut profiles = self.inner.profiles.lock().expect("profile cache poisoned");
@@ -217,6 +227,19 @@ impl WorkloadStore {
             .lock()
             .expect("profile cache poisoned")
             .len()
+    }
+
+    /// Number of functional `Vm` executions this store has triggered
+    /// (trace recordings plus live streaming profile passes).
+    ///
+    /// This is the per-store, test-safe counterpart of the process-global
+    /// [`mim_isa::functional_executions`] counter: because it only counts
+    /// executions *this* store caused, record-once assertions hold no
+    /// matter what other tests run concurrently in the same process.
+    /// Replayed profiles, simulations, and MLP estimates never increment
+    /// it.
+    pub fn functional_executions(&self) -> u64 {
+        self.inner.executions.load(Ordering::Relaxed)
     }
 
     /// Number of recorded traces (used by tests to assert the record-once

@@ -1,0 +1,271 @@
+//! Per-term error attribution: which model term explains a
+//! model-vs-simulation disagreement.
+//!
+//! The mechanistic model is additive (Eq. 1): total time is the base
+//! `N/W` plus independent penalty terms for I-cache misses, D-cache
+//! misses (with their partial overlap/MLP behaviour in the memory stage),
+//! branches, long-latency units, and dependencies. Attribution measures
+//! each term on *both* sides:
+//!
+//! * **model side** — the closed-form cycles the model charges the term
+//!   (read off the [`CpiStack`] via the decomposition accessors, with the
+//!   combined TLB component split into its I/D shares from the raw walk
+//!   counts);
+//! * **simulator side** — the *effective* cycles the detailed pipeline
+//!   spends on the mechanism, measured counterfactually:
+//!   `cycles(full) - cycles(mechanism idealized)` using
+//!   [`SimIdealization`], with everything else (including cache and
+//!   predictor state evolution) bit-identical.
+//!
+//! The per-term delta `model - sim` (in CPI) says which mechanism's
+//! *approximation* is responsible for the disagreement; the leftover
+//! after all terms is the interaction **residual** (mechanism overlaps
+//! the one-at-a-time counterfactuals cannot separate). Orthogonally, the
+//! *profile-swap* shift re-predicts the model with simulator-measured
+//! event counts substituted one term at a time
+//! ([`ModelEvaluator::with_inputs_map`](mim_runner::ModelEvaluator::with_inputs_map)),
+//! separating measurement disagreement from approximation disagreement —
+//! on this substrate the functional models are shared, so swap shifts
+//! near zero certify that every delta is approximation error.
+
+use mim_core::{CpiStack, MachineConfig, MechanisticModel};
+use mim_pipeline::SimIdealization;
+use mim_runner::EvalResult;
+use serde::{Deserialize, Serialize};
+
+/// One attributable model term (plus the interaction residual).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorTerm {
+    /// The `N/W` issue-bandwidth floor (plus pipeline fill/drain in the
+    /// simulator).
+    Base,
+    /// Instruction-side cache/TLB misses.
+    ICache,
+    /// Data-side cache/TLB misses, including their memory-stage
+    /// overlap/MLP behaviour.
+    DCacheMlp,
+    /// Branch mispredictions and taken-branch fetch bubbles.
+    Branch,
+    /// Non-unit multiply/divide latencies.
+    LongLat,
+    /// Inter-instruction dependency stalls.
+    Deps,
+    /// Interaction residual: disagreement not separable by any single
+    /// counterfactual (overlap between mechanisms).
+    Residual,
+}
+
+impl ErrorTerm {
+    /// The measurable terms, in canonical report order (excludes
+    /// [`Residual`](ErrorTerm::Residual), which is derived).
+    pub const MEASURED: [ErrorTerm; 6] = [
+        ErrorTerm::Base,
+        ErrorTerm::ICache,
+        ErrorTerm::DCacheMlp,
+        ErrorTerm::Branch,
+        ErrorTerm::LongLat,
+        ErrorTerm::Deps,
+    ];
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorTerm::Base => "base",
+            ErrorTerm::ICache => "icache",
+            ErrorTerm::DCacheMlp => "dcache+mlp",
+            ErrorTerm::Branch => "branch",
+            ErrorTerm::LongLat => "long-lat",
+            ErrorTerm::Deps => "deps",
+            ErrorTerm::Residual => "residual",
+        }
+    }
+
+    /// The simulator counterfactual that idealizes this term (the `Base`
+    /// counterfactual idealizes *everything*, leaving only the
+    /// issue-bandwidth floor).
+    pub fn idealization(self) -> Option<SimIdealization> {
+        let mut ideal = SimIdealization::none();
+        match self {
+            ErrorTerm::Base => {
+                ideal.perfect_icache = true;
+                ideal.perfect_dcache = true;
+                ideal.oracle_branches = true;
+                ideal.free_taken_bubbles = true;
+                ideal.unit_latencies = true;
+                ideal.no_dependencies = true;
+            }
+            ErrorTerm::ICache => ideal.perfect_icache = true,
+            ErrorTerm::DCacheMlp => ideal.perfect_dcache = true,
+            ErrorTerm::Branch => {
+                ideal.oracle_branches = true;
+                ideal.free_taken_bubbles = true;
+            }
+            ErrorTerm::LongLat => ideal.unit_latencies = true,
+            ErrorTerm::Deps => ideal.no_dependencies = true,
+            ErrorTerm::Residual => return None,
+        }
+        Some(ideal)
+    }
+}
+
+/// One term's two-sided measurement for one (behaviour × design) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TermError {
+    /// Which term.
+    pub term: ErrorTerm,
+    /// CPI the model charges the term.
+    pub model_cpi: f64,
+    /// CPI the simulator effectively spends on the mechanism
+    /// (counterfactual-measured).
+    pub sim_cpi: f64,
+    /// Attribution: `model_cpi - sim_cpi`.
+    pub delta_cpi: f64,
+    /// Model-CPI shift when the simulator's measured event counts for
+    /// this term are swapped into the profile (measurement disagreement;
+    /// `0` for terms without measured counts).
+    pub swap_cpi: f64,
+}
+
+/// Splits the model's CPI stack into the attribution terms' cycle totals,
+/// in [`ErrorTerm::MEASURED`] order. The combined TLB component is split
+/// into its instruction/data shares from the raw walk counts.
+pub fn model_term_cycles(
+    machine: &MachineConfig,
+    stack: &CpiStack,
+    itlb_misses: u64,
+    dtlb_misses: u64,
+) -> [f64; 6] {
+    let model = MechanisticModel::new(machine);
+    let walk = model.miss_penalty(machine.tlb_walk_cycles);
+    [
+        stack.cycles_of(mim_core::StackComponent::Base),
+        stack.icache_cycles() + itlb_misses as f64 * walk,
+        stack.dcache_cycles() + dtlb_misses as f64 * walk,
+        stack.branch_cycles(),
+        stack.mul_div(),
+        stack.dependencies(),
+    ]
+}
+
+/// Computes the full attribution for one cell.
+///
+/// `counterfactual_cycles` holds the simulator's cycle counts under each
+/// term's idealization, in [`ErrorTerm::MEASURED`] order; `swap_cpi` the
+/// per-term profile-swap shifts (same order).
+pub fn attribute(
+    machine: &MachineConfig,
+    model_row: &EvalResult,
+    sim_row: &EvalResult,
+    counterfactual_cycles: &[u64; 6],
+    swap_cpi: &[f64; 6],
+) -> (Vec<TermError>, f64, ErrorTerm) {
+    let stack = model_row
+        .stack
+        .as_ref()
+        .expect("model rows carry CPI stacks");
+    let misses = model_row.misses.expect("model rows carry miss counts");
+    let insts = sim_row.instructions.max(1) as f64;
+    let model_cycles = model_term_cycles(machine, stack, misses.itlb_misses, misses.dtlb_misses);
+
+    let mut terms = Vec::with_capacity(6);
+    for (i, term) in ErrorTerm::MEASURED.into_iter().enumerate() {
+        // The Base counterfactual idealizes everything, so its cycles ARE
+        // the simulator's base; the others measure full-minus-ideal.
+        let sim_term_cycles = if term == ErrorTerm::Base {
+            counterfactual_cycles[i] as f64
+        } else {
+            sim_row.cycles - counterfactual_cycles[i] as f64
+        };
+        let model_cpi = model_cycles[i] / insts;
+        let sim_cpi = sim_term_cycles / insts;
+        terms.push(TermError {
+            term,
+            model_cpi,
+            sim_cpi,
+            delta_cpi: model_cpi - sim_cpi,
+            swap_cpi: swap_cpi[i],
+        });
+    }
+
+    let total_delta = model_row.cpi - sim_row.cpi;
+    let residual_cpi = total_delta - terms.iter().map(|t| t.delta_cpi).sum::<f64>();
+    let mut dominant = ErrorTerm::Residual;
+    let mut dominant_abs = residual_cpi.abs();
+    for t in &terms {
+        if t.delta_cpi.abs() > dominant_abs {
+            dominant_abs = t.delta_cpi.abs();
+            dominant = t.term;
+        }
+    }
+    (terms, residual_cpi, dominant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_idealizations_are_consistent() {
+        let mut labels: Vec<&str> = ErrorTerm::MEASURED.iter().map(|t| t.label()).collect();
+        labels.push(ErrorTerm::Residual.label());
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 7);
+        assert!(ErrorTerm::Residual.idealization().is_none());
+        // Single-mechanism counterfactuals touch exactly one knob...
+        for term in [
+            ErrorTerm::ICache,
+            ErrorTerm::DCacheMlp,
+            ErrorTerm::LongLat,
+            ErrorTerm::Deps,
+        ] {
+            let i = term.idealization().unwrap();
+            let knobs = [
+                i.perfect_icache,
+                i.perfect_dcache,
+                i.oracle_branches,
+                i.free_taken_bubbles,
+                i.unit_latencies,
+                i.no_dependencies,
+            ];
+            assert_eq!(knobs.iter().filter(|&&k| k).count(), 1, "{term:?}");
+        }
+        // ...branch removes both prediction penalties, base removes all.
+        let b = ErrorTerm::Branch.idealization().unwrap();
+        assert!(b.oracle_branches && b.free_taken_bubbles);
+        let base = ErrorTerm::Base.idealization().unwrap();
+        assert!(base.perfect_icache && base.no_dependencies && base.unit_latencies);
+    }
+
+    #[test]
+    fn model_term_cycles_cover_the_whole_stack() {
+        use mim_core::{MachineConfig, MechanisticModel, ModelInputs};
+        let machine = MachineConfig::default_config();
+        let mut inputs = ModelInputs::synthetic("t", 10_000);
+        inputs.mix.mul = 100;
+        inputs.mix.load = 1_000;
+        inputs.misses.l1d_misses = 120;
+        inputs.misses.l2d_misses = 30;
+        inputs.misses.l1i_misses = 40;
+        inputs.misses.itlb_misses = 7;
+        inputs.misses.dtlb_misses = 11;
+        inputs.branch.branches = 400;
+        inputs.branch.mispredicts = 25;
+        inputs.branch.taken_correct = 100;
+        inputs.deps_unit.record(1);
+        inputs.deps_load.record(2);
+        let stack = MechanisticModel::new(&machine).predict(&inputs);
+        let terms = model_term_cycles(
+            &machine,
+            &stack,
+            inputs.misses.itlb_misses,
+            inputs.misses.dtlb_misses,
+        );
+        let sum: f64 = terms.iter().sum();
+        assert!(
+            (sum - stack.total_cycles()).abs() < 1e-9,
+            "terms {sum} vs stack {}",
+            stack.total_cycles()
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Errors of the validation subsystem.
+
+use std::error::Error;
+use std::fmt;
+
+use mim_runner::EvalError;
+
+/// Error produced by the behavior-space builder or a differential run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidateError {
+    /// A behavior axis was replaced with an empty candidate list.
+    EmptyAxis {
+        /// Which axis was empty.
+        axis: &'static str,
+    },
+    /// A behavior axis repeats a label (labels key workload names and
+    /// report rows, so duplicates would silently alias behaviour points).
+    DuplicateLabel {
+        /// Which axis holds the duplicate.
+        axis: &'static str,
+        /// The duplicated label.
+        label: String,
+    },
+    /// An underlying evaluation failed.
+    Eval(EvalError),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::EmptyAxis { axis } => {
+                write!(f, "behavior-space axis `{axis}` must be non-empty")
+            }
+            ValidateError::DuplicateLabel { axis, label } => {
+                write!(
+                    f,
+                    "behavior-space axis `{axis}` lists label `{label}` twice"
+                )
+            }
+            ValidateError::Eval(e) => write!(f, "differential evaluation failed: {e}"),
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+impl From<EvalError> for ValidateError {
+    fn from(e: EvalError) -> ValidateError {
+        ValidateError::Eval(e)
+    }
+}

@@ -1,0 +1,81 @@
+//! # mim-validate — behavior-space differential validation
+//!
+//! The paper's accuracy claim ("the mechanistic model tracks detailed
+//! simulation within a few percent CPI error") is only as strong as the
+//! behaviours it was checked on. This crate turns that spot-check into a
+//! systematic sweep:
+//!
+//! 1. a [`BehaviorSpace`] enumerates a grid over
+//!    [`SyntheticRecipe`](mim_workloads::synth::SyntheticRecipe) axes —
+//!    branch predictability, memory footprint / stack-distance shape,
+//!    dependency-chain depth, instruction mix — using the same builder
+//!    idiom as [`DesignSpace`](mim_core::DesignSpace);
+//! 2. a [`DifferentialRun`] evaluates every (behaviour × design) cell
+//!    through both the mechanistic model and the cycle-accurate
+//!    [`PipelineSim`](mim_pipeline::PipelineSim), via the shared
+//!    [`Experiment`](mim_runner::Experiment) /
+//!    [`WorkloadStore`](mim_runner::WorkloadStore) machinery — one
+//!    recorded trace per behaviour point, replayed by every timing pass;
+//! 3. **per-term error attribution** decomposes each disagreement into
+//!    base / I-cache / D-cache+MLP / branch / long-latency / dependency
+//!    components, by comparing the model's closed-form term against the
+//!    simulator's counterfactually measured penalty
+//!    ([`SimIdealization`](mim_pipeline::SimIdealization)) and by swapping
+//!    simulator-measured event counts into the profile one term at a time
+//!    ([`ModelEvaluator::with_inputs_map`](mim_runner::ModelEvaluator::with_inputs_map));
+//! 4. the [`ValidationReport`] is byte-deterministic JSON whose worst-N
+//!    offenders carry their full recipes, so any flagged point regenerates
+//!    bit-identically; [`shrink_recipe`] minimizes an offending recipe to
+//!    a locally minimal reproducer.
+//!
+//! ## Example
+//!
+//! ```
+//! use mim_core::{DesignSpace, MachineConfig};
+//! use mim_validate::{BehaviorSpace, BranchProfile, DifferentialRun};
+//! use mim_workloads::synth::SyntheticRecipe;
+//!
+//! let space = BehaviorSpace::new(SyntheticRecipe {
+//!     iterations: 150,
+//!     ..SyntheticRecipe::codec_like()
+//! })
+//! .with_branch(vec![
+//!     BranchProfile::new("none", 0, 0),
+//!     BranchProfile::new("rand", 14, 100),
+//! ])
+//! .unwrap();
+//! let designs = DesignSpace::new(MachineConfig::default_config())
+//!     .with_widths(vec![1, 4])
+//!     .unwrap();
+//! let report = DifferentialRun::new(space, designs)
+//!     .threads(1)
+//!     .budget_percent(15.0)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.cells.len(), 4);
+//! // The unpredictable-branch cells spend more simulator cycles on
+//! // branches than the branch-free cells.
+//! let branchy = report.get("synth/rand-base-base-base", 0).unwrap();
+//! let quiet = report.get("synth/none-base-base-base", 0).unwrap();
+//! let branch_cpi = |c: &mim_validate::CellDiff| {
+//!     c.terms.iter().find(|t| t.term == mim_validate::ErrorTerm::Branch)
+//!         .map(|t| t.sim_cpi).unwrap()
+//! };
+//! assert!(branch_cpi(branchy) > branch_cpi(quiet));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attribution;
+mod diff;
+mod error;
+mod space;
+
+pub use attribution::{attribute, model_term_cycles, ErrorTerm, TermError};
+pub use diff::{
+    cpi_error_percent, print_summary, shrink_recipe, CellDiff, DifferentialRun, Offender,
+    TermSummary, ValidationReport, ValidationSummary,
+};
+pub use error::ValidateError;
+pub use space::{BehaviorSpace, BranchProfile, IlpProfile, MemoryProfile, MixProfile};

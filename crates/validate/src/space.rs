@@ -1,0 +1,434 @@
+//! The behavior space: a grid over [`SyntheticRecipe`] axes.
+//!
+//! [`DesignSpace`](mim_core::DesignSpace) enumerates *machines*;
+//! [`BehaviorSpace`] enumerates *program behaviours* — branch
+//! predictability, memory footprint and stack-distance shape, dependency
+//! ILP, and instruction mix — using the same flat-index builder idiom, so
+//! a differential run is a plain cartesian product of the two.
+
+use mim_workloads::synth::SyntheticRecipe;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ValidateError;
+
+/// One value of the branch-predictability axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BranchProfile {
+    /// Short label, unique within the axis (used in workload names).
+    pub label: String,
+    /// Percent of body slots that emit a conditional-branch site.
+    pub site_percent: u32,
+    /// Percent of those sites with data-dependent pseudo-random direction.
+    pub random_percent: u32,
+}
+
+impl BranchProfile {
+    /// Creates a branch profile.
+    pub fn new(label: impl Into<String>, site_percent: u32, random_percent: u32) -> BranchProfile {
+        BranchProfile {
+            label: label.into(),
+            site_percent,
+            random_percent,
+        }
+    }
+}
+
+/// One value of the memory footprint / stack-distance-shape axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryProfile {
+    /// Short label, unique within the axis.
+    pub label: String,
+    /// Footprint in words.
+    pub footprint_words: usize,
+    /// Stride in words per iteration (`0` = fixed hot slots).
+    pub stride_words: usize,
+    /// Uniform-random addressing over the footprint (overrides stride).
+    pub random_addresses: bool,
+}
+
+impl MemoryProfile {
+    /// A hot fixed working set (short stack distances, everything in L1).
+    pub fn hot(label: impl Into<String>, footprint_words: usize) -> MemoryProfile {
+        MemoryProfile {
+            label: label.into(),
+            footprint_words,
+            stride_words: 0,
+            random_addresses: false,
+        }
+    }
+
+    /// A strided stream through the footprint (long, regular stack
+    /// distances).
+    pub fn stream(
+        label: impl Into<String>,
+        footprint_words: usize,
+        stride_words: usize,
+    ) -> MemoryProfile {
+        MemoryProfile {
+            label: label.into(),
+            footprint_words,
+            stride_words,
+            random_addresses: false,
+        }
+    }
+
+    /// Uniform-random addressing over the footprint (cache-hostile).
+    pub fn random(label: impl Into<String>, footprint_words: usize) -> MemoryProfile {
+        MemoryProfile {
+            label: label.into(),
+            footprint_words,
+            stride_words: 0,
+            random_addresses: true,
+        }
+    }
+}
+
+/// One value of the dependency-chain-depth (ILP) axis: a dependency-
+/// distance weight vector (`dep_distances[d-1]` weights distance `d`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IlpProfile {
+    /// Short label, unique within the axis.
+    pub label: String,
+    /// Dependency-distance weights for the recipe.
+    pub dep_distances: Vec<u32>,
+}
+
+impl IlpProfile {
+    /// Creates an ILP profile.
+    pub fn new(label: impl Into<String>, dep_distances: Vec<u32>) -> IlpProfile {
+        IlpProfile {
+            label: label.into(),
+            dep_distances,
+        }
+    }
+}
+
+/// One value of the instruction-mix axis (also sizes the loop so dynamic
+/// length stays comparable across mixes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixProfile {
+    /// Short label, unique within the axis.
+    pub label: String,
+    /// `(alu, mul, div, load, store)` weights.
+    pub mix: (u32, u32, u32, u32, u32),
+    /// Loop-body size in instructions.
+    pub block_size: usize,
+    /// Loop iterations.
+    pub iterations: u64,
+}
+
+impl MixProfile {
+    /// Creates a mix profile.
+    pub fn new(
+        label: impl Into<String>,
+        mix: (u32, u32, u32, u32, u32),
+        block_size: usize,
+        iterations: u64,
+    ) -> MixProfile {
+        MixProfile {
+            label: label.into(),
+            mix,
+            block_size,
+            iterations,
+        }
+    }
+}
+
+/// A grid over [`SyntheticRecipe`] behaviour axes, enumerated in flat-index
+/// order (branch-major, then memory, then ILP, then mix) exactly like
+/// [`DesignSpace`](mim_core::DesignSpace) enumerates machines.
+///
+/// # Example
+///
+/// ```
+/// use mim_validate::BehaviorSpace;
+///
+/// let space = BehaviorSpace::default_grid();
+/// assert_eq!(space.len(), 64);
+/// let recipe = space.recipe_at(17).unwrap();
+/// assert!(!recipe.describe().is_empty());
+/// // Point names are unique and deterministic.
+/// assert_ne!(space.name_at(0), space.name_at(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorSpace {
+    base: SyntheticRecipe,
+    branch: Vec<BranchProfile>,
+    memory: Vec<MemoryProfile>,
+    ilp: Vec<IlpProfile>,
+    mix: Vec<MixProfile>,
+}
+
+impl BehaviorSpace {
+    /// A degenerate one-point space around `base`: every axis holds the
+    /// base recipe's value. Grow it with the `with_*` builder methods.
+    pub fn new(base: SyntheticRecipe) -> BehaviorSpace {
+        BehaviorSpace {
+            branch: vec![BranchProfile::new(
+                "base",
+                base.branch_percent,
+                base.branch_random_percent,
+            )],
+            memory: vec![MemoryProfile {
+                label: "base".into(),
+                footprint_words: base.footprint_words,
+                stride_words: base.stride_words,
+                random_addresses: base.random_addresses,
+            }],
+            ilp: vec![IlpProfile::new("base", base.dep_distances.clone())],
+            mix: vec![MixProfile::new(
+                "base",
+                base.mix,
+                base.block_size,
+                base.iterations,
+            )],
+            base,
+        }
+    }
+
+    /// The default 4×4×2×2 = 64-point validation grid: branch
+    /// predictability from branch-free to fully random, memory behaviour
+    /// from a hot L1 set to random addressing over a memory-sized
+    /// footprint, serial vs parallel dependency chains, and compute- vs
+    /// memory-leaning instruction mixes. Loop lengths are sized for CI
+    /// smoke runs; see [`default_grid_scaled`](BehaviorSpace::default_grid_scaled).
+    pub fn default_grid() -> BehaviorSpace {
+        BehaviorSpace::default_grid_scaled(1)
+    }
+
+    /// The default grid with every mix profile's loop iterations
+    /// multiplied by `iteration_scale` — full-precision sweeps use longer
+    /// loops to wash out warmup effects while covering the *same*
+    /// behaviours the CI smoke grid covers.
+    pub fn default_grid_scaled(iteration_scale: u64) -> BehaviorSpace {
+        let iterations = 500 * iteration_scale.max(1);
+        BehaviorSpace::new(SyntheticRecipe::codec_like())
+            .with_branch(vec![
+                BranchProfile::new("b0", 0, 0),
+                BranchProfile::new("bp", 14, 0),
+                BranchProfile::new("bh", 14, 50),
+                BranchProfile::new("br", 14, 100),
+            ])
+            .expect("distinct branch labels")
+            .with_memory(vec![
+                MemoryProfile::hot("hot", 1 << 10),
+                MemoryProfile::stream("l1s", 1 << 11, 2),
+                MemoryProfile::stream("l2s", 1 << 13, 16),
+                MemoryProfile::random("mem", 1 << 17),
+            ])
+            .expect("distinct memory labels")
+            .with_ilp(vec![
+                IlpProfile::new("ser", vec![100]),
+                IlpProfile::new("ilp", vec![0, 0, 0, 0, 0, 0, 0, 2, 3, 4]),
+            ])
+            .expect("distinct ilp labels")
+            .with_mix(vec![
+                MixProfile::new("cmp", (78, 8, 2, 8, 4), 48, iterations),
+                MixProfile::new("mem", (48, 2, 0, 32, 18), 48, iterations),
+            ])
+            .expect("distinct mix labels")
+    }
+
+    fn validate_axis<T>(
+        axis: &'static str,
+        candidates: &[T],
+        label: impl Fn(&T) -> &str,
+    ) -> Result<(), ValidateError> {
+        if candidates.is_empty() {
+            return Err(ValidateError::EmptyAxis { axis });
+        }
+        for (i, candidate) in candidates.iter().enumerate() {
+            if candidates[..i].iter().any(|c| label(c) == label(candidate)) {
+                return Err(ValidateError::DuplicateLabel {
+                    axis,
+                    label: label(candidate).to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces the branch-predictability axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] if the list is empty or repeats a label.
+    pub fn with_branch(
+        mut self,
+        branch: Vec<BranchProfile>,
+    ) -> Result<BehaviorSpace, ValidateError> {
+        Self::validate_axis("branch", &branch, |p| &p.label)?;
+        self.branch = branch;
+        Ok(self)
+    }
+
+    /// Replaces the memory footprint/shape axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] if the list is empty or repeats a label.
+    pub fn with_memory(
+        mut self,
+        memory: Vec<MemoryProfile>,
+    ) -> Result<BehaviorSpace, ValidateError> {
+        Self::validate_axis("memory", &memory, |p| &p.label)?;
+        self.memory = memory;
+        Ok(self)
+    }
+
+    /// Replaces the dependency-ILP axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] if the list is empty or repeats a label.
+    pub fn with_ilp(mut self, ilp: Vec<IlpProfile>) -> Result<BehaviorSpace, ValidateError> {
+        Self::validate_axis("ilp", &ilp, |p| &p.label)?;
+        self.ilp = ilp;
+        Ok(self)
+    }
+
+    /// Replaces the instruction-mix axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] if the list is empty or repeats a label.
+    pub fn with_mix(mut self, mix: Vec<MixProfile>) -> Result<BehaviorSpace, ValidateError> {
+        Self::validate_axis("mix", &mix, |p| &p.label)?;
+        self.mix = mix;
+        Ok(self)
+    }
+
+    /// Number of behaviour points.
+    pub fn len(&self) -> usize {
+        self.branch.len() * self.memory.len() * self.ilp.len() * self.mix.len()
+    }
+
+    /// True if the space has no points (never, given axis validation).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Candidate counts per axis: `[branch, memory, ilp, mix]`.
+    pub fn axis_lens(&self) -> [usize; 4] {
+        [
+            self.branch.len(),
+            self.memory.len(),
+            self.ilp.len(),
+            self.mix.len(),
+        ]
+    }
+
+    /// Decodes a flat index into `[branch, memory, ilp, mix]` coordinates.
+    pub fn coords_of(&self, index: usize) -> Option<[usize; 4]> {
+        if index >= self.len() {
+            return None;
+        }
+        let [_, nm, ni, nx] = self.axis_lens();
+        let xi = index % nx;
+        let ii = (index / nx) % ni;
+        let mi = (index / (nx * ni)) % nm;
+        let bi = index / (nx * ni * nm);
+        Some([bi, mi, ii, xi])
+    }
+
+    /// The recipe at a flat index (deterministic: seed derives from the
+    /// base seed and the index, and is recorded in the recipe so any
+    /// reported point regenerates bit-identically).
+    pub fn recipe_at(&self, index: usize) -> Option<SyntheticRecipe> {
+        let [bi, mi, ii, xi] = self.coords_of(index)?;
+        let b = &self.branch[bi];
+        let m = &self.memory[mi];
+        let i = &self.ilp[ii];
+        let x = &self.mix[xi];
+        Some(SyntheticRecipe {
+            block_size: x.block_size,
+            iterations: x.iterations,
+            mix: x.mix,
+            dep_distances: i.dep_distances.clone(),
+            footprint_words: m.footprint_words,
+            branch_percent: b.site_percent,
+            branch_random_percent: b.random_percent,
+            stride_words: m.stride_words,
+            random_addresses: m.random_addresses,
+            seed: self
+                .base
+                .seed
+                .wrapping_add((index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        })
+    }
+
+    /// The unique, deterministic name of a behaviour point (also the
+    /// workload name inside experiment reports), e.g. `"synth/br-mem-ser-cmp"`.
+    pub fn name_at(&self, index: usize) -> Option<String> {
+        let [bi, mi, ii, xi] = self.coords_of(index)?;
+        Some(format!(
+            "synth/{}-{}-{}-{}",
+            self.branch[bi].label, self.memory[mi].label, self.ilp[ii].label, self.mix[xi].label
+        ))
+    }
+
+    /// Enumerates `(name, recipe)` for every behaviour point in flat-index
+    /// order.
+    pub fn points(&self) -> impl Iterator<Item = (String, SyntheticRecipe)> + '_ {
+        (0..self.len()).map(|i| {
+            (
+                self.name_at(i).expect("index within len"),
+                self.recipe_at(i).expect("index within len"),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_has_64_unique_points() {
+        let space = BehaviorSpace::default_grid();
+        assert_eq!(space.len(), 64);
+        assert_eq!(space.axis_lens(), [4, 4, 2, 2]);
+        let names: Vec<String> = (0..space.len())
+            .map(|i| space.name_at(i).unwrap())
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 64, "names must be unique");
+        // Recipes are deterministic and distinct per point.
+        let a = space.recipe_at(5).unwrap();
+        let b = space.recipe_at(5).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(space.recipe_at(4).unwrap(), a);
+    }
+
+    #[test]
+    fn axis_validation_rejects_empty_and_duplicates() {
+        let base = SyntheticRecipe::codec_like();
+        assert!(matches!(
+            BehaviorSpace::new(base.clone()).with_branch(vec![]),
+            Err(ValidateError::EmptyAxis { axis: "branch" })
+        ));
+        let dup = vec![
+            BranchProfile::new("x", 0, 0),
+            BranchProfile::new("x", 10, 0),
+        ];
+        assert!(matches!(
+            BehaviorSpace::new(base).with_branch(dup),
+            Err(ValidateError::DuplicateLabel { axis: "branch", .. })
+        ));
+    }
+
+    #[test]
+    fn one_point_space_reproduces_the_base_recipe() {
+        let base = SyntheticRecipe::codec_like();
+        let space = BehaviorSpace::new(base.clone());
+        assert_eq!(space.len(), 1);
+        let recipe = space.recipe_at(0).unwrap();
+        assert_eq!(recipe.mix, base.mix);
+        assert_eq!(recipe.dep_distances, base.dep_distances);
+        assert_eq!(recipe.footprint_words, base.footprint_words);
+        assert!(space.recipe_at(1).is_none());
+        assert!(space.coords_of(1).is_none());
+    }
+}

@@ -1,0 +1,214 @@
+//! Integration tests of the differential-validation subsystem, including
+//! the proptest driver that shrinks any over-budget behaviour point to a
+//! minimal recipe.
+
+use mim_core::{DesignSpace, MachineConfig};
+use mim_validate::{
+    cpi_error_percent, shrink_recipe, BehaviorSpace, BranchProfile, DifferentialRun, ErrorTerm,
+    MemoryProfile, ValidationReport,
+};
+use mim_workloads::synth::SyntheticRecipe;
+use proptest::prelude::*;
+
+fn small_space() -> BehaviorSpace {
+    BehaviorSpace::new(SyntheticRecipe {
+        iterations: 200,
+        ..SyntheticRecipe::codec_like()
+    })
+    .with_branch(vec![
+        BranchProfile::new("b0", 0, 0),
+        BranchProfile::new("br", 14, 100),
+    ])
+    .expect("distinct labels")
+    .with_memory(vec![
+        MemoryProfile::hot("hot", 1 << 10),
+        MemoryProfile::random("mem", 1 << 16),
+    ])
+    .expect("distinct labels")
+}
+
+fn small_designs() -> DesignSpace {
+    DesignSpace::new(MachineConfig::default_config())
+        .with_widths(vec![1, 4])
+        .expect("distinct widths")
+}
+
+fn run(threads: usize) -> ValidationReport {
+    DifferentialRun::new(small_space(), small_designs())
+        .title("validate integration")
+        .threads(threads)
+        .budget_percent(15.0)
+        .worst(3)
+        .run()
+        .expect("differential run")
+}
+
+#[test]
+fn attribution_terms_close_the_error_identity() {
+    let report = run(1);
+    assert_eq!(report.cells.len(), 4 * 2);
+    for cell in &report.cells {
+        assert_eq!(cell.terms.len(), 6);
+        // Per construction: total error = sum of term deltas + residual.
+        let total = (cell.model_cpi - cell.sim_cpi) / 1.0;
+        let parts: f64 = cell.terms.iter().map(|t| t.delta_cpi).sum::<f64>() + cell.residual_cpi;
+        assert!(
+            (total - parts).abs() < 1e-9,
+            "{}: identity violated ({total} vs {parts})",
+            cell.workload
+        );
+        // Shared functional models: swapping sim-measured counts into the
+        // profile must not move the model at all.
+        for t in &cell.terms {
+            assert!(
+                t.swap_cpi.abs() < 1e-12,
+                "{}: measurement divergence in {:?}",
+                cell.workload,
+                t.term
+            );
+        }
+        // The dominant term really is the largest contributor.
+        let dominant = cell.dominant.expect("attribution enabled");
+        let max_term = cell
+            .terms
+            .iter()
+            .map(|t| t.delta_cpi.abs())
+            .fold(cell.residual_cpi.abs(), f64::max);
+        let dominant_abs = match dominant {
+            ErrorTerm::Residual => cell.residual_cpi.abs(),
+            term => cell
+                .terms
+                .iter()
+                .find(|t| t.term == term)
+                .expect("dominant term present")
+                .delta_cpi
+                .abs(),
+        };
+        assert!((dominant_abs - max_term).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn behaviour_axes_move_the_expected_sim_terms() {
+    let report = run(1);
+    let term = |cell: &str, pi: usize, term: ErrorTerm| {
+        report
+            .get(cell, pi)
+            .expect("cell present")
+            .terms
+            .iter()
+            .find(|t| t.term == term)
+            .expect("term present")
+            .sim_cpi
+    };
+    // Random branches cost real simulator cycles; branch-free cells don't.
+    assert!(
+        term("synth/br-hot-base-base", 1, ErrorTerm::Branch)
+            > term("synth/b0-hot-base-base", 1, ErrorTerm::Branch) + 0.05
+    );
+    // A memory-sized random footprint costs D-cache cycles; the hot set
+    // doesn't.
+    assert!(
+        term("synth/b0-mem-base-base", 1, ErrorTerm::DCacheMlp)
+            > term("synth/b0-hot-base-base", 1, ErrorTerm::DCacheMlp) + 0.5
+    );
+}
+
+#[test]
+fn reports_are_byte_deterministic_across_threads_and_round_trip() {
+    let serial = run(1);
+    let parallel = run(4);
+    let a = serial.to_json();
+    let b = parallel.to_json();
+    assert_eq!(a, b, "thread count changed report bytes");
+    let back = ValidationReport::from_json(&a).expect("round trip");
+    assert_eq!(back, serial);
+    // Offenders regenerate their exact programs from the embedded recipe.
+    for offender in &serial.worst {
+        let p1 = offender.recipe.generate();
+        let p2 = offender.recipe.generate();
+        assert_eq!(p1.text(), p2.text());
+        assert_eq!(offender.describe, offender.recipe.describe());
+    }
+}
+
+#[test]
+fn shrinker_reaches_the_minimal_recipe_under_an_unmeetable_budget() {
+    // A negative budget is always exceeded, so shrinking must drive every
+    // axis to its floor and terminate there.
+    let machine = MachineConfig::default_config();
+    let start = SyntheticRecipe {
+        iterations: 200,
+        block_size: 16,
+        branch_percent: 14,
+        branch_random_percent: 100,
+        random_addresses: true,
+        footprint_words: 4_096,
+        ..SyntheticRecipe::codec_like()
+    };
+    let minimal = shrink_recipe(&start, &machine, -1.0, None).expect("shrink");
+    assert_eq!(minimal.iterations, 50);
+    assert_eq!(minimal.block_size, 8);
+    assert!(minimal.dep_distances.is_empty());
+    assert_eq!(minimal.branch_percent, 0);
+    assert_eq!(minimal.branch_random_percent, 0);
+    assert!(!minimal.random_addresses);
+    assert_eq!(minimal.stride_words, 0);
+    assert_eq!(minimal.footprint_words, 64);
+    let (_, mul, div, load, store) = minimal.mix;
+    assert_eq!((mul, div, load, store), (0, 0, 0, 0));
+    // Under-budget recipes come back untouched.
+    let untouched = shrink_recipe(&start, &machine, 1e9, None).expect("shrink");
+    assert_eq!(untouched, start);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The proptest driver: random recipes across the behaviour axes stay
+    /// within a generous error budget on the default machine; any point
+    /// that exceeds it is shrunk to a minimal reproducer before failing.
+    #[test]
+    fn random_recipes_stay_within_the_error_budget(
+        block in 16usize..49,
+        iters in 100u64..301,
+        branch in 0u32..15,
+        random in 0u32..101,
+        footprint_bits in 9u32..17,
+        pattern in 0u8..3,
+        mix_idx in 0u8..3,
+        ilp_idx in 0u8..3,
+        seed in 1u64..100_000,
+    ) {
+        const BUDGET_PERCENT: f64 = 50.0;
+        let mixes = [(78, 8, 2, 8, 4), (48, 2, 0, 32, 18), (62, 4, 1, 21, 12)];
+        let ilps: [&[u32]; 3] = [&[100], &[8, 6, 4, 3, 2, 1], &[0, 0, 0, 0, 0, 0, 0, 2, 3, 4]];
+        let recipe = SyntheticRecipe {
+            block_size: block,
+            iterations: iters,
+            mix: mixes[mix_idx as usize],
+            dep_distances: ilps[ilp_idx as usize].to_vec(),
+            footprint_words: 1 << footprint_bits,
+            branch_percent: branch,
+            branch_random_percent: random,
+            stride_words: if pattern == 1 { 8 } else { 0 },
+            random_addresses: pattern == 2,
+            seed,
+        };
+        let machine = MachineConfig::default_config();
+        let error = cpi_error_percent(&recipe, &machine, None)
+            .expect("recipe must evaluate");
+        if error.abs() > BUDGET_PERCENT {
+            let minimal = shrink_recipe(&recipe, &machine, BUDGET_PERCENT, None)
+                .expect("shrink must evaluate");
+            let minimal_error = cpi_error_percent(&minimal, &machine, None)
+                .expect("minimal recipe must evaluate");
+            prop_assert!(
+                false,
+                "recipe exceeds {BUDGET_PERCENT}% budget: {error:.2}%\n  full:    {}\n  minimal ({minimal_error:.2}%): {}",
+                recipe.describe(),
+                minimal.describe()
+            );
+        }
+    }
+}

@@ -28,6 +28,12 @@
 //!   [`SearchStrategy`](mim_explore::SearchStrategy)s (exhaustive, greedy,
 //!   annealing), and the paper's hybrid model→sim workflow
 //!   ([`Exploration::sim_verify`](mim_explore::Exploration::sim_verify))
+//! * [`validate`] — **behavior-space differential validation**: a
+//!   [`BehaviorSpace`](mim_validate::BehaviorSpace) grid over synthetic-
+//!   recipe axes, [`DifferentialRun`](mim_validate::DifferentialRun)s of
+//!   model vs detailed simulation over every (behaviour × design) cell,
+//!   and per-term error attribution that names the model term responsible
+//!   for each disagreement
 //!
 //! ## Quickstart
 //!
@@ -94,6 +100,7 @@ pub use mim_power as power;
 pub use mim_profile as profile;
 pub use mim_runner as runner;
 pub use mim_trace as trace;
+pub use mim_validate as validate;
 pub use mim_workloads as workloads;
 
 /// Convenient glob-import surface for applications.
@@ -112,5 +119,6 @@ pub mod prelude {
         OooEvaluator, SimEvaluator, WorkloadSpec, WorkloadStore,
     };
     pub use mim_trace::{LiveVm, Sampling, Trace, TraceSource};
+    pub use mim_validate::{BehaviorSpace, DifferentialRun, ErrorTerm, ValidationReport};
     pub use mim_workloads::WorkloadSize;
 }

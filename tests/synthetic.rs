@@ -4,7 +4,8 @@
 
 use mim::core::{MachineConfig, MechanisticModel};
 use mim::prelude::*;
-use mim::workloads::synth::SyntheticWorkload;
+use mim::workloads::synth::{SyntheticRecipe, SyntheticWorkload};
+use proptest::prelude::*;
 
 #[test]
 fn model_validates_on_synthetic_workloads() {
@@ -92,6 +93,53 @@ fn dependency_distance_controls_width_scaling() {
         s_parallel > s_serial + 0.5,
         "parallel recipe speedup {s_parallel:.2} vs serial {s_serial:.2}"
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Generator invariant: every recipe — across all branch, addressing,
+    /// mix, and dependency knobs — produces a program that halts within
+    /// its declared [`SyntheticRecipe::max_dynamic_length`] bound.
+    #[test]
+    fn generated_programs_always_halt_within_the_length_bound(
+        block in 1usize..64,
+        iters in 1u64..400,
+        alu in 1u32..100,
+        mul in 0u32..10,
+        div in 0u32..4,
+        load in 0u32..40,
+        store in 0u32..20,
+        dep_weights in proptest::collection::vec(0u32..10, 0..12),
+        footprint_bits in 3u32..18,
+        branch in 0u32..40,
+        random in 0u32..101,
+        pattern in 0u8..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let recipe = SyntheticRecipe {
+            block_size: block,
+            iterations: iters,
+            mix: (alu, mul, div, load, store),
+            dep_distances: dep_weights,
+            footprint_words: 1 << footprint_bits,
+            branch_percent: branch,
+            branch_random_percent: random,
+            stride_words: if pattern == 1 { 1 + (seed % 64) as usize } else { 0 },
+            random_addresses: pattern == 2,
+            seed,
+        };
+        let program = recipe.generate();
+        let bound = recipe.max_dynamic_length();
+        let mut vm = mim::isa::Vm::new(&program);
+        let outcome = vm.run(Some(bound + 1)).expect("generated program faulted");
+        prop_assert!(
+            outcome.halted(),
+            "did not halt within {bound}: {}",
+            recipe.describe()
+        );
+        prop_assert!(outcome.instructions() <= bound);
+    }
 }
 
 #[test]

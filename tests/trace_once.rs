@@ -3,14 +3,16 @@
 //! `(workload, size)` — every one of the 192 design points' simulations,
 //! profiles, and MLP estimates replays the single recording.
 //!
-//! This file intentionally holds a single `#[test]`: it measures a
-//! process-global execution counter, so it must not share its process
-//! with other tests that run the `Vm`.
+//! Executions are counted with the per-[`WorkloadStore`] counter
+//! ([`WorkloadStore::functional_executions`]), which only observes
+//! executions the sweep's own store triggered — so this file is immune to
+//! test ordering and to any other test's VM activity in the same process
+//! (the process-global `mim_isa::functional_executions` counter remains
+//! available for whole-process audits).
 
 use mim::core::DesignSpace;
 use mim::explore::{Exploration, Objective};
-use mim::isa::functional_executions;
-use mim::runner::{EvalKind, Experiment};
+use mim::runner::{EvalKind, Experiment, WorkloadStore};
 use mim::workloads::{mibench, WorkloadSize};
 
 #[test]
@@ -23,7 +25,7 @@ fn table2_sim_sweep_executes_each_workload_exactly_once() {
     // Simulation-only sweep: the historical worst case (one functional
     // re-execution per design point per workload = 576 runs + 3 profiler
     // runs before the trace layer).
-    let before = functional_executions();
+    let store = WorkloadStore::new();
     let report = Experiment::new()
         .title("record-once acceptance")
         .workloads(workloads.clone())
@@ -32,19 +34,20 @@ fn table2_sim_sweep_executes_each_workload_exactly_once() {
         .design_space(space.clone())
         .evaluators([EvalKind::Sim])
         .threads(2)
+        .with_cache(store.clone())
         .run()
         .expect("sweep");
-    let executed = functional_executions() - before;
     assert_eq!(report.rows.len(), 3 * 192);
     assert_eq!(
-        executed, n_workloads,
+        store.functional_executions(),
+        n_workloads,
         "a sim sweep must functionally execute each (workload, size) exactly once"
     );
 
     // Adding the model and the out-of-order comparator (profiling + MLP
     // estimation) still replays the same recordings: zero additional
     // functional executions beyond the one per workload.
-    let before = functional_executions();
+    let store = WorkloadStore::new();
     let report = Experiment::new()
         .title("record-once acceptance: all evaluator families")
         .workloads(workloads)
@@ -54,19 +57,20 @@ fn table2_sim_sweep_executes_each_workload_exactly_once() {
         .stride(8) // 24 points × 3 evaluators: keep the grid quick
         .evaluators([EvalKind::Model, EvalKind::Sim, EvalKind::Ooo])
         .threads(2)
+        .with_cache(store.clone())
         .run()
         .expect("sweep");
-    let executed = functional_executions() - before;
     assert_eq!(report.rows.len(), 3 * 24 * 3);
     assert_eq!(
-        executed, n_workloads,
+        store.functional_executions(),
+        n_workloads,
         "model + sim + ooo sweeps must share the single recording per workload"
     );
 
     // The headline hybrid workflow (model search, then sim-verification of
     // the survivors) records up front, so the whole exploration is also
     // one functional execution per workload.
-    let before = functional_executions();
+    let store = WorkloadStore::new();
     let exploration = Exploration::new(DesignSpace::paper_table2())
         .workloads([mibench::sha(), mibench::qsort(), mibench::dijkstra()])
         .size(WorkloadSize::Tiny)
@@ -74,12 +78,13 @@ fn table2_sim_sweep_executes_each_workload_exactly_once() {
         .objectives([Objective::cpi()])
         .sim_verify(0.02)
         .threads(2)
+        .with_cache(store.clone())
         .run()
         .expect("hybrid exploration");
     assert!(exploration.hybrid.is_some());
-    let executed = functional_executions() - before;
     assert_eq!(
-        executed, n_workloads,
+        store.functional_executions(),
+        n_workloads,
         "hybrid model→sim exploration must execute each workload exactly once"
     );
 }
