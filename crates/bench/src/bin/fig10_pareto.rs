@@ -12,6 +12,7 @@
 //! Run with `--quick` to subsample the benchmark list (every 4th MiBench
 //! workload, like fig5's subsampling knob).
 
+use mim_bench::cli::BenchArgs;
 use mim_bench::{write_json, SWEEP_LIMIT};
 use mim_core::DesignSpace;
 use mim_explore::{Exploration, Frontier, Objective};
@@ -44,16 +45,9 @@ struct ParetoResult {
 }
 
 fn main() -> std::io::Result<()> {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let margin = match args.iter().position(|a| a == "--margin") {
-        None => MARGIN,
-        Some(i) => args
-            .get(i + 1)
-            .expect("--margin requires a value, e.g. --margin 0.02")
-            .parse()
-            .expect("--margin takes a fraction, e.g. 0.02"),
-    };
+    let args = BenchArgs::parse();
+    let quick = args.flag("--quick");
+    let margin = args.value("--margin", MARGIN);
     let workloads: Vec<_> = mibench::all()
         .into_iter()
         .enumerate()

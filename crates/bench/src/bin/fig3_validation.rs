@@ -10,11 +10,12 @@
 //! `--quick` JSON output is snapshot-tested byte-for-byte in
 //! `tests/golden.rs`.
 
+use mim_bench::cli::BenchArgs;
 use mim_bench::{figures, write_json};
 use mim_runner::print_comparison;
 
 fn main() -> std::io::Result<()> {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = BenchArgs::parse().flag("--quick");
     let bound = if quick { 10.0 } else { 8.0 };
     let rows = figures::fig3_rows(quick);
     let (avg, _max) = print_comparison("Figure 3: MiBench CPI validation (default machine)", &rows);

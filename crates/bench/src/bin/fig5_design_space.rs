@@ -8,6 +8,7 @@
 //!
 //! Run with `--quick` to subsample the space (every 8th point).
 
+use mim_bench::cli::BenchArgs;
 use mim_bench::{write_json, SWEEP_LIMIT};
 use mim_core::DesignSpace;
 use mim_runner::{EvalKind, Experiment};
@@ -29,7 +30,7 @@ struct SpaceResult {
 }
 
 fn main() -> std::io::Result<()> {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = BenchArgs::parse().flag("--quick");
     let stride = if quick { 8 } else { 1 };
 
     // One experiment declares the whole study: per-workload one-pass

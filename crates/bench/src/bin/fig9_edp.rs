@@ -14,11 +14,13 @@
 //! space) whose JSON output `tests/golden.rs` asserts byte-for-byte; the
 //! paper-level optimality assertions only run at full precision.
 
+use mim_bench::cli::BenchArgs;
 use mim_bench::{figures, write_json};
 
 fn main() -> std::io::Result<()> {
-    let full = std::env::args().any(|a| a == "--full");
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = BenchArgs::parse();
+    let full = args.flag("--full");
+    let quick = args.flag("--quick");
     let results = figures::fig9_results(quick, full);
 
     println!("=== Figure 9: EDP design-space exploration ===");

@@ -13,12 +13,13 @@
 //! loops, washing out warmup effects. The JSON report is
 //! byte-deterministic across runs and thread counts.
 
+use mim_bench::cli::BenchArgs;
 use mim_bench::write_json;
 use mim_core::{DesignSpace, MachineConfig};
 use mim_validate::{print_summary, BehaviorSpace, DifferentialRun};
 
 fn main() -> std::io::Result<()> {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = BenchArgs::parse().flag("--quick");
     let space = if quick {
         BehaviorSpace::default_grid()
     } else {

@@ -1,0 +1,95 @@
+//! The shared argument parser for experiment binaries.
+//!
+//! Every bench bin used to hand-roll the same `std::env::args()` loop for
+//! `--quick` / `--full` / `--margin <fraction>`; this module is that loop,
+//! once. It is deliberately tiny — flags and valued options only, no
+//! subcommands — because that is all a figure-reproduction binary needs.
+//!
+//! # Example
+//!
+//! ```
+//! use mim_bench::cli::BenchArgs;
+//!
+//! let args = BenchArgs::from(["prog", "--quick", "--margin", "0.05"]);
+//! assert!(args.flag("--quick"));
+//! assert!(!args.flag("--full"));
+//! assert_eq!(args.value("--margin", 0.02), 0.05);
+//! ```
+
+/// Parsed command-line arguments of a bench binary.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    args: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Parses the process's own arguments.
+    pub fn parse() -> BenchArgs {
+        BenchArgs {
+            args: std::env::args().collect(),
+        }
+    }
+
+    /// Builds from an explicit argument list (tests, doc examples).
+    pub fn from<I, S>(args: I) -> BenchArgs
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        BenchArgs {
+            args: args.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// True when the flag (e.g. `"--quick"`) is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// The parsed value following `name` (e.g. `--margin 0.02`), or
+    /// `default` when the option is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message if the option is present without a
+    /// parsable value — a bench binary wants loud arg mistakes, not
+    /// silently-defaulted ones.
+    pub fn value<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.args.iter().position(|a| a == name) {
+            None => default,
+            Some(i) => self
+                .args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("{name} requires a value, e.g. {name} 0.02"))
+                .parse()
+                .unwrap_or_else(|_| panic!("{name} takes a number, e.g. {name} 0.02")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_and_values_parse() {
+        let args = BenchArgs::from(["bin", "--quick", "--margin", "0.1", "--probes", "3"]);
+        assert!(args.flag("--quick"));
+        assert!(!args.flag("--verbose"));
+        assert_eq!(args.value("--margin", 0.02), 0.1);
+        assert_eq!(args.value::<usize>("--probes", 1), 3);
+        assert_eq!(args.value("--absent", 7u32), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a value")]
+    fn trailing_option_without_value_panics() {
+        BenchArgs::from(["bin", "--margin"]).value("--margin", 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "takes a number")]
+    fn unparsable_value_panics() {
+        BenchArgs::from(["bin", "--margin", "fast"]).value("--margin", 0.02);
+    }
+}

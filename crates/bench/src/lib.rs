@@ -27,6 +27,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cli;
 pub mod figures;
 
 use std::fs;

@@ -91,6 +91,23 @@ impl DepHistogram {
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }
+
+    /// Mean recorded dependency distance (0.0 for an empty histogram) —
+    /// the scalar ILP proxy workload signatures use: short means tight
+    /// serial chains, long means independent work in between.
+    pub fn mean_distance(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 + 1) * c)
+            .sum();
+        weighted as f64 / total as f64
+    }
 }
 
 impl FromIterator<usize> for DepHistogram {
@@ -192,6 +209,13 @@ mod tests {
         assert_eq!(h.at(0), 0);
         assert_eq!(h.at(MAX_DEP_DISTANCE + 5), 0);
         assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn mean_distance_weights_by_count() {
+        let h: DepHistogram = [1usize, 3, 3, 5].into_iter().collect();
+        assert!((h.mean_distance() - 3.0).abs() < 1e-12);
+        assert_eq!(DepHistogram::new().mean_distance(), 0.0);
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod config;
 mod inputs;
 mod model;
 mod ooo;
+mod rng;
 mod stack;
 
 pub use config::{ConfigError, DesignPoint, DesignSpace, MachineConfig};
@@ -66,4 +67,5 @@ pub fn cycles_to_seconds(cycles: f64, frequency_ghz: f64) -> f64 {
 pub use inputs::{BranchStats, DepHistogram, InstMix, ModelInputs, MAX_DEP_DISTANCE};
 pub use model::MechanisticModel;
 pub use ooo::{OooConfig, OooModel};
+pub use rng::SplitMix64;
 pub use stack::{CpiStack, StackComponent};

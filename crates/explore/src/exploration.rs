@@ -170,6 +170,7 @@ pub struct Exploration {
     title: String,
     space: DesignSpace,
     workloads: Vec<WorkloadSpec>,
+    weights: Option<Vec<f64>>,
     size: WorkloadSize,
     limit: Option<u64>,
     objectives: Vec<Objective>,
@@ -189,6 +190,7 @@ impl Exploration {
             title: String::new(),
             space,
             workloads: Vec::new(),
+            weights: None,
             size: WorkloadSize::Small,
             limit: None,
             objectives: Vec::new(),
@@ -220,6 +222,20 @@ impl Exploration {
     /// Adds one workload.
     pub fn workload(mut self, workload: impl Into<WorkloadSpec>) -> Exploration {
         self.workloads.push(workload.into());
+        self
+    }
+
+    /// Weights the per-workload objective aggregation (default: uniform
+    /// mean). One weight per workload, in workload order; weights are
+    /// normalized to sum to 1 before scoring.
+    ///
+    /// This is how a representative subset stands in for a full suite
+    /// (`mim-select`): explore the space over the cluster medoids only,
+    /// weighting each medoid by its cluster's share of the suite, and the
+    /// frontier approximates the exhaustive-suite frontier at a fraction
+    /// of the evaluation cost.
+    pub fn workload_weights(mut self, weights: impl IntoIterator<Item = f64>) -> Exploration {
+        self.weights = Some(weights.into_iter().collect());
         self
     }
 
@@ -321,6 +337,28 @@ impl Exploration {
         if self.space.is_empty() {
             return Err(ExploreError::config("design space has no points"));
         }
+        let weights = match &self.weights {
+            None => vec![1.0 / self.workloads.len() as f64; self.workloads.len()],
+            Some(weights) => {
+                if weights.len() != self.workloads.len() {
+                    return Err(ExploreError::config(format!(
+                        "{} workload weights for {} workloads",
+                        weights.len(),
+                        self.workloads.len()
+                    )));
+                }
+                if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+                    return Err(ExploreError::config(
+                        "workload weights must be finite and non-negative",
+                    ));
+                }
+                let total: f64 = weights.iter().sum();
+                if total <= 0.0 {
+                    return Err(ExploreError::config("workload weights sum to zero"));
+                }
+                weights.iter().map(|w| w / total).collect()
+            }
+        };
         let energy = self.energy || self.objectives.iter().any(Objective::needs_energy);
         let threads = if self.threads > 0 {
             self.threads
@@ -351,6 +389,7 @@ impl Exploration {
         let scorer = PointScorer {
             space: self.space.clone(),
             workloads: self.workloads.clone(),
+            weights: weights.clone(),
             size: self.size,
             limit: self.limit,
             kind: self.kind,
@@ -403,6 +442,7 @@ impl Exploration {
                 margin,
                 &evaluated,
                 objective_names.clone(),
+                &weights,
                 energy,
                 threads,
             )?),
@@ -439,6 +479,7 @@ impl Exploration {
         margin: f64,
         evaluated: &[EvaluatedPoint],
         objective_names: Vec<String>,
+        weights: &[f64],
         energy: bool,
         threads: usize,
     ) -> Result<HybridReport, ExploreError> {
@@ -447,6 +488,7 @@ impl Exploration {
         let sim_scorer = PointScorer {
             space: self.space.clone(),
             workloads: self.workloads.clone(),
+            weights: weights.to_vec(),
             size: self.size,
             limit: self.limit,
             kind: EvalKind::Sim,
@@ -475,14 +517,14 @@ impl Exploration {
             .map(|p| (p.point_index, p.machine_id.clone(), p.sim_scores.clone()))
             .collect();
         let frontier = Frontier::from_candidates(objective_names, &sim_candidates);
-        let weights = vec![1.0; self.objectives.len()];
+        let objective_weights = vec![1.0; self.objectives.len()];
         let model_rank: Vec<f64> = survivors
             .iter()
-            .map(|p| scalarize(&p.model_scores, &weights))
+            .map(|p| scalarize(&p.model_scores, &objective_weights))
             .collect();
         let sim_rank: Vec<f64> = survivors
             .iter()
-            .map(|p| scalarize(&p.sim_scores, &weights))
+            .map(|p| scalarize(&p.sim_scores, &objective_weights))
             .collect();
         let sim_points = survivors.len();
         Ok(HybridReport {

@@ -17,45 +17,19 @@ use mim_workloads::WorkloadSize;
 use crate::error::ExploreError;
 use crate::objective::Objective;
 
-/// Deterministic SplitMix64 stream: the seed fully determines every
-/// strategy decision, which is what makes annealing reports reproducible
-/// byte for byte.
-#[derive(Debug, Clone)]
-pub(crate) struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    pub(crate) fn new(seed: u64) -> SplitMix64 {
-        SplitMix64 {
-            state: seed ^ 0x9e37_79b9_7f4a_7c15,
-        }
-    }
-
-    pub(crate) fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
-    pub(crate) fn below(&mut self, bound: usize) -> usize {
-        (self.next_u64() % bound as u64) as usize
-    }
-
-    /// Uniform value in `[0, 1)` with 53 bits of precision.
-    pub(crate) fn unit(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
+/// The workspace's deterministic random stream: the seed fully
+/// determines every strategy decision, which is what makes annealing
+/// reports reproducible byte for byte.
+pub(crate) use mim_core::SplitMix64;
 
 /// Scores design points: (point × workloads × objectives) → one objective
-/// vector per point, aggregated as the arithmetic mean across workloads.
+/// vector per point, aggregated as the weighted arithmetic mean across
+/// workloads (`weights` normalized to sum to 1; uniform by default — the
+/// representative-subset workflow supplies cluster weights instead).
 pub(crate) struct PointScorer {
     pub(crate) space: DesignSpace,
     pub(crate) workloads: Vec<WorkloadSpec>,
+    pub(crate) weights: Vec<f64>,
     pub(crate) size: WorkloadSize,
     pub(crate) limit: Option<u64>,
     pub(crate) kind: EvalKind,
@@ -91,7 +65,7 @@ impl PointScorer {
         Ok(result)
     }
 
-    /// Scores one design point: per-objective arithmetic mean across the
+    /// Scores one design point: per-objective weighted mean across the
     /// exploration's workloads.
     pub(crate) fn score_point(&self, index: usize) -> Result<Vec<f64>, ExploreError> {
         let point = self.space.point_at(index).ok_or_else(|| {
@@ -101,15 +75,11 @@ impl PointScorer {
             ))
         })?;
         let mut sums = vec![0.0; self.objectives.len()];
-        for spec in &self.workloads {
+        for (spec, &weight) in self.workloads.iter().zip(&self.weights) {
             let result = self.evaluate_cell(spec, &point)?;
             for (sum, objective) in sums.iter_mut().zip(&self.objectives) {
-                *sum += objective.score(&result, &point.machine)?;
+                *sum += weight * objective.score(&result, &point.machine)?;
             }
-        }
-        let n = self.workloads.len() as f64;
-        for sum in &mut sums {
-            *sum /= n;
         }
         Ok(sums)
     }
@@ -214,19 +184,22 @@ impl<'a> SearchSpace<'a> {
         // One linear pass over the grid's rows (indexing rows by point
         // keeps a 10,000-point space from going quadratic here).
         let machines: Vec<_> = scorer.space.points().map(|p| p.machine).collect();
+        let weight_of: std::collections::HashMap<&str, f64> = scorer
+            .workloads
+            .iter()
+            .zip(&scorer.weights)
+            .map(|(spec, &w)| (spec.name(), w))
+            .collect();
         let mut sums = vec![vec![0.0; scorer.objectives.len()]; scorer.space.len()];
         for row in &report.rows {
             let machine = &machines[row.machine_index];
+            let weight = weight_of[row.workload.as_str()];
             for (sum, objective) in sums[row.machine_index].iter_mut().zip(&scorer.objectives) {
-                *sum += objective.score(row, machine)?;
+                *sum += weight * objective.score(row, machine)?;
             }
         }
-        let n = scorer.workloads.len() as f64;
         let mut memo = self.memo.lock().expect("memo poisoned");
-        for (index, mut scores) in sums.into_iter().enumerate() {
-            for score in &mut scores {
-                *score /= n;
-            }
+        for (index, scores) in sums.into_iter().enumerate() {
             memo.entry(index).or_insert(scores);
         }
         Ok(())

@@ -103,6 +103,62 @@ fn exhaustive_reports_are_deterministic_and_round_trip() {
     assert_eq!(round.frontier, serial.frontier);
 }
 
+/// Weighted aggregation: degenerate weights reproduce a single-workload
+/// exploration, uniform explicit weights reproduce the default mean, and
+/// malformed weight vectors are configuration errors.
+#[test]
+fn workload_weights_shift_the_aggregation() {
+    let run = |weights: Option<Vec<f64>>| {
+        let mut exploration = Exploration::new(width_space())
+            .workloads([mibench::sha(), mibench::dijkstra()])
+            .size(WorkloadSize::Tiny)
+            .objectives([Objective::cpi()])
+            .threads(1);
+        if let Some(w) = weights {
+            exploration = exploration.workload_weights(w);
+        }
+        exploration.run().expect("exploration")
+    };
+    // All the weight on sha == exploring sha alone.
+    let sha_only = Exploration::new(width_space())
+        .workload(mibench::sha())
+        .size(WorkloadSize::Tiny)
+        .objectives([Objective::cpi()])
+        .threads(1)
+        .run()
+        .expect("exploration");
+    let degenerate = run(Some(vec![1.0, 0.0]));
+    for (a, b) in degenerate.evaluated.iter().zip(&sha_only.evaluated) {
+        assert!((a.scores[0] - b.scores[0]).abs() < 1e-12);
+    }
+    // Unnormalized uniform weights == the default mean.
+    let uniform = run(None);
+    let scaled = run(Some(vec![3.0, 3.0]));
+    for (a, b) in scaled.evaluated.iter().zip(&uniform.evaluated) {
+        assert!((a.scores[0] - b.scores[0]).abs() < 1e-12);
+    }
+    // Shifting weight toward the slower workload moves the aggregate CPI.
+    let skewed = run(Some(vec![0.1, 0.9]));
+    assert!(skewed
+        .evaluated
+        .iter()
+        .zip(&uniform.evaluated)
+        .any(|(a, b)| (a.scores[0] - b.scores[0]).abs() > 1e-9));
+    // Malformed vectors are rejected up front.
+    let bad = |weights: Vec<f64>| {
+        Exploration::new(width_space())
+            .workloads([mibench::sha(), mibench::dijkstra()])
+            .size(WorkloadSize::Tiny)
+            .objectives([Objective::cpi()])
+            .workload_weights(weights)
+            .run()
+            .is_err()
+    };
+    assert!(bad(vec![1.0]), "length mismatch");
+    assert!(bad(vec![1.0, -1.0]), "negative weight");
+    assert!(bad(vec![0.0, 0.0]), "zero total");
+}
+
 /// A generated multi-thousand-point space costs one profiling pass per
 /// workload no matter how the strategies wander, because every evaluator
 /// shares the exploration's cache.

@@ -62,6 +62,33 @@ impl WorkloadProfile {
     }
 }
 
+impl std::fmt::Display for WorkloadProfile {
+    /// One human-readable summary line per profile — the form signature
+    /// tables and validation reports embed, e.g.
+    /// `sha: 21514 insts, mix alu 62.8% mul 4.7% div 0.0% ld 15.6% st 7.8%
+    /// br 7.8% jmp 1.2%, deps 12843, 8 L2 x 2 predictor candidates`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pct = |n: u64| 100.0 * n as f64 / self.num_insts.max(1) as f64;
+        write!(
+            f,
+            "{}: {} insts, mix alu {:.1}% mul {:.1}% div {:.1}% ld {:.1}% st {:.1}% \
+             br {:.1}% jmp {:.1}%, deps {}, {} L2 x {} predictor candidates",
+            self.name,
+            self.num_insts,
+            pct(self.mix.alu),
+            pct(self.mix.mul),
+            pct(self.mix.div),
+            pct(self.mix.load),
+            pct(self.mix.store),
+            pct(self.mix.cond_branch),
+            pct(self.mix.jump),
+            self.deps_unit.total() + self.deps_ll.total() + self.deps_load.total(),
+            self.misses.len(),
+            self.branch.len(),
+        )
+    }
+}
+
 /// Profiles a workload once for an entire design space: all L2 cache
 /// candidates via single-pass multi-configuration simulation and all
 /// branch predictors via multi-predictor profiling (paper §2.1).
@@ -272,6 +299,26 @@ mod tests {
         for w in eight_way.windows(2) {
             assert!(w[1].l2d_misses + w[1].l2i_misses <= w[0].l2d_misses + w[0].l2i_misses);
         }
+    }
+
+    #[test]
+    fn display_and_serde_round_trip() {
+        let space = DesignSpace::paper_table2();
+        let profiler = SweepProfiler::for_design_space(&space);
+        let p = mibench::sha().program(WorkloadSize::Tiny);
+        let profile = profiler.profile(&p, None).unwrap();
+        let line = profile.to_string();
+        assert!(line.starts_with("sha: "), "got `{line}`");
+        assert!(
+            line.contains("8 L2 x 2 predictor candidates"),
+            "got `{line}`"
+        );
+        // Profiles embed into JSON reports and come back intact.
+        let json = serde_json::to_string(&profile).unwrap();
+        let back: WorkloadProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_insts, profile.num_insts);
+        assert_eq!(back.mix, profile.mix);
+        assert_eq!(back.misses, profile.misses);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Pluggable distances over normalized signature feature vectors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SelectError;
+
+/// A distance measure between two normalized feature vectors.
+///
+/// Every variant is a metric on `[0, 1]^d` (weighted Euclidean included,
+/// for non-negative weights), so clustering behaves sanely under all of
+/// them.
+///
+/// # Example
+///
+/// ```
+/// use mim_select::Distance;
+///
+/// let a = [0.0, 0.0];
+/// let b = [3.0, 4.0];
+/// assert!((Distance::Euclidean.between(&a, &b) - 5.0).abs() < 1e-12);
+/// assert!((Distance::Manhattan.between(&a, &b) - 7.0).abs() < 1e-12);
+/// let w = Distance::Weighted(vec![1.0, 0.0]); // ignore the second axis
+/// assert!((w.between(&a, &b) - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Distance {
+    /// Straight-line (L2) distance.
+    Euclidean,
+    /// City-block (L1) distance — less dominated by any single feature.
+    Manhattan,
+    /// Euclidean with per-feature weights (e.g. emphasize memory
+    /// behaviour over instruction mix). Missing trailing weights count
+    /// as 0; weights must be finite and non-negative.
+    Weighted(Vec<f64>),
+}
+
+impl Distance {
+    /// Display name recorded in reports.
+    pub fn name(&self) -> String {
+        match self {
+            Distance::Euclidean => "euclidean".to_string(),
+            Distance::Manhattan => "manhattan".to_string(),
+            Distance::Weighted(w) => format!("weighted-{}", w.len()),
+        }
+    }
+
+    /// The distance between two feature vectors.
+    ///
+    /// Vectors are compared component-wise up to the shorter length
+    /// (signatures from the same extractor always agree on length).
+    pub fn between(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            Distance::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            Distance::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+            Distance::Weighted(weights) => a
+                .iter()
+                .zip(b)
+                .zip(weights)
+                .map(|((x, y), w)| w * (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+        }
+    }
+
+    /// Validates the variant against a feature-vector length.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SelectError`] for malformed weights.
+    pub(crate) fn validate(&self, features: usize) -> Result<(), SelectError> {
+        if let Distance::Weighted(weights) = self {
+            if weights.is_empty() || weights.len() > features {
+                return Err(SelectError::config(format!(
+                    "{} weights for {features} features",
+                    weights.len()
+                )));
+            }
+            if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+                return Err(SelectError::config(
+                    "distance weights must be finite and non-negative",
+                ));
+            }
+            if weights.iter().sum::<f64>() <= 0.0 {
+                return Err(SelectError::config("distance weights sum to zero"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_agree_on_identity_and_symmetry() {
+        let a = [0.2, 0.7, 0.1];
+        let b = [0.9, 0.0, 0.4];
+        for d in [
+            Distance::Euclidean,
+            Distance::Manhattan,
+            Distance::Weighted(vec![1.0, 2.0, 0.5]),
+        ] {
+            assert_eq!(d.between(&a, &a), 0.0);
+            assert!((d.between(&a, &b) - d.between(&b, &a)).abs() < 1e-15);
+            assert!(d.between(&a, &b) > 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_validation_rejects_malformed_weights() {
+        assert!(Distance::Weighted(vec![]).validate(3).is_err());
+        assert!(Distance::Weighted(vec![1.0; 4]).validate(3).is_err());
+        assert!(Distance::Weighted(vec![1.0, -1.0]).validate(3).is_err());
+        assert!(Distance::Weighted(vec![0.0, 0.0]).validate(3).is_err());
+        assert!(Distance::Weighted(vec![1.0, 2.0]).validate(3).is_ok());
+        assert!(Distance::Euclidean.validate(0).is_ok());
+    }
+}

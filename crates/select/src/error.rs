@@ -1,0 +1,50 @@
+//! Error type for the selection subsystem.
+
+use std::fmt;
+
+use mim_runner::EvalError;
+
+/// Anything that can go wrong while characterizing, clustering, or
+/// running a subset sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectError {
+    /// The request itself is malformed (empty suite, bad `k`, mismatched
+    /// weight vector, ...).
+    Config(String),
+    /// A workload faulted while being recorded, profiled, or evaluated.
+    Eval(EvalError),
+}
+
+impl SelectError {
+    /// Creates a configuration error.
+    pub fn config(message: impl Into<String>) -> SelectError {
+        SelectError::Config(message.into())
+    }
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectError::Config(message) => write!(f, "selection configuration error: {message}"),
+            SelectError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
+impl From<EvalError> for SelectError {
+    fn from(e: EvalError) -> SelectError {
+        SelectError::Eval(e)
+    }
+}
+
+impl From<mim_explore::ExploreError> for SelectError {
+    fn from(e: mim_explore::ExploreError) -> SelectError {
+        match e {
+            mim_explore::ExploreError::Config(message) => SelectError::Config(message),
+            mim_explore::ExploreError::Eval(inner) => SelectError::Eval(inner),
+            other => SelectError::Config(other.to_string()),
+        }
+    }
+}

@@ -319,6 +319,8 @@ mod tests {
         // 8 iterations × (1 load + 1 store) = 16 addresses, 8 branch bits.
         assert_eq!(trace.mem_ops(), 16);
         assert_eq!(trace.branches(), 8);
+        // The loop branch is taken 7 times and falls through once.
+        assert_eq!(trace.taken_branches(), 7);
         // Nearby addresses delta-encode to a handful of bytes each.
         assert!(
             trace.to_bytes().len() < 128,

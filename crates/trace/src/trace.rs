@@ -136,6 +136,13 @@ impl Trace {
         self.addrs.len() as u64
     }
 
+    /// Conditional branches recorded as taken — a popcount over the stored
+    /// direction bits, so the machine-independent taken rate
+    /// (`taken_branches() / branches()`) is available without a replay.
+    pub fn taken_branches(&self) -> u64 {
+        self.taken.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
     /// Approximate in-memory footprint of the encoded streams, in bytes —
     /// 1 bit per branch plus 8 bytes per memory operation, versus the
     /// full [`TraceEvent`](mim_isa::TraceEvent) this expands to on replay.

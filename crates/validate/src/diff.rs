@@ -308,11 +308,7 @@ impl DifferentialRun {
     /// Returns a [`ValidateError`] if any evaluation or replay fails.
     pub fn run(self) -> Result<ValidationReport, ValidateError> {
         let size = WorkloadSize::Small; // fixed programs: size is nominal
-        let specs: Vec<WorkloadSpec> = self
-            .space
-            .points()
-            .map(|(name, recipe)| WorkloadSpec::program(name, recipe.generate()))
-            .collect();
+        let specs: Vec<WorkloadSpec> = self.space.workload_specs();
         let store = WorkloadStore::new();
         let mut experiment = Experiment::new()
             .title(self.title.clone())

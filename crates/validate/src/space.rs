@@ -377,6 +377,17 @@ impl BehaviorSpace {
             )
         })
     }
+
+    /// Instantiates every behaviour point as a named
+    /// [`WorkloadSpec`](mim_runner::WorkloadSpec), in flat-index order —
+    /// the bridge that lets the behaviour grid flow into any
+    /// `Experiment`-based driver (differential validation, representative-
+    /// input selection, ...) exactly like a bundled benchmark suite.
+    pub fn workload_specs(&self) -> Vec<mim_runner::WorkloadSpec> {
+        self.points()
+            .map(|(name, recipe)| mim_runner::WorkloadSpec::program(name, recipe.generate()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -400,6 +411,22 @@ mod tests {
         let b = space.recipe_at(5).unwrap();
         assert_eq!(a, b);
         assert_ne!(space.recipe_at(4).unwrap(), a);
+    }
+
+    #[test]
+    fn workload_specs_cover_every_point_with_matching_names() {
+        let base = SyntheticRecipe::codec_like();
+        let space = BehaviorSpace::new(base)
+            .with_ilp(vec![
+                IlpProfile::new("ser", vec![100]),
+                IlpProfile::new("par", vec![0, 0, 0, 1]),
+            ])
+            .unwrap();
+        let specs = space.workload_specs();
+        assert_eq!(specs.len(), space.len());
+        for (i, spec) in specs.iter().enumerate() {
+            assert_eq!(spec.name(), space.name_at(i).unwrap());
+        }
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Representative-input selection: characterize the MiBench suite by
+//! microarchitecture-independent signatures, cluster, and sweep the
+//! paper's Table 2 design space on the weighted cluster medoids only —
+//! reporting how faithfully the subset reproduces the exhaustive suite.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example select
+//! ```
+
+use mim::core::DesignSpace;
+use mim::prelude::*;
+use mim::workloads::mibench;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let report = SubsetRun::new(DesignSpace::paper_table2())
+        .title("representative MiBench subset")
+        .workloads(mibench::all())
+        .size(WorkloadSize::Small)
+        .limit(200_000)
+        .verify(true) // also run the exhaustive reference, for the study
+        .sim_probes(2) // sim-verify the extrapolation error at 2 points
+        .threads(0)
+        .run()?;
+
+    println!("signatures (microarchitecture-independent):");
+    for signature in &report.signatures {
+        println!("  {signature}");
+    }
+    println!(
+        "\n{} of {} workloads selected ({:.0}% of the suite):",
+        report.selection.k,
+        report.workloads.len(),
+        100.0 * report.subset_fraction,
+    );
+    for representative in &report.selection.representatives {
+        println!(
+            "  {:<14} weight {:.3}  ~ {}",
+            representative.name,
+            representative.weight,
+            representative.members.join(", "),
+        );
+    }
+
+    let verify = report.verify.as_ref().expect("verification enabled");
+    let probe = report.sim_probe.as_ref().expect("probes enabled");
+    println!(
+        "\nextrapolation across {} design points: rank tau {:.3}, mean error {:.2}%, \
+         sim-verified bound {:.2}%",
+        report.machines.len(),
+        verify.rank_tau,
+        verify.mean_error_percent,
+        probe.bound_percent,
+    );
+    println!(
+        "exhaustive sweep {:.2} s vs subset sweep {:.2} s ({:.1}x cheaper)",
+        report.timing.verify_seconds,
+        report.timing.subset_seconds,
+        report.sweep_speedup(),
+    );
+    Ok(())
+}

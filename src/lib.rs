@@ -34,6 +34,15 @@
 //!   model vs detailed simulation over every (behaviour × design) cell,
 //!   and per-term error attribution that names the model term responsible
 //!   for each disagreement
+//! * [`select`] — **workload characterization and representative-input
+//!   selection**: microarchitecture-independent
+//!   [`Signature`](mim_select::Signature)s, deterministic clustering
+//!   (seeded k-medoids, agglomerative + dendrogram cut, silhouette/BIC
+//!   auto-`k`), weighted
+//!   [`RepresentativeSet`](mim_select::RepresentativeSet)s, and
+//!   [`SubsetRun`](mim_select::SubsetRun)s that sweep a design space on
+//!   the medoids only and report extrapolated metrics with a
+//!   sim-verified error bound
 //!
 //! ## Quickstart
 //!
@@ -99,6 +108,7 @@ pub use mim_pipeline as pipeline;
 pub use mim_power as power;
 pub use mim_profile as profile;
 pub use mim_runner as runner;
+pub use mim_select as select;
 pub use mim_trace as trace;
 pub use mim_validate as validate;
 pub use mim_workloads as workloads;
@@ -117,6 +127,9 @@ pub mod prelude {
     pub use mim_runner::{
         EvalKind, EvalResult, Evaluator, Experiment, ExperimentReport, ModelEvaluator,
         OooEvaluator, SimEvaluator, WorkloadSpec, WorkloadStore,
+    };
+    pub use mim_select::{
+        Distance, RepresentativeSet, Selection, Signature, SubsetReport, SubsetRun,
     };
     pub use mim_trace::{LiveVm, Sampling, Trace, TraceSource};
     pub use mim_validate::{BehaviorSpace, DifferentialRun, ErrorTerm, ValidationReport};
