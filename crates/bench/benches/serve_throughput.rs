@@ -1,0 +1,257 @@
+//! `serve_throughput`: the evaluation service under concurrent load.
+//!
+//! Boots a real `mim-serve` server (TCP, in-process) and drives hundreds
+//! of concurrent overlapping sweep submissions at it from parallel client
+//! threads, then asserts the three properties the service exists for:
+//!
+//! * **cell reuse** — overlapping sweeps coalesce onto one computation per
+//!   (workload, machine, evaluator) cell: ≥ 80% cell-level cache hits;
+//! * **determinism** — the same job yields byte-identical report payloads
+//!   across runs and across worker counts (1 vs 4);
+//! * **warm restarts** — a fresh engine over the same persistent store
+//!   performs zero functional executions for previously-seen cells.
+//!
+//! The measured numbers land in `BENCH_serve.json` at the workspace root
+//! so the perf trajectory is tracked across PRs.
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mim_serve::{CellMemo, Client, Engine, JobSpec, Server, WorkloadStore};
+use serde::{Serialize, Value};
+
+/// Client threads driving the server concurrently.
+const CLIENTS: usize = 8;
+/// Submissions per client thread (8 × 48 = 384 total requests).
+const REQUESTS_PER_CLIENT: usize = 48;
+
+/// The pool of distinct-but-overlapping sweep jobs. Four width subsets
+/// over the same two workloads share most of their cells; three title
+/// variants per subset defeat job-level dedup so the cell memo (not the
+/// job table) has to do the work.
+fn job_pool() -> Vec<JobSpec> {
+    let mut pool = Vec::new();
+    for (tag, widths) in [
+        ("narrow", "[1,2]"),
+        ("wide", "[2,4]"),
+        ("ends", "[1,4]"),
+        ("full", "[1,2,4]"),
+    ] {
+        for variant in 0..3 {
+            let json = format!(
+                r#"{{"kind":"experiment","title":"{tag}-{variant}","workloads":["sha","qsort"],"size":"tiny","limit":20000,"evaluators":["model"],"space":{{"preset":"table2","widths":{widths}}}}}"#
+            );
+            let value: Value = serde_json::from_str(&json).expect("job JSON parses");
+            pool.push(JobSpec::from_value(&value).expect("job spec is valid"));
+        }
+    }
+    pool
+}
+
+/// Reads one numeric counter out of a stats sub-object.
+fn stat(stats: &Value, section: &str, key: &str) -> u64 {
+    match stats.get(section).and_then(|s| s.get(key)) {
+        Some(Value::UInt(u)) => *u,
+        Some(Value::Int(i)) => *i as u64,
+        other => panic!("stats {section}.{key} missing or non-numeric: {other:?}"),
+    }
+}
+
+/// One full load run: boot a server, fire the request storm, collect the
+/// per-title report bytes and the engine counters, shut down cleanly.
+struct LoadRun {
+    reports: BTreeMap<String, String>,
+    seconds: f64,
+    requests: u64,
+    deduped: u64,
+    cell_hits: u64,
+    cell_misses: u64,
+    executions: u64,
+}
+
+fn run_load(store: WorkloadStore, workers: usize) -> LoadRun {
+    let engine = Engine::start(store, CellMemo::new(), workers, 1024);
+    let server = Server::bind("tcp:127.0.0.1:0", engine.clone()).expect("bind");
+    let addr = server.addr().to_connect_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let pool = Arc::new(job_pool());
+    let started = Instant::now();
+    let drivers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let pool = Arc::clone(&pool);
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("client connects");
+                let mut reports: BTreeMap<String, String> = BTreeMap::new();
+                let mut deduped = 0u64;
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let job = &pool[(c + r) % pool.len()];
+                    let submitted = client.submit(job).expect("submit accepted");
+                    deduped += u64::from(submitted.deduped);
+                    let text = client.result_text(submitted.id).expect("result");
+                    reports.insert(format!("job-{}", (c + r) % pool.len()), text);
+                }
+                (reports, deduped)
+            })
+        })
+        .collect();
+
+    let mut reports: BTreeMap<String, String> = BTreeMap::new();
+    let mut deduped = 0u64;
+    for driver in drivers {
+        let (mine, mine_deduped) = driver.join().expect("client thread");
+        for (title, text) in mine {
+            if let Some(previous) = reports.get(&title) {
+                assert_eq!(previous, &text, "{title}: divergent bytes within one run");
+            }
+            reports.insert(title, text);
+        }
+        deduped += mine_deduped;
+    }
+    let seconds = started.elapsed().as_secs_f64();
+
+    let stats = engine.stats();
+    let run = LoadRun {
+        reports,
+        seconds,
+        requests: (CLIENTS * REQUESTS_PER_CLIENT) as u64,
+        deduped,
+        cell_hits: stat(&stats, "cells", "hits"),
+        cell_misses: stat(&stats, "cells", "misses"),
+        executions: stat(&stats, "store", "functional_executions"),
+    };
+
+    let mut closer = Client::connect(&addr).expect("closer connects");
+    closer.shutdown().expect("shutdown accepted");
+    drop(closer);
+    handle.join().expect("server thread").expect("server ran");
+    run
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let store_dir = std::env::temp_dir().join(format!("mim-serve-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&store_dir).ok();
+
+    // Cold storm, 4 workers, persistent store.
+    let cold = run_load(
+        WorkloadStore::persistent(&store_dir).expect("open store"),
+        4,
+    );
+    let hit_rate = cold.cell_hits as f64 / (cold.cell_hits + cold.cell_misses).max(1) as f64;
+    assert!(
+        hit_rate >= 0.80,
+        "cell-level hit rate {hit_rate:.3} under overlapping load must be >= 0.80"
+    );
+
+    // Same storm, 1 worker, fresh in-memory state: payloads must match
+    // the 4-worker run byte for byte.
+    let serial = run_load(WorkloadStore::new(), 1);
+    assert_eq!(
+        cold.reports, serial.reports,
+        "reports must be byte-identical across worker counts"
+    );
+
+    // Warm restart: a fresh engine over the same on-disk store records
+    // and replays nothing — zero functional executions.
+    let warm = run_load(
+        WorkloadStore::persistent(&store_dir).expect("reopen store"),
+        4,
+    );
+    assert_eq!(
+        warm.executions, 0,
+        "warm restart must perform zero functional executions"
+    );
+    assert_eq!(
+        cold.reports, warm.reports,
+        "reports must be byte-identical across restarts"
+    );
+
+    // Criterion view: one warm submit→result round-trip over TCP.
+    let engine = Engine::start(
+        WorkloadStore::persistent(&store_dir).expect("reopen store"),
+        CellMemo::new(),
+        2,
+        64,
+    );
+    let server = Server::bind("tcp:127.0.0.1:0", engine).expect("bind");
+    let addr = server.addr().to_connect_string();
+    let handle = std::thread::spawn(move || server.run());
+    let pool = job_pool();
+    let mut client = Client::connect(&addr).expect("client connects");
+    let submitted = client.submit(&pool[0]).expect("prime");
+    client.result_text(submitted.id).expect("prime result");
+    let mut group = c.benchmark_group("serve");
+    group.bench_function("warm_submit_result_tcp", |b| {
+        b.iter(|| {
+            let submitted = client.submit(&pool[0]).expect("submit");
+            black_box(client.result_text(submitted.id).expect("result").len())
+        })
+    });
+    group.finish();
+    drop(client);
+    let mut closer = Client::connect(&addr).expect("closer connects");
+    closer.shutdown().expect("shutdown accepted");
+    drop(closer);
+    handle.join().expect("server thread").expect("server ran");
+    std::fs::remove_dir_all(&store_dir).ok();
+
+    #[derive(Serialize)]
+    struct BenchRecord {
+        bench: &'static str,
+        clients: usize,
+        requests: u64,
+        distinct_jobs: usize,
+        deduped_submissions: u64,
+        cell_hits: u64,
+        cell_misses: u64,
+        cell_hit_rate: f64,
+        cold_executions: u64,
+        warm_restart_executions: u64,
+        cold_seconds: f64,
+        warm_seconds: f64,
+        cold_requests_per_second: f64,
+        warm_requests_per_second: f64,
+        byte_identical_across_workers: bool,
+        byte_identical_across_restarts: bool,
+    }
+    let record = BenchRecord {
+        bench: "serve_throughput",
+        clients: CLIENTS,
+        requests: cold.requests,
+        distinct_jobs: pool.len(),
+        deduped_submissions: cold.deduped,
+        cell_hits: cold.cell_hits,
+        cell_misses: cold.cell_misses,
+        cell_hit_rate: hit_rate,
+        cold_executions: cold.executions,
+        warm_restart_executions: warm.executions,
+        cold_seconds: cold.seconds,
+        warm_seconds: warm.seconds,
+        cold_requests_per_second: cold.requests as f64 / cold.seconds.max(1e-9),
+        warm_requests_per_second: warm.requests as f64 / warm.seconds.max(1e-9),
+        byte_identical_across_workers: true,
+        byte_identical_across_restarts: true,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&record).expect("serialize"),
+    )
+    .expect("write BENCH_serve.json");
+    println!(
+        "{} requests cold in {:.2}s ({:.0} req/s, {:.1}% cell hits), warm {:.2}s \
+         with 0 executions -> BENCH_serve.json",
+        cold.requests,
+        cold.seconds,
+        cold.requests as f64 / cold.seconds.max(1e-9),
+        hit_rate * 100.0,
+        warm.seconds,
+    );
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

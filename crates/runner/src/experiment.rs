@@ -11,6 +11,7 @@ use mim_core::{DesignPoint, DesignSpace, MachineConfig};
 use mim_workloads::WorkloadSize;
 use serde::{Deserialize, Serialize};
 
+use crate::cells::CellMemo;
 use crate::evaluator::{Evaluator, ModelEvaluator, OooEvaluator, SimEvaluator};
 use crate::result::{EvalError, EvalKind, EvalResult};
 use crate::spec::WorkloadSpec;
@@ -254,6 +255,7 @@ pub struct Experiment {
     energy: bool,
     threads: usize,
     cache: WorkloadStore,
+    cells: Option<CellMemo>,
     on_cell: Option<CellCallback>,
 }
 
@@ -283,6 +285,7 @@ impl Experiment {
             energy: false,
             threads: 0,
             cache: WorkloadStore::new(),
+            cells: None,
             on_cell: None,
         }
     }
@@ -402,6 +405,16 @@ impl Experiment {
     /// single recording + profiling pass per workload across runs.
     pub fn with_cache(mut self, cache: WorkloadStore) -> Experiment {
         self.cache = cache;
+        self
+    }
+
+    /// Attaches a shared [`CellMemo`]: every grid cell is answered from
+    /// (or published to) the memo, so concurrent or repeated experiments
+    /// with overlapping (workload, machine, evaluator) cells coalesce
+    /// onto one evaluation each. Built-in evaluators only — custom
+    /// evaluators carry state the memo key cannot see, so they bypass it.
+    pub fn with_cells(mut self, cells: CellMemo) -> Experiment {
+        self.cells = Some(cells);
         self
     }
 
@@ -603,9 +616,28 @@ impl Experiment {
             }
         }
         let t_eval = Instant::now();
+        let n_builtin = self.kinds.len();
         let outcomes: Vec<Result<EvalResult, EvalError>> =
             parallel_map(threads, &cells, |_, &(wi, pi, ei)| {
-                let mut result = evaluators[pi][ei].evaluate(&self.workloads[wi], self.size)?;
+                let spec = &self.workloads[wi];
+                let evaluator = &evaluators[pi][ei];
+                // Memoize built-in cells only: custom evaluators may close
+                // over state the content key cannot capture.
+                let mut result = match (&self.cells, ei < n_builtin) {
+                    (Some(memo), true) => {
+                        let key = CellMemo::key(
+                            spec.name(),
+                            self.size,
+                            self.limit,
+                            &points[pi].machine,
+                            evaluator.name(),
+                            self.energy,
+                            self.rob_size,
+                        );
+                        memo.get_or_compute(key, || evaluator.evaluate(spec, self.size))?
+                    }
+                    _ => evaluator.evaluate(spec, self.size)?,
+                };
                 result.machine_index = pi;
                 if let Some(on_cell) = &self.on_cell {
                     on_cell(&result);

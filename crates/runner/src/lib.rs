@@ -61,16 +61,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cells;
+mod disk;
 mod evaluator;
 mod experiment;
 mod result;
 mod spec;
 mod store;
 
+pub use cells::{CellMemo, CellStats};
+pub use disk::{DiskStore, StoreError};
 pub use evaluator::{Evaluator, InputsMap, ModelEvaluator, OooEvaluator, SimEvaluator};
 pub use experiment::{
     parallel_map, print_comparison, CpiComparison, Experiment, ExperimentReport, ExperimentTiming,
 };
 pub use result::{BranchSummary, EvalError, EvalKind, EvalResult};
 pub use spec::WorkloadSpec;
-pub use store::{ProfileCache, WorkloadStore};
+pub use store::{ProfileCache, StoreStats, WorkloadStore};

@@ -9,9 +9,25 @@
 //! point, and every search strategy of an experiment shares a single
 //! functional execution per workload. The store is cheaply cloneable (an
 //! `Arc` handle) and thread-safe.
+//!
+//! Long-running servers add two more properties:
+//!
+//! * **persistence** — [`WorkloadStore::persistent`] attaches a
+//!   content-addressed [`DiskStore`], so traces and profiles survive
+//!   process restarts and are shared between processes pointed at the
+//!   same directory;
+//! * **boundedness** — [`WorkloadStore::with_capacity`] puts an LRU bound
+//!   on the in-memory trace and profile maps, so memory stays O(capacity)
+//!   no matter how many workloads stream through (evicted entries are
+//!   transparently reloaded from disk or recomputed, preserving
+//!   determinism).
+//!
+//! Concurrent requests for the same missing entry **coalesce**: one
+//! caller records/profiles while the rest wait on the in-flight marker,
+//! so a burst of identical requests costs one functional execution.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use mim_bpred::PredictorConfig;
 use mim_cache::{CacheConfig, HierarchyConfig};
@@ -19,7 +35,9 @@ use mim_isa::Program;
 use mim_profile::{SweepProfiler, WorkloadProfile};
 use mim_trace::Trace;
 use mim_workloads::WorkloadSize;
+use serde::{Deserialize, Serialize};
 
+use crate::disk::{DiskStore, StoreError};
 use crate::result::EvalError;
 use crate::spec::WorkloadSpec;
 
@@ -40,24 +58,196 @@ type ProgramKey = (String, WorkloadSize);
 /// Identifies one recording: workload, size, and instruction limit.
 type TraceKey = (String, WorkloadSize, Option<u64>);
 
-#[derive(Default)]
+/// Cache hit/miss/persistence counters of a [`WorkloadStore`] — the
+/// observability surface a long-running evaluation service reports
+/// through its `stats` endpoint.
+///
+/// `*_hits` count requests served from memory, `*_disk_hits` requests
+/// served by deserializing a persisted entry, and `*_misses` requests
+/// that had to compute (record or profile) fresh.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Trace requests served from the in-memory map.
+    pub trace_hits: u64,
+    /// Trace requests served from the persistent store.
+    pub trace_disk_hits: u64,
+    /// Trace requests that recorded a fresh functional execution.
+    pub trace_misses: u64,
+    /// Profile requests served from the in-memory map.
+    pub profile_hits: u64,
+    /// Profile requests served from the persistent store.
+    pub profile_disk_hits: u64,
+    /// Profile requests that computed a fresh profiling pass.
+    pub profile_misses: u64,
+    /// In-memory entries evicted by the LRU capacity bound.
+    pub evictions: u64,
+    /// Bytes persisted to the attached [`DiskStore`] by this store.
+    pub bytes_persisted: u64,
+    /// Functional `Vm` executions this store has triggered.
+    pub functional_executions: u64,
+}
+
+impl StoreStats {
+    /// Total requests served without a functional execution or profiling
+    /// pass (memory + disk, traces + profiles).
+    pub fn total_hits(&self) -> u64 {
+        self.trace_hits + self.trace_disk_hits + self.profile_hits + self.profile_disk_hits
+    }
+
+    /// Total requests that computed fresh.
+    pub fn total_misses(&self) -> u64 {
+        self.trace_misses + self.profile_misses
+    }
+}
+
+/// An LRU-ordered association list: entries move to the back on every
+/// hit, and inserts beyond `capacity` evict from the front. Entry counts
+/// are small (one per workload × size × sweep), so linear scans beat
+/// hashing — and impose no `Hash` bound on config types.
+pub(crate) struct Lru<K, V> {
+    entries: Vec<(K, V)>,
+    capacity: Option<usize>,
+}
+
+impl<K: PartialEq, V: Clone> Lru<K, V> {
+    pub(crate) fn new(capacity: Option<usize>) -> Lru<K, V> {
+        Lru {
+            entries: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub(crate) fn get(&mut self, key: &K) -> Option<V> {
+        let i = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(i);
+        let value = entry.1.clone();
+        self.entries.push(entry);
+        Some(value)
+    }
+
+    /// Inserts (or refreshes) an entry, returning how many entries the
+    /// capacity bound evicted.
+    pub(crate) fn insert(&mut self, key: K, value: V) -> u64 {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(i);
+        }
+        self.entries.push((key, value));
+        let mut evicted = 0;
+        if let Some(cap) = self.capacity {
+            let cap = cap.max(1);
+            while self.entries.len() > cap {
+                self.entries.remove(0);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// In-flight markers for one cache: concurrent requests for the same
+/// missing key coalesce onto the first caller's computation instead of
+/// re-executing it in parallel.
+pub(crate) struct Flight<K> {
+    pending: Mutex<Vec<K>>,
+    wakeup: Condvar,
+}
+
+impl<K: Clone + PartialEq> Flight<K> {
+    pub(crate) fn new() -> Flight<K> {
+        Flight {
+            pending: Mutex::new(Vec::new()),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    /// Claims the right to compute `key`. Returns the cached value if a
+    /// concurrent computation finished while waiting; `None` means the
+    /// caller owns the computation and must call [`release`](Flight::release).
+    pub(crate) fn claim<V>(&self, key: &K, mut cached: impl FnMut() -> Option<V>) -> Option<V> {
+        let mut pending = self.pending.lock().expect("flight markers poisoned");
+        loop {
+            if let Some(v) = cached() {
+                return Some(v);
+            }
+            if !pending.iter().any(|k| k == key) {
+                pending.push(key.clone());
+                return None;
+            }
+            pending = self.wakeup.wait(pending).expect("flight markers poisoned");
+        }
+    }
+
+    /// Releases the marker (after publishing the result, or on error) and
+    /// wakes every waiter.
+    pub(crate) fn release(&self, key: &K) {
+        self.pending
+            .lock()
+            .expect("flight markers poisoned")
+            .retain(|k| k != key);
+        self.wakeup.notify_all();
+    }
+}
+
 struct Inner {
     programs: Mutex<Vec<(ProgramKey, Arc<Program>)>>,
-    traces: Mutex<Vec<(TraceKey, Arc<Trace>)>>,
-    profiles: Mutex<Vec<(ProfileKey, Arc<WorkloadProfile>)>>,
+    traces: Mutex<Lru<TraceKey, Arc<Trace>>>,
+    profiles: Mutex<Lru<ProfileKey, Arc<WorkloadProfile>>>,
+    trace_flight: Flight<TraceKey>,
+    profile_flight: Flight<ProfileKey>,
+    disk: Option<DiskStore>,
     /// Functional `Vm` executions this store has triggered (recordings and
     /// live profiling passes). Unlike `mim_isa::functional_executions`,
     /// this counter is scoped to the store, so record-once assertions are
     /// immune to unrelated VM activity elsewhere in the test process.
     executions: AtomicU64,
+    trace_hits: AtomicU64,
+    trace_disk_hits: AtomicU64,
+    trace_misses: AtomicU64,
+    profile_hits: AtomicU64,
+    profile_disk_hits: AtomicU64,
+    profile_misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Inner {
+    fn with(capacity: Option<usize>, disk: Option<DiskStore>) -> Inner {
+        Inner {
+            programs: Mutex::new(Vec::new()),
+            traces: Mutex::new(Lru::new(capacity)),
+            profiles: Mutex::new(Lru::new(capacity)),
+            trace_flight: Flight::new(),
+            profile_flight: Flight::new(),
+            disk,
+            executions: AtomicU64::new(0),
+            trace_hits: AtomicU64::new(0),
+            trace_disk_hits: AtomicU64::new(0),
+            trace_misses: AtomicU64::new(0),
+            profile_hits: AtomicU64::new(0),
+            profile_disk_hits: AtomicU64::new(0),
+            profile_misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner::with(None, None)
+    }
 }
 
 /// Thread-safe store of instantiated programs, recorded execution traces,
 /// and sweep profiles — one functional execution per `(workload, size,
 /// limit)`, replayed by every consumer.
 ///
-/// Entry counts are small (one per workload × size × sweep), so lookups
-/// are linear scans — no hashing requirements on the config types.
+/// Optionally bounded ([`with_capacity`](WorkloadStore::with_capacity))
+/// and persistent ([`persistent`](WorkloadStore::persistent)); see the
+/// module docs for the long-running-server properties.
 ///
 /// # Example
 ///
@@ -71,6 +261,7 @@ struct Inner {
 /// // Second request replays the memoized recording — no re-execution.
 /// let again = store.trace(&spec, WorkloadSize::Tiny, None).unwrap();
 /// assert!(std::sync::Arc::ptr_eq(&trace, &again));
+/// assert_eq!(store.stats().trace_hits, 1);
 /// ```
 #[derive(Clone, Default)]
 pub struct WorkloadStore {
@@ -82,9 +273,61 @@ pub struct WorkloadStore {
 pub type ProfileCache = WorkloadStore;
 
 impl WorkloadStore {
-    /// Creates an empty store.
+    /// Creates an empty, unbounded, memory-only store.
     pub fn new() -> WorkloadStore {
         WorkloadStore::default()
+    }
+
+    /// Creates a store whose in-memory trace and profile maps each hold at
+    /// most `capacity` entries, evicting least-recently-used entries
+    /// beyond it (a capacity of 0 is treated as 1).
+    ///
+    /// Evicted entries are recomputed (or reloaded from the persistent
+    /// store, when one is attached) on the next request, so results are
+    /// byte-identical to an unbounded store — eviction trades wall-clock
+    /// for bounded memory, never determinism. Program entries are not
+    /// bounded: they are small and shared by every size variant.
+    pub fn with_capacity(capacity: usize) -> WorkloadStore {
+        WorkloadStore {
+            inner: Arc::new(Inner::with(Some(capacity), None)),
+        }
+    }
+
+    /// Creates a store backed by a persistent content-addressed
+    /// [`DiskStore`] rooted at `dir`: every recorded trace and computed
+    /// profile is written through, and misses consult the directory
+    /// before computing — so repeated runs (and restarts) never
+    /// re-execute anything previously seen.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] if the directory cannot be created.
+    pub fn persistent(dir: impl Into<std::path::PathBuf>) -> Result<WorkloadStore, StoreError> {
+        Ok(WorkloadStore {
+            inner: Arc::new(Inner::with(None, Some(DiskStore::open(dir)?))),
+        })
+    }
+
+    /// [`persistent`](WorkloadStore::persistent) with an in-memory LRU
+    /// bound ([`with_capacity`](WorkloadStore::with_capacity)) — the
+    /// configuration a long-running server wants: bounded memory, with
+    /// the disk store absorbing the working set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] if the directory cannot be created.
+    pub fn persistent_with_capacity(
+        dir: impl Into<std::path::PathBuf>,
+        capacity: usize,
+    ) -> Result<WorkloadStore, StoreError> {
+        Ok(WorkloadStore {
+            inner: Arc::new(Inner::with(Some(capacity), Some(DiskStore::open(dir)?))),
+        })
+    }
+
+    /// The attached persistent store, if any.
+    pub fn disk(&self) -> Option<&DiskStore> {
+        self.inner.disk.as_ref()
     }
 
     /// Returns the workload's program at `size`, instantiating it on first
@@ -116,6 +359,10 @@ impl WorkloadStore {
     /// retired instructions), recording it on first use — the **single**
     /// functional execution every downstream timing pass replays.
     ///
+    /// Misses consult the persistent store first (when attached), and
+    /// concurrent requests for the same missing trace coalesce onto one
+    /// recording.
+    ///
     /// # Errors
     ///
     /// Returns an [`EvalError`] if the program faults while recording.
@@ -127,19 +374,61 @@ impl WorkloadStore {
     ) -> Result<Arc<Trace>, EvalError> {
         let key = (spec.name().to_string(), size, limit);
         if let Some(t) = self.cached_trace(&key) {
+            self.inner.trace_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(t);
         }
+        if let Some(t) = self
+            .inner
+            .trace_flight
+            .claim(&key, || self.cached_trace(&key))
+        {
+            self.inner.trace_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(t);
+        }
+        // This thread owns the computation; every path must release the
+        // in-flight marker.
+        let outcome = self.load_or_record_trace(spec, size, limit);
+        if let Ok(trace) = &outcome {
+            self.insert_trace(key.clone(), Arc::clone(trace));
+        }
+        self.inner.trace_flight.release(&key);
+        outcome
+    }
+
+    /// Disk-then-record miss path for [`trace`](WorkloadStore::trace).
+    fn load_or_record_trace(
+        &self,
+        spec: &WorkloadSpec,
+        size: WorkloadSize,
+        limit: Option<u64>,
+    ) -> Result<Arc<Trace>, EvalError> {
         let program = self.program(spec, size);
+        if let Some(disk) = &self.inner.disk {
+            // Damaged entries degrade to a recompute (and get rewritten);
+            // persistence must never take an evaluation down.
+            if let Ok(Some(trace)) = disk.get_trace(&program, limit) {
+                self.inner.trace_disk_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::new(trace));
+            }
+        }
+        self.inner.trace_misses.fetch_add(1, Ordering::Relaxed);
         self.inner.executions.fetch_add(1, Ordering::Relaxed);
         let trace = Trace::record(&program, limit)
             .map_err(|e| EvalError::vm(spec.name(), "recorder", &e))?;
-        let trace = Arc::new(trace);
-        let mut traces = self.inner.traces.lock().expect("trace cache poisoned");
-        if let Some((_, t)) = traces.iter().find(|(k, _)| *k == key) {
-            return Ok(Arc::clone(t));
+        if let Some(disk) = &self.inner.disk {
+            disk.put_trace(&program, limit, &trace).ok();
         }
-        traces.push((key, Arc::clone(&trace)));
-        Ok(trace)
+        Ok(Arc::new(trace))
+    }
+
+    fn insert_trace(&self, key: TraceKey, trace: Arc<Trace>) {
+        let evicted = self
+            .inner
+            .traces
+            .lock()
+            .expect("trace cache poisoned")
+            .insert(key, trace);
+        self.inner.evictions.fetch_add(evicted, Ordering::Relaxed);
     }
 
     fn cached_trace(&self, key: &TraceKey) -> Option<Arc<Trace>> {
@@ -147,9 +436,7 @@ impl WorkloadStore {
             .traces
             .lock()
             .expect("trace cache poisoned")
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, t)| Arc::clone(t))
+            .get(key)
     }
 
     /// Returns the workload's one-pass sweep profile for the given
@@ -159,7 +446,9 @@ impl WorkloadStore {
     /// repeat consumer like the simulator shares this store), the profile
     /// replays it; otherwise the profiler streams one live functional
     /// pass directly — same single execution, but no O(trace) memory for
-    /// profile-only workloads.
+    /// profile-only workloads. Misses consult the persistent store first
+    /// (when attached), and concurrent requests for the same missing
+    /// profile coalesce onto one pass.
     ///
     /// # Errors
     ///
@@ -181,19 +470,62 @@ impl WorkloadStore {
             l2s: l2s.to_vec(),
             predictors: predictors.to_vec(),
         };
-        if let Some((_, p)) = self
-            .inner
-            .profiles
-            .lock()
-            .expect("profile cache poisoned")
-            .iter()
-            .find(|(k, _)| *k == key)
-        {
-            return Ok(Arc::clone(p));
+        if let Some(p) = self.cached_profile(&key) {
+            self.inner.profile_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(p);
         }
-        let program = self.program(spec, size);
-        let profiler = SweepProfiler::new(hierarchy.clone(), l2s.to_vec(), predictors.to_vec());
-        let trace_key = (spec.name().to_string(), size, limit);
+        if let Some(p) = self
+            .inner
+            .profile_flight
+            .claim(&key, || self.cached_profile(&key))
+        {
+            self.inner.profile_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(p);
+        }
+        let outcome = self.load_or_compute_profile(spec, &key);
+        if let Ok(profile) = &outcome {
+            let evicted = self
+                .inner
+                .profiles
+                .lock()
+                .expect("profile cache poisoned")
+                .insert(key.clone(), Arc::clone(profile));
+            self.inner.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        self.inner.profile_flight.release(&key);
+        outcome
+    }
+
+    /// Disk-then-compute miss path for [`profile`](WorkloadStore::profile).
+    fn load_or_compute_profile(
+        &self,
+        spec: &WorkloadSpec,
+        key: &ProfileKey,
+    ) -> Result<Arc<WorkloadProfile>, EvalError> {
+        let program = self.program(spec, key.size);
+        if let Some(disk) = &self.inner.disk {
+            if let Ok(Some(mut profile)) = disk.get_profile(
+                &program,
+                key.limit,
+                &key.hierarchy,
+                &key.l2s,
+                &key.predictors,
+            ) {
+                // Entries are shared by program *content*; take this
+                // program's name so loads are indistinguishable from
+                // computes even across renamed copies.
+                profile.name = program.name().to_string();
+                self.inner.profile_disk_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::new(profile));
+            }
+        }
+        self.inner.profile_misses.fetch_add(1, Ordering::Relaxed);
+        let profiler = SweepProfiler::new(
+            key.hierarchy.clone(),
+            key.l2s.clone(),
+            key.predictors.clone(),
+        );
+        let trace_key = (spec.name().to_string(), key.size, key.limit);
         let profile = match self.cached_trace(&trace_key) {
             Some(trace) => {
                 let mut replay = trace
@@ -206,17 +538,30 @@ impl WorkloadStore {
             None => {
                 self.inner.executions.fetch_add(1, Ordering::Relaxed);
                 profiler
-                    .profile(&program, limit)
+                    .profile(&program, key.limit)
                     .map_err(|e| EvalError::vm(spec.name(), "profiler", &e))?
             }
         };
-        let profile = Arc::new(profile);
-        let mut profiles = self.inner.profiles.lock().expect("profile cache poisoned");
-        if let Some((_, p)) = profiles.iter().find(|(k, _)| *k == key) {
-            return Ok(Arc::clone(p));
+        if let Some(disk) = &self.inner.disk {
+            disk.put_profile(
+                &program,
+                key.limit,
+                &key.hierarchy,
+                &key.l2s,
+                &key.predictors,
+                &profile,
+            )
+            .ok();
         }
-        profiles.push((key, Arc::clone(&profile)));
-        Ok(profile)
+        Ok(Arc::new(profile))
+    }
+
+    fn cached_profile(&self, key: &ProfileKey) -> Option<Arc<WorkloadProfile>> {
+        self.inner
+            .profiles
+            .lock()
+            .expect("profile cache poisoned")
+            .get(key)
     }
 
     /// Number of cached profiles (used by tests to assert the one-pass
@@ -236,8 +581,8 @@ impl WorkloadStore {
     /// [`mim_isa::functional_executions`] counter: because it only counts
     /// executions *this* store caused, record-once assertions hold no
     /// matter what other tests run concurrently in the same process.
-    /// Replayed profiles, simulations, and MLP estimates never increment
-    /// it.
+    /// Replayed profiles, simulations, MLP estimates, and persistent-store
+    /// loads never increment it.
     pub fn functional_executions(&self) -> u64 {
         self.inner.executions.load(Ordering::Relaxed)
     }
@@ -250,5 +595,21 @@ impl WorkloadStore {
             .lock()
             .expect("trace cache poisoned")
             .len()
+    }
+
+    /// A consistent snapshot of the store's counters.
+    pub fn stats(&self) -> StoreStats {
+        let i = &self.inner;
+        StoreStats {
+            trace_hits: i.trace_hits.load(Ordering::Relaxed),
+            trace_disk_hits: i.trace_disk_hits.load(Ordering::Relaxed),
+            trace_misses: i.trace_misses.load(Ordering::Relaxed),
+            profile_hits: i.profile_hits.load(Ordering::Relaxed),
+            profile_disk_hits: i.profile_disk_hits.load(Ordering::Relaxed),
+            profile_misses: i.profile_misses.load(Ordering::Relaxed),
+            evictions: i.evictions.load(Ordering::Relaxed),
+            bytes_persisted: i.disk.as_ref().map_or(0, DiskStore::bytes_written),
+            functional_executions: i.executions.load(Ordering::Relaxed),
+        }
     }
 }

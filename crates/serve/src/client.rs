@@ -1,0 +1,191 @@
+//! A small blocking client for the line-delimited protocol — what the
+//! e2e tests, the throughput bench, and the `--smoke` self-test drive the
+//! server with.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use serde::Value;
+
+use crate::error::ServeError;
+use crate::protocol::{to_line, Request};
+use crate::spec::JobSpec;
+
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+/// The `(id, deduped)` outcome of a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Submitted {
+    /// Job id to poll/fetch with.
+    pub id: u64,
+    /// True when the server coalesced this submission onto an existing
+    /// identical job.
+    pub deduped: bool,
+}
+
+/// A blocking protocol client over one connection.
+///
+/// Addresses mirror [`Server::bind`](crate::Server::bind): `unix:<path>`,
+/// `tcp:<host>:<port>`, or a bare `<host>:<port>`.
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Addr`] for unparseable addresses and
+    /// [`ServeError::Io`] for connection failures.
+    pub fn connect(addr: &str) -> Result<Client, ServeError> {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            let stream = UnixStream::connect(path)
+                .map_err(|e| ServeError::Io(format!("connect {path}: {e}")))?;
+            return Ok(Client {
+                stream: Stream::Unix(stream),
+            });
+        }
+        let hostport = addr.strip_prefix("tcp:").unwrap_or(addr);
+        if !hostport.contains(':') {
+            return Err(ServeError::Addr(format!(
+                "`{addr}` is neither unix:<path> nor <host>:<port>"
+            )));
+        }
+        let stream = TcpStream::connect(hostport)
+            .map_err(|e| ServeError::Io(format!("connect {hostport}: {e}")))?;
+        stream.set_nodelay(true).ok(); // request/response lines, not bulk
+        Ok(Client {
+            stream: Stream::Tcp(stream),
+        })
+    }
+
+    /// Sends one request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on transport failure, [`ServeError::Protocol`]
+    /// on a non-JSON reply or closed connection, [`ServeError::Rejected`]
+    /// when the server answers `{"ok":false,...}`.
+    pub fn request(&mut self, request: &Request) -> Result<Value, ServeError> {
+        let line = request.to_line() + "\n";
+        let response = match &mut self.stream {
+            Stream::Tcp(s) => exchange(s, &line)?,
+            Stream::Unix(s) => exchange(s, &line)?,
+        };
+        let value: Value = serde_json::from_str(&response)
+            .map_err(|e| ServeError::Protocol(format!("malformed response: {e}")))?;
+        match value.get("ok") {
+            Some(Value::Bool(true)) => Ok(value),
+            Some(Value::Bool(false)) => {
+                let message = match value.get("error") {
+                    Some(Value::Str(s)) => s.clone(),
+                    _ => "unspecified error".to_string(),
+                };
+                Err(ServeError::Rejected(message))
+            }
+            _ => Err(ServeError::Protocol("response has no `ok` field".into())),
+        }
+    }
+
+    /// Submits a job.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn submit(&mut self, job: &JobSpec) -> Result<Submitted, ServeError> {
+        let response = self.request(&Request::Submit(Box::new(job.clone())))?;
+        let id = response_u64(&response, "id")?;
+        let deduped = matches!(response.get("deduped"), Some(Value::Bool(true)));
+        Ok(Submitted { id, deduped })
+    }
+
+    /// Queries a job's state label (`queued`/`running`/`done`/`failed`).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn status(&mut self, id: u64) -> Result<String, ServeError> {
+        let response = self.request(&Request::Status(id))?;
+        match response.get("state") {
+            Some(Value::Str(s)) => Ok(s.clone()),
+            _ => Err(ServeError::Protocol("status reply has no `state`".into())),
+        }
+    }
+
+    /// Fetches a job's report, blocking until the job finishes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] carries the job's own error message when
+    /// the job failed.
+    pub fn result(&mut self, id: u64) -> Result<Value, ServeError> {
+        let response = self.request(&Request::Result(id))?;
+        response
+            .get("result")
+            .cloned()
+            .ok_or_else(|| ServeError::Protocol("result reply has no `result`".into()))
+    }
+
+    /// Like [`result`](Client::result), but returns the report's compact
+    /// JSON bytes — the deterministic representation response-identity
+    /// tests compare.
+    ///
+    /// # Errors
+    ///
+    /// See [`result`](Client::result).
+    pub fn result_text(&mut self, id: u64) -> Result<String, ServeError> {
+        Ok(to_line(&self.result(id)?))
+    }
+
+    /// Fetches the server's stats object.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn stats(&mut self) -> Result<Value, ServeError> {
+        let response = self.request(&Request::Stats)?;
+        response
+            .get("stats")
+            .cloned()
+            .ok_or_else(|| ServeError::Protocol("stats reply has no `stats`".into()))
+    }
+
+    /// Asks the server to drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+}
+
+/// Reads one `u64` field out of a response object.
+fn response_u64(value: &Value, key: &str) -> Result<u64, ServeError> {
+    match value.get(key) {
+        Some(Value::UInt(u)) => Ok(*u),
+        Some(Value::Int(i)) if *i >= 0 => Ok(*i as u64),
+        _ => Err(ServeError::Protocol(format!("reply has no `{key}`"))),
+    }
+}
+
+fn exchange<S: std::io::Read + Write>(stream: &mut S, line: &str) -> Result<String, ServeError> {
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| ServeError::Io(e.to_string()))?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    let n = reader
+        .read_line(&mut response)
+        .map_err(|e| ServeError::Io(e.to_string()))?;
+    if n == 0 {
+        return Err(ServeError::Protocol("server closed the connection".into()));
+    }
+    Ok(response)
+}

@@ -1,0 +1,403 @@
+//! The job engine: a bounded FIFO queue drained by a fixed worker pool,
+//! with job-level dedup in front and cell-level coalescing underneath.
+//!
+//! Deduplication happens at three granularities, so "hundreds of
+//! concurrent overlapping requests" collapse to the minimal computation:
+//!
+//! 1. **jobs** — submissions hash to a canonical fingerprint
+//!    ([`JobSpec::fingerprint`]); a spec identical to one already
+//!    queued, running, or completed returns the existing job id instead
+//!    of enqueueing;
+//! 2. **grid cells** — distinct-but-overlapping sweeps share one
+//!    [`CellMemo`], so a (workload, size, machine, evaluator) cell is
+//!    evaluated once no matter how many jobs touch it, with in-flight
+//!    coalescing batching concurrent requests for the same cell;
+//! 3. **workload artifacts** — recordings and profiles live in the shared
+//!    (optionally persistent) [`WorkloadStore`], so even disjoint sweeps
+//!    of the same workloads never re-execute anything.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use mim_runner::{CellMemo, WorkloadStore};
+use serde::{Serialize, Value};
+
+use crate::spec::JobSpec;
+
+/// Lifecycle of one submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; the report is available.
+    Done,
+    /// Finished with an error.
+    Failed,
+}
+
+impl JobStatus {
+    /// Protocol label (`queued`/`running`/`done`/`failed`).
+    pub fn label(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+struct JobRecord {
+    status: JobStatus,
+    /// Report value once `Done` (shared: results can be re-fetched).
+    result: Option<Arc<Value>>,
+    /// Error message once `Failed`.
+    error: Option<String>,
+}
+
+struct EngineInner {
+    store: WorkloadStore,
+    cells: CellMemo,
+    queue_capacity: usize,
+    queue: Mutex<VecDeque<(u64, JobSpec)>>,
+    queue_ready: Condvar,
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    job_changed: Condvar,
+    /// spec fingerprint → job id, for job-level dedup.
+    dedup: Mutex<HashMap<u64, u64>>,
+    next_id: AtomicU64,
+    stop: AtomicBool,
+    submitted: AtomicU64,
+    deduped: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    running: AtomicU64,
+}
+
+/// A running evaluation engine: `workers` threads draining a FIFO queue
+/// of [`JobSpec`]s, sharing one [`WorkloadStore`] and one [`CellMemo`].
+/// Cheaply cloneable; every connection handler holds a clone.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Engine {
+    /// Starts `workers` worker threads (minimum 1) over a queue holding
+    /// at most `queue_capacity` waiting jobs (minimum 1).
+    pub fn start(
+        store: WorkloadStore,
+        cells: CellMemo,
+        workers: usize,
+        queue_capacity: usize,
+    ) -> Engine {
+        let inner = Arc::new(EngineInner {
+            store,
+            cells,
+            queue_capacity: queue_capacity.max(1),
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            job_changed: Condvar::new(),
+            dedup: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            stop: AtomicBool::new(false),
+            submitted: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Engine {
+            inner,
+            workers: Arc::new(Mutex::new(handles)),
+        }
+    }
+
+    /// The engine's shared workload store.
+    pub fn store(&self) -> &WorkloadStore {
+        &self.inner.store
+    }
+
+    /// The engine's shared cell memo.
+    pub fn cells(&self) -> &CellMemo {
+        &self.inner.cells
+    }
+
+    /// Submits a job. Returns `(id, deduped)` — `deduped` is true when an
+    /// identical spec was already queued, running, or done, in which case
+    /// `id` is that existing job's.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the engine is shutting down or the queue is
+    /// at capacity (the client should retry later).
+    pub fn submit(&self, spec: JobSpec) -> Result<(u64, bool), String> {
+        if self.inner.stop.load(Ordering::SeqCst) {
+            return Err("server is shutting down".into());
+        }
+        let fingerprint = spec.fingerprint();
+        // Hold the dedup map across admission so two racing identical
+        // submissions cannot both enqueue.
+        let mut dedup = self.inner.dedup.lock().expect("dedup map poisoned");
+        if let Some(&existing) = dedup.get(&fingerprint) {
+            let jobs = self.inner.jobs.lock().expect("job table poisoned");
+            let alive = jobs
+                .get(&existing)
+                .is_some_and(|r| r.status != JobStatus::Failed);
+            if alive {
+                self.inner.deduped.fetch_add(1, Ordering::Relaxed);
+                return Ok((existing, true));
+            }
+            // A failed attempt does not pin its fingerprint: retry fresh.
+        }
+        let mut queue = self.inner.queue.lock().expect("job queue poisoned");
+        if queue.len() >= self.inner.queue_capacity {
+            return Err(format!(
+                "queue is full ({} jobs waiting)",
+                self.inner.queue_capacity
+            ));
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.jobs.lock().expect("job table poisoned").insert(
+            id,
+            JobRecord {
+                status: JobStatus::Queued,
+                result: None,
+                error: None,
+            },
+        );
+        dedup.insert(fingerprint, id);
+        queue.push_back((id, spec));
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.queue_ready.notify_one();
+        Ok((id, false))
+    }
+
+    /// The job's current status, if the id is known.
+    pub fn status(&self, id: u64) -> Option<JobStatus> {
+        self.inner
+            .jobs
+            .lock()
+            .expect("job table poisoned")
+            .get(&id)
+            .map(|r| r.status)
+    }
+
+    /// Blocks until the job finishes, then returns its report value (or
+    /// its error message).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(message)` for unknown ids and failed jobs.
+    pub fn wait_result(&self, id: u64) -> Result<Arc<Value>, String> {
+        let mut jobs = self.inner.jobs.lock().expect("job table poisoned");
+        loop {
+            match jobs.get(&id) {
+                None => return Err(format!("unknown job id {id}")),
+                Some(record) => match record.status {
+                    JobStatus::Done => {
+                        return Ok(Arc::clone(record.result.as_ref().expect("done has result")));
+                    }
+                    JobStatus::Failed => {
+                        return Err(record.error.clone().unwrap_or_else(|| "job failed".into()));
+                    }
+                    JobStatus::Queued | JobStatus::Running => {
+                        jobs = self
+                            .inner
+                            .job_changed
+                            .wait(jobs)
+                            .expect("job table poisoned");
+                    }
+                },
+            }
+        }
+    }
+
+    /// A point-in-time stats object: store counters, cell-memo counters,
+    /// and job accounting — the payload of the protocol's `stats` reply.
+    pub fn stats(&self) -> Value {
+        let queue_depth = self.inner.queue.lock().expect("job queue poisoned").len();
+        let jobs = Value::Object(vec![
+            (
+                "submitted".into(),
+                self.inner.submitted.load(Ordering::Relaxed).to_value(),
+            ),
+            (
+                "deduped".into(),
+                self.inner.deduped.load(Ordering::Relaxed).to_value(),
+            ),
+            (
+                "completed".into(),
+                self.inner.completed.load(Ordering::Relaxed).to_value(),
+            ),
+            (
+                "failed".into(),
+                self.inner.failed.load(Ordering::Relaxed).to_value(),
+            ),
+            (
+                "running".into(),
+                self.inner.running.load(Ordering::Relaxed).to_value(),
+            ),
+            ("queued".into(), queue_depth.to_value()),
+        ]);
+        Value::Object(vec![
+            ("store".into(), self.inner.store.stats().to_value()),
+            ("cells".into(), self.inner.cells.stats().to_value()),
+            ("jobs".into(), jobs),
+        ])
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn stopping(&self) -> bool {
+        self.inner.stop.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and joins the worker pool. Queued jobs are
+    /// drained (each finishes as `Done`/`Failed`) before workers exit, so
+    /// clients blocked in `wait_result` are always answered. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.queue_ready.notify_all();
+        let handles: Vec<JoinHandle<()>> = self
+            .workers
+            .lock()
+            .expect("worker handles poisoned")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            handle.join().expect("worker thread panicked");
+        }
+    }
+}
+
+fn worker_loop(inner: &EngineInner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().expect("job queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if inner.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = inner.queue_ready.wait(queue).expect("job queue poisoned");
+            }
+        };
+        let Some((id, spec)) = job else { return };
+        set_status(inner, id, JobStatus::Running);
+        inner.running.fetch_add(1, Ordering::Relaxed);
+        // A panicking evaluator fails its job, never the worker pool.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            spec.execute(&inner.store, &inner.cells)
+        }))
+        .unwrap_or_else(|_| Err("job panicked".into()));
+        inner.running.fetch_sub(1, Ordering::Relaxed);
+        let mut jobs = inner.jobs.lock().expect("job table poisoned");
+        let record = jobs.get_mut(&id).expect("running job has a record");
+        match outcome {
+            Ok(report) => {
+                record.status = JobStatus::Done;
+                record.result = Some(Arc::new(report));
+                inner.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(message) => {
+                record.status = JobStatus::Failed;
+                record.error = Some(message);
+                inner.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        drop(jobs);
+        inner.job_changed.notify_all();
+    }
+}
+
+fn set_status(inner: &EngineInner, id: u64, status: JobStatus) {
+    if let Some(record) = inner.jobs.lock().expect("job table poisoned").get_mut(&id) {
+        record.status = status;
+    }
+    inner.job_changed.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_job(title: &str) -> JobSpec {
+        let json = format!(
+            r#"{{"kind":"experiment","title":"{title}","workloads":["sha"],
+                "evaluators":["model"],"limit":20000}}"#
+        );
+        let value: Value = serde_json::from_str(&json).expect("job JSON parses");
+        JobSpec::from_value(&value).expect("job parses")
+    }
+
+    #[test]
+    fn runs_a_job_end_to_end() {
+        let engine = Engine::start(WorkloadStore::new(), CellMemo::new(), 2, 8);
+        let (id, deduped) = engine.submit(quick_job("e2e")).expect("submits");
+        assert!(!deduped);
+        let report = engine.wait_result(id).expect("job succeeds");
+        assert!(report.get("rows").is_some());
+        assert_eq!(engine.status(id), Some(JobStatus::Done));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn identical_jobs_dedup_to_one_id() {
+        let engine = Engine::start(WorkloadStore::new(), CellMemo::new(), 1, 8);
+        let (a, _) = engine.submit(quick_job("same")).expect("submits");
+        let (b, deduped) = engine.submit(quick_job("same")).expect("submits");
+        assert_eq!(a, b);
+        assert!(deduped);
+        let (c, deduped) = engine.submit(quick_job("different")).expect("submits");
+        assert_ne!(a, c);
+        assert!(!deduped);
+        engine.wait_result(a).expect("first job succeeds");
+        engine.wait_result(c).expect("second job succeeds");
+        // The two distinct jobs share every grid cell.
+        assert_eq!(engine.cells().stats().misses, 1);
+        assert_eq!(engine.cells().stats().hits, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn queue_capacity_rejects_overflow() {
+        // No workers consume: occupy the queue and overflow it.
+        let engine = Engine::start(WorkloadStore::new(), CellMemo::new(), 1, 1);
+        // Park the single worker on a first job.
+        engine.submit(quick_job("a")).expect("fits");
+        // Distinct specs so dedup does not absorb them: with the worker
+        // busy or the queue occupied, the second extra submission must
+        // overflow the capacity-1 queue.
+        let b = engine.submit(quick_job("b"));
+        let c = engine.submit(quick_job("c"));
+        assert!(
+            b.is_err() || c.is_err(),
+            "capacity-1 queue admitted three jobs"
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn unknown_ids_are_errors() {
+        let engine = Engine::start(WorkloadStore::new(), CellMemo::new(), 1, 4);
+        assert!(engine.status(999).is_none());
+        assert!(engine.wait_result(999).is_err());
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,45 @@
+//! The serve crate's error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the server, the blocking client, or address parsing.
+///
+/// Protocol-level problems with a single request (bad JSON, unknown
+/// command, unknown job id) are *not* `ServeError`s: the server answers
+/// them with an `{"ok":false,"error":...}` response and keeps the
+/// connection alive. `ServeError` is for failures of the transport
+/// itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A socket/file-system operation failed.
+    Io(String),
+    /// An address string could not be understood (expected
+    /// `unix:<path>`, `tcp:<host>:<port>`, or a bare `<host>:<port>`).
+    Addr(String),
+    /// The peer sent something that is not a protocol message (e.g. the
+    /// server returned malformed JSON, or the connection closed
+    /// mid-exchange).
+    Protocol(String),
+    /// The server answered a client call with `{"ok":false,...}`.
+    Rejected(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(m) => write!(f, "I/O error: {m}"),
+            ServeError::Addr(m) => write!(f, "bad address: {m}"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServeError::Rejected(m) => write!(f, "request rejected: {m}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,73 @@
+//! # mim-serve — the long-running concurrent evaluation service
+//!
+//! The paper's methodology pays off when the same workloads and design
+//! points are evaluated over and over — sweeps, validation grids, subset
+//! studies. The repo's one-shot CLIs rebuild their caches every run;
+//! `mim-serve` keeps them alive: a std-only server where repeated and
+//! overlapping requests never re-execute anything.
+//!
+//! Three layers, composed:
+//!
+//! * **persistence** — the engine's [`WorkloadStore`] can be
+//!   [`persistent`](WorkloadStore::persistent): recorded traces and sweep
+//!   profiles live in a sharded, content-addressed, crash-safe on-disk
+//!   store ([`DiskStore`]), so a restarted server performs **zero**
+//!   functional executions for anything it has seen before;
+//! * **the job [`Engine`]** — a bounded FIFO queue drained by a fixed
+//!   worker pool, with job-level dedup (identical submissions coalesce to
+//!   one id) and cell-level coalescing (overlapping sweeps share one
+//!   [`CellMemo`], so each (workload, machine, evaluator) cell is
+//!   evaluated once across all concurrent jobs);
+//! * **the protocol** — line-delimited JSON over TCP or unix sockets
+//!   (`submit`/`status`/`result`/`stats`/`shutdown`; see
+//!   [`protocol`]), served by [`Server`] and driven by the blocking
+//!   [`Client`]. Result payloads are byte-deterministic across runs,
+//!   worker counts, and restarts.
+//!
+//! ## Example: in-process server + client round-trip
+//!
+//! ```
+//! use mim_runner::{CellMemo, WorkloadStore};
+//! use mim_serve::{Client, Engine, JobSpec, Server};
+//!
+//! let engine = Engine::start(WorkloadStore::new(), CellMemo::new(), 2, 16);
+//! let server = Server::bind("tcp:127.0.0.1:0", engine).unwrap();
+//! let addr = server.addr().to_connect_string();
+//! let handle = std::thread::spawn(move || server.run().unwrap());
+//!
+//! let job: serde::Value = serde_json::from_str(
+//!     r#"{"kind":"experiment","workloads":["sha"],"evaluators":["model"],"limit":20000}"#,
+//! )
+//! .unwrap();
+//! let job = JobSpec::from_value(&job).unwrap();
+//! let mut client = Client::connect(&addr).unwrap();
+//! let submitted = client.submit(&job).unwrap();
+//! let report = client.result(submitted.id).unwrap();
+//! assert!(report.get("rows").is_some());
+//! client.shutdown().unwrap();
+//! drop(client);
+//! handle.join().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod engine;
+mod error;
+pub mod protocol;
+mod server;
+mod spec;
+
+pub use client::{Client, Submitted};
+pub use engine::{Engine, JobStatus};
+pub use error::ServeError;
+pub use server::{BoundAddr, Server};
+pub use spec::{
+    find_workload, parse_eval, parse_objective, parse_size, ExperimentSpec, ExplorationSpec,
+    JobSpec, SpaceSpec, StrategySpec, SubsetSpec,
+};
+
+// Re-exported so server embedders configure stores without naming
+// mim-runner directly.
+pub use mim_runner::{CellMemo, CellStats, DiskStore, StoreError, StoreStats, WorkloadStore};

@@ -1,0 +1,167 @@
+//! The line-delimited JSON protocol.
+//!
+//! Every message is one compact JSON object on one line. Requests carry a
+//! `cmd` field; responses carry `ok` (a boolean) plus command-specific
+//! fields, with failures shaped as `{"ok":false,"error":"..."}`.
+//!
+//! | request                                   | success response |
+//! |-------------------------------------------|------------------|
+//! | `{"cmd":"submit","job":{...}}`            | `{"ok":true,"id":N,"deduped":B}` |
+//! | `{"cmd":"status","id":N}`                 | `{"ok":true,"id":N,"state":"queued"\|"running"\|"done"\|"failed"}` |
+//! | `{"cmd":"result","id":N}`                 | `{"ok":true,"id":N,"result":{...report...}}` (blocks until done) |
+//! | `{"cmd":"stats"}`                         | `{"ok":true,"stats":{"store":{...},"cells":{...},"jobs":{...}}}` |
+//! | `{"cmd":"shutdown"}`                      | `{"ok":true}` then the server drains and exits |
+//!
+//! The `result` payload is byte-deterministic: reports serialize wall
+//! clock-free and field-order-stable, so the same job spec yields the
+//! same bytes across runs, worker counts, and restarts.
+
+pub use serde::Value;
+
+use crate::spec::JobSpec;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Enqueue a job.
+    Submit(Box<JobSpec>),
+    /// Query a job's lifecycle state.
+    Status(u64),
+    /// Fetch a job's report, blocking until it finishes.
+    Result(u64),
+    /// Fetch server counters.
+    Stats,
+    /// Drain and stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one protocol line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message for the `{"ok":false,...}` reply on malformed
+    /// input.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let value: Value =
+            serde_json::from_str(line.trim()).map_err(|e| format!("malformed JSON: {e}"))?;
+        let cmd = match value.get("cmd") {
+            Some(Value::Str(s)) => s.clone(),
+            Some(v) => return Err(format!("`cmd` must be a string, got {}", v.kind())),
+            None => return Err("request is missing the `cmd` field".into()),
+        };
+        match cmd.as_str() {
+            "submit" => {
+                let job = value
+                    .get("job")
+                    .ok_or_else(|| "submit is missing the `job` field".to_string())?;
+                Ok(Request::Submit(Box::new(JobSpec::from_value(job)?)))
+            }
+            "status" => Ok(Request::Status(request_id(&value)?)),
+            "result" => Ok(Request::Result(request_id(&value)?)),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+
+    /// Serializes the request as one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let fields = match self {
+            Request::Submit(job) => vec![
+                ("cmd".to_string(), Value::Str("submit".into())),
+                ("job".to_string(), job.to_value()),
+            ],
+            Request::Status(id) => vec![
+                ("cmd".to_string(), Value::Str("status".into())),
+                ("id".to_string(), Value::UInt(*id)),
+            ],
+            Request::Result(id) => vec![
+                ("cmd".to_string(), Value::Str("result".into())),
+                ("id".to_string(), Value::UInt(*id)),
+            ],
+            Request::Stats => vec![("cmd".to_string(), Value::Str("stats".into()))],
+            Request::Shutdown => vec![("cmd".to_string(), Value::Str("shutdown".into()))],
+        };
+        to_line(&Value::Object(fields))
+    }
+}
+
+fn request_id(value: &Value) -> Result<u64, String> {
+    match value.get("id") {
+        Some(Value::UInt(u)) => Ok(*u),
+        Some(Value::Int(i)) if *i >= 0 => Ok(*i as u64),
+        Some(v) => Err(format!("`id` must be an integer, got {}", v.kind())),
+        None => Err("request is missing the `id` field".into()),
+    }
+}
+
+/// Builds a success response with extra fields after `"ok":true`.
+pub fn ok_response(fields: Vec<(String, Value)>) -> Value {
+    let mut all = vec![("ok".to_string(), Value::Bool(true))];
+    all.extend(fields);
+    Value::Object(all)
+}
+
+/// Builds a failure response.
+pub fn error_response(message: impl Into<String>) -> Value {
+    Value::Object(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Str(message.into())),
+    ])
+}
+
+/// Serializes a value as one compact protocol line (no trailing newline).
+pub fn to_line(value: &Value) -> String {
+    serde_json::to_string(value).expect("value serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let line = r#"{"cmd":"submit","job":{"kind":"experiment","workloads":["sha"],"evaluators":["model"]}}"#;
+        let request = Request::parse(line).expect("parses");
+        let reparsed = Request::parse(&request.to_line()).expect("round-trips");
+        assert_eq!(request, reparsed);
+        for (line, expected) in [
+            (r#"{"cmd":"status","id":3}"#, Request::Status(3)),
+            (r#"{"cmd":"result","id":9}"#, Request::Result(9)),
+            (r#"{"cmd":"stats"}"#, Request::Stats),
+            (r#"{"cmd":"shutdown"}"#, Request::Shutdown),
+        ] {
+            let request = Request::parse(line).expect(line);
+            assert_eq!(request, expected);
+            assert_eq!(Request::parse(&request.to_line()).expect(line), expected);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for (line, needle) in [
+            ("not json", "malformed JSON"),
+            (r#"{"id":1}"#, "missing the `cmd`"),
+            (r#"{"cmd":"frobnicate"}"#, "unknown command"),
+            (r#"{"cmd":"status"}"#, "missing the `id`"),
+            (r#"{"cmd":"submit"}"#, "missing the `job`"),
+            (
+                r#"{"cmd":"submit","job":{"kind":"nope"}}"#,
+                "unknown job kind",
+            ),
+        ] {
+            let err = Request::parse(line).expect_err(line);
+            assert!(err.contains(needle), "`{err}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn responses_are_single_lines() {
+        let ok = ok_response(vec![("id".into(), Value::UInt(7))]);
+        assert_eq!(to_line(&ok), r#"{"ok":true,"id":7}"#);
+        let err = error_response("boom");
+        assert_eq!(to_line(&err), r#"{"ok":false,"error":"boom"}"#);
+        assert!(!to_line(&ok).contains('\n'));
+    }
+}

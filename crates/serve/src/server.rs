@@ -1,0 +1,253 @@
+//! The socket front-end: TCP and unix-domain listeners speaking the
+//! line-delimited protocol, one handler thread per connection.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use serde::Value;
+
+use crate::engine::Engine;
+use crate::error::ServeError;
+use crate::protocol::{error_response, ok_response, to_line, Request};
+
+/// A bound server address, normalized back to string form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundAddr {
+    /// `tcp:<ip>:<port>` (port resolved when binding port 0).
+    Tcp(String),
+    /// `unix:<path>`.
+    Unix(PathBuf),
+}
+
+impl BoundAddr {
+    /// The `unix:...`/`tcp:...` string clients connect with.
+    pub fn to_connect_string(&self) -> String {
+        match self {
+            BoundAddr::Tcp(addr) => format!("tcp:{addr}"),
+            BoundAddr::Unix(path) => format!("unix:{}", path.display()),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+/// A bound evaluation server. [`run`](Server::run) accepts connections
+/// until a client sends `shutdown`, then drains the engine and returns.
+///
+/// Addresses: `unix:<path>` binds a unix-domain socket; `tcp:<host>:<port>`
+/// (or a bare `<host>:<port>`) binds TCP. Port 0 picks a free port —
+/// read it back from [`addr`](Server::addr).
+pub struct Server {
+    listener: Listener,
+    engine: Engine,
+    addr: BoundAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds a listener and attaches it to `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Addr`] for unparseable addresses and
+    /// [`ServeError::Io`] for bind failures (port in use, stale socket
+    /// path, ...).
+    pub fn bind(addr: &str, engine: Engine) -> Result<Server, ServeError> {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err(ServeError::Addr("empty unix socket path".into()));
+            }
+            let path = PathBuf::from(path);
+            let listener = UnixListener::bind(&path)
+                .map_err(|e| ServeError::Io(format!("bind {}: {e}", path.display())))?;
+            return Ok(Server {
+                listener: Listener::Unix(listener),
+                engine,
+                addr: BoundAddr::Unix(path),
+                stop: Arc::new(AtomicBool::new(false)),
+            });
+        }
+        let hostport = addr.strip_prefix("tcp:").unwrap_or(addr);
+        if !hostport.contains(':') {
+            return Err(ServeError::Addr(format!(
+                "`{addr}` is neither unix:<path> nor <host>:<port>"
+            )));
+        }
+        let listener = TcpListener::bind(hostport)
+            .map_err(|e| ServeError::Io(format!("bind {hostport}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        Ok(Server {
+            listener: Listener::Tcp(listener),
+            engine,
+            addr: BoundAddr::Tcp(local.to_string()),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (with any ephemeral TCP port resolved).
+    pub fn addr(&self) -> &BoundAddr {
+        &self.addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Accepts and serves connections until a `shutdown` request arrives,
+    /// then joins the engine's workers (draining queued jobs) and cleans
+    /// up the socket. Run this on a dedicated thread to serve in the
+    /// background.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if accepting fails outright.
+    pub fn run(self) -> Result<(), ServeError> {
+        let Server {
+            listener,
+            engine,
+            addr,
+            stop,
+        } = self;
+        let mut handlers = Vec::new();
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match &listener {
+                Listener::Tcp(l) => {
+                    let (stream, _) = l.accept().map_err(|e| ServeError::Io(e.to_string()))?;
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    stream.set_nodelay(true).ok(); // request/response lines, not bulk
+                    let engine = engine.clone();
+                    let stop = Arc::clone(&stop);
+                    let addr = addr.clone();
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(stream, &engine, &stop, &addr);
+                    }));
+                }
+                Listener::Unix(l) => {
+                    let (stream, _) = l.accept().map_err(|e| ServeError::Io(e.to_string()))?;
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let engine = engine.clone();
+                    let stop = Arc::clone(&stop);
+                    let addr = addr.clone();
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(stream, &engine, &stop, &addr);
+                    }));
+                }
+            }
+        }
+        for handler in handlers {
+            handler.join().ok();
+        }
+        engine.shutdown();
+        if let BoundAddr::Unix(path) = &addr {
+            std::fs::remove_file(path).ok();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection: read a line, answer a line, until EOF (or a
+/// shutdown request, which also stops the accept loop).
+fn handle_connection<S>(stream: S, engine: &Engine, stop: &AtomicBool, addr: &BoundAddr)
+where
+    for<'a> &'a S: std::io::Read + Write,
+{
+    let mut reader = BufReader::new(&stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = respond(engine, &line);
+        let mut writer = &stream;
+        if writer
+            .write_all((to_line(&response) + "\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            wake_acceptor(addr);
+            return;
+        }
+    }
+}
+
+/// Computes the response for one request line; the boolean asks the
+/// caller to begin shutdown after writing it.
+fn respond(engine: &Engine, line: &str) -> (Value, bool) {
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(message) => return (error_response(message), false),
+    };
+    match request {
+        Request::Submit(spec) => match engine.submit(*spec) {
+            Ok((id, deduped)) => (
+                ok_response(vec![
+                    ("id".into(), Value::UInt(id)),
+                    ("deduped".into(), Value::Bool(deduped)),
+                ]),
+                false,
+            ),
+            Err(message) => (error_response(message), false),
+        },
+        Request::Status(id) => match engine.status(id) {
+            Some(status) => (
+                ok_response(vec![
+                    ("id".into(), Value::UInt(id)),
+                    ("state".into(), Value::Str(status.label().into())),
+                ]),
+                false,
+            ),
+            None => (error_response(format!("unknown job id {id}")), false),
+        },
+        Request::Result(id) => match engine.wait_result(id) {
+            Ok(report) => (
+                ok_response(vec![
+                    ("id".into(), Value::UInt(id)),
+                    ("result".into(), (*report).clone()),
+                ]),
+                false,
+            ),
+            Err(message) => (error_response(message), false),
+        },
+        Request::Stats => (ok_response(vec![("stats".into(), engine.stats())]), false),
+        Request::Shutdown => (ok_response(vec![]), true),
+    }
+}
+
+/// Unblocks the accept loop after `stop` is set by making one throwaway
+/// connection to ourselves.
+fn wake_acceptor(addr: &BoundAddr) {
+    match addr {
+        BoundAddr::Tcp(hostport) => {
+            TcpStream::connect(hostport).ok();
+        }
+        BoundAddr::Unix(path) => {
+            UnixStream::connect(path).ok();
+        }
+    }
+}

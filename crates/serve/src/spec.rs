@@ -1,0 +1,645 @@
+//! Job specifications: the JSON-described units of work a server accepts.
+//!
+//! A [`JobSpec`] names one of the repo's three request kinds — an
+//! [`Experiment`] grid, an [`Exploration`] search, or a [`SubsetRun`]
+//! study — entirely by *registry names* (workloads, evaluators,
+//! objectives, space presets), so clients never serialize machine
+//! configurations. Parsing is lenient (absent fields take the documented
+//! defaults); the canonical re-serialization
+//! ([`JobSpec::to_value`]) is what the job [`fingerprint`](JobSpec::fingerprint)
+//! hashes, so two submissions that *mean* the same job coalesce no matter
+//! which defaults they spelled out.
+
+use mim_core::{DesignSpace, MachineConfig};
+use mim_explore::{Anneal, Exhaustive, Exploration, GreedyAscent, Objective};
+use mim_runner::{CellMemo, EvalKind, Experiment, WorkloadStore};
+use mim_select::SubsetRun;
+use mim_workloads::{mibench, spec as spec_suite, Workload, WorkloadSize};
+use serde::{Serialize, Value};
+
+/// Stable FNV-1a 64-bit hash (the fingerprint arithmetic used across the
+/// repo's content-addressed layers).
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Design-space description by preset name plus optional axis overrides.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SpaceSpec {
+    /// `"default"` (the paper's default machine as a one-point space) or
+    /// `"table2"` (the paper's full 192-point space).
+    pub preset: String,
+    /// Optional replacement for the pipeline-width axis.
+    pub widths: Option<Vec<u32>>,
+}
+
+impl SpaceSpec {
+    fn parse(value: &Value) -> Result<SpaceSpec, String> {
+        Ok(SpaceSpec {
+            preset: str_or(value, "preset", "default")?,
+            widths: opt_u32_list(value, "widths")?,
+        })
+    }
+
+    fn resolve(&self) -> Result<DesignSpace, String> {
+        let mut space = match self.preset.as_str() {
+            "default" => DesignSpace::new(MachineConfig::default_config()),
+            "table2" => DesignSpace::paper_table2(),
+            other => return Err(format!("unknown space preset `{other}`")),
+        };
+        if let Some(widths) = &self.widths {
+            space = space
+                .with_widths(widths.clone())
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(space)
+    }
+}
+
+/// Search-strategy description for exploration jobs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StrategySpec {
+    /// `"exhaustive"`, `"greedy"`, or `"anneal"`.
+    pub name: String,
+    /// RNG seed for stochastic strategies.
+    pub seed: u64,
+    /// Restart count for `"greedy"` (0 keeps the strategy default).
+    pub restarts: usize,
+    /// Evaluation budget for stochastic strategies (0 keeps the default).
+    pub budget: usize,
+}
+
+impl StrategySpec {
+    fn parse(value: &Value) -> Result<StrategySpec, String> {
+        Ok(StrategySpec {
+            name: str_or(value, "name", "exhaustive")?,
+            seed: u64_or(value, "seed", 1)?,
+            restarts: u64_or(value, "restarts", 0)? as usize,
+            budget: u64_or(value, "budget", 0)? as usize,
+        })
+    }
+
+    fn apply(&self, exploration: Exploration) -> Result<Exploration, String> {
+        match self.name.as_str() {
+            "exhaustive" => Ok(exploration.strategy(Exhaustive)),
+            "greedy" => {
+                let mut s = GreedyAscent::new().seed(self.seed);
+                if self.restarts > 0 {
+                    s = s.restarts(self.restarts);
+                }
+                if self.budget > 0 {
+                    s = s.budget(self.budget);
+                }
+                Ok(exploration.strategy(s))
+            }
+            "anneal" => {
+                let mut s = Anneal::new(self.seed);
+                if self.budget > 0 {
+                    s = s.budget(self.budget);
+                }
+                Ok(exploration.strategy(s))
+            }
+            other => Err(format!("unknown strategy `{other}`")),
+        }
+    }
+}
+
+/// An experiment job: a (workload × design-point × evaluator) grid.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExperimentSpec {
+    /// Report title.
+    pub title: String,
+    /// Workload registry names.
+    pub workloads: Vec<String>,
+    /// Size label (`tiny`/`small`/`large`).
+    pub size: String,
+    /// Instruction budget per evaluation, if truncated.
+    pub limit: Option<u64>,
+    /// Evaluator labels (`model`/`sim`/`ooo`).
+    pub evaluators: Vec<String>,
+    /// Whether to run the energy model.
+    pub energy: bool,
+    /// Design space to sweep (absent = the single default machine).
+    pub space: Option<SpaceSpec>,
+    /// Evaluate only every `stride`-th design point.
+    pub stride: usize,
+}
+
+/// An exploration job: strategy-driven search over a design space.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExplorationSpec {
+    /// Report title.
+    pub title: String,
+    /// Workload registry names.
+    pub workloads: Vec<String>,
+    /// Size label (`tiny`/`small`/`large`).
+    pub size: String,
+    /// Instruction budget per evaluation, if truncated.
+    pub limit: Option<u64>,
+    /// Objective names (`cpi`/`delay`/`energy`/`edp`/`ed2p`/`area`).
+    pub objectives: Vec<String>,
+    /// Search strategy.
+    pub strategy: StrategySpec,
+    /// Evaluator label for the search phase.
+    pub evaluator: String,
+    /// Design space to search.
+    pub space: SpaceSpec,
+}
+
+/// A subset job: representative-input selection plus a verified subset
+/// sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SubsetSpec {
+    /// Report title.
+    pub title: String,
+    /// Workload registry names.
+    pub workloads: Vec<String>,
+    /// Size label (`tiny`/`small`/`large`).
+    pub size: String,
+    /// Instruction budget per evaluation, if truncated.
+    pub limit: Option<u64>,
+    /// Evaluator label for the sweep phase.
+    pub evaluator: String,
+    /// Whether to verify the subset against the full suite.
+    pub verify: bool,
+    /// Design space to sweep.
+    pub space: SpaceSpec,
+}
+
+/// One unit of server work: the three request kinds the repo's tools
+/// submit, dispatched on the `"kind"` field of the submitted object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// `{"kind":"experiment",...}` — an [`Experiment`] grid.
+    Experiment(ExperimentSpec),
+    /// `{"kind":"exploration",...}` — an [`Exploration`] search.
+    Exploration(ExplorationSpec),
+    /// `{"kind":"subset",...}` — a [`SubsetRun`] study.
+    Subset(SubsetSpec),
+}
+
+impl JobSpec {
+    /// The spec's kind label (`experiment`/`exploration`/`subset`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::Experiment(_) => "experiment",
+            JobSpec::Exploration(_) => "exploration",
+            JobSpec::Subset(_) => "subset",
+        }
+    }
+
+    /// Parses a job object, validating every name against the registries
+    /// up front — a submission either enqueues or is rejected
+    /// synchronously; it never fails later on a typo.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending field.
+    pub fn from_value(value: &Value) -> Result<JobSpec, String> {
+        if value.as_object().is_none() {
+            return Err(format!("job must be an object, got {}", value.kind()));
+        }
+        let kind = str_or(value, "kind", "")?;
+        let job = match kind.as_str() {
+            "experiment" => JobSpec::Experiment(ExperimentSpec {
+                title: str_or(value, "title", "")?,
+                workloads: str_list(value, "workloads")?,
+                size: str_or(value, "size", "tiny")?,
+                limit: opt_u64(value, "limit")?,
+                evaluators: str_list(value, "evaluators")?,
+                energy: bool_or(value, "energy", false)?,
+                space: match value.get("space") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => Some(SpaceSpec::parse(v)?),
+                },
+                stride: u64_or(value, "stride", 1)?.max(1) as usize,
+            }),
+            "exploration" => JobSpec::Exploration(ExplorationSpec {
+                title: str_or(value, "title", "")?,
+                workloads: str_list(value, "workloads")?,
+                size: str_or(value, "size", "tiny")?,
+                limit: opt_u64(value, "limit")?,
+                objectives: str_list(value, "objectives")?,
+                strategy: match value.get("strategy") {
+                    None | Some(Value::Null) => StrategySpec::parse(&Value::Object(vec![]))?,
+                    Some(v) => StrategySpec::parse(v)?,
+                },
+                evaluator: str_or(value, "evaluator", "model")?,
+                space: match value.get("space") {
+                    None | Some(Value::Null) => SpaceSpec {
+                        preset: "table2".into(),
+                        widths: None,
+                    },
+                    Some(v) => SpaceSpec::parse(v)?,
+                },
+            }),
+            "subset" => JobSpec::Subset(SubsetSpec {
+                title: str_or(value, "title", "")?,
+                workloads: str_list(value, "workloads")?,
+                size: str_or(value, "size", "tiny")?,
+                limit: opt_u64(value, "limit")?,
+                evaluator: str_or(value, "evaluator", "model")?,
+                verify: bool_or(value, "verify", false)?,
+                space: match value.get("space") {
+                    None | Some(Value::Null) => SpaceSpec {
+                        preset: "table2".into(),
+                        widths: None,
+                    },
+                    Some(v) => SpaceSpec::parse(v)?,
+                },
+            }),
+            "" => return Err("job is missing the `kind` field".into()),
+            other => return Err(format!("unknown job kind `{other}`")),
+        };
+        job.validate()?;
+        Ok(job)
+    }
+
+    /// Validates every registry name so rejection happens at submit time.
+    fn validate(&self) -> Result<(), String> {
+        let (workloads, size) = match self {
+            JobSpec::Experiment(s) => (&s.workloads, &s.size),
+            JobSpec::Exploration(s) => (&s.workloads, &s.size),
+            JobSpec::Subset(s) => (&s.workloads, &s.size),
+        };
+        if workloads.is_empty() {
+            return Err("job names no workloads".into());
+        }
+        for name in workloads {
+            find_workload(name)?;
+        }
+        parse_size(size)?;
+        match self {
+            JobSpec::Experiment(s) => {
+                if s.evaluators.is_empty() {
+                    return Err("experiment names no evaluators".into());
+                }
+                for label in &s.evaluators {
+                    parse_eval(label)?;
+                }
+                if let Some(space) = &s.space {
+                    space.resolve()?;
+                }
+            }
+            JobSpec::Exploration(s) => {
+                if s.objectives.is_empty() {
+                    return Err("exploration names no objectives".into());
+                }
+                for name in &s.objectives {
+                    parse_objective(name)?;
+                }
+                parse_eval(&s.evaluator)?;
+                s.space.resolve()?;
+                s.strategy.apply(Exploration::new(s.space.resolve()?))?;
+            }
+            JobSpec::Subset(s) => {
+                parse_eval(&s.evaluator)?;
+                s.space.resolve()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical object form, including the `kind` discriminator — the
+    /// bytes the job fingerprint hashes.
+    pub fn to_value(&self) -> Value {
+        let body = match self {
+            JobSpec::Experiment(s) => s.to_value(),
+            JobSpec::Exploration(s) => s.to_value(),
+            JobSpec::Subset(s) => s.to_value(),
+        };
+        let mut fields = vec![("kind".to_string(), Value::Str(self.kind().to_string()))];
+        if let Value::Object(body) = body {
+            fields.extend(body);
+        }
+        Value::Object(fields)
+    }
+
+    /// Content fingerprint of the canonical form: submissions that mean
+    /// the same job (regardless of which defaults they spelled out) hash
+    /// identically, which is what the engine's job-level dedup keys on.
+    pub fn fingerprint(&self) -> u64 {
+        let canonical =
+            serde_json::to_string(&self.to_value()).expect("spec serialization is infallible");
+        fnv64(canonical.as_bytes())
+    }
+
+    /// Runs the job against the server's shared store and cell memo,
+    /// returning the report as a JSON value (the deterministic bytes the
+    /// protocol's `result` response carries).
+    ///
+    /// Jobs run single-threaded internally: the server's parallelism is
+    /// its worker pool, and fixed-order evaluation keeps every report
+    /// byte-identical across worker counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying evaluation error's message.
+    pub fn execute(&self, store: &WorkloadStore, cells: &CellMemo) -> Result<Value, String> {
+        match self {
+            JobSpec::Experiment(s) => s.execute(store, cells),
+            JobSpec::Exploration(s) => s.execute(store),
+            JobSpec::Subset(s) => s.execute(store),
+        }
+    }
+}
+
+impl ExperimentSpec {
+    fn execute(&self, store: &WorkloadStore, cells: &CellMemo) -> Result<Value, String> {
+        let mut experiment = Experiment::new()
+            .title(&self.title)
+            .size(parse_size(&self.size)?)
+            .energy(self.energy)
+            .threads(1)
+            .with_cache(store.clone())
+            .with_cells(cells.clone());
+        for name in &self.workloads {
+            experiment = experiment.workload(find_workload(name)?);
+        }
+        if let Some(limit) = self.limit {
+            experiment = experiment.limit(limit);
+        }
+        if let Some(space) = &self.space {
+            experiment = experiment
+                .design_space(space.resolve()?)
+                .stride(self.stride);
+        }
+        let kinds = self
+            .evaluators
+            .iter()
+            .map(|label| parse_eval(label))
+            .collect::<Result<Vec<_>, _>>()?;
+        let report = experiment
+            .evaluators(kinds)
+            .run()
+            .map_err(|e| e.to_string())?;
+        Ok(report.to_value())
+    }
+}
+
+impl ExplorationSpec {
+    fn execute(&self, store: &WorkloadStore) -> Result<Value, String> {
+        let mut exploration = Exploration::new(self.space.resolve()?)
+            .title(&self.title)
+            .size(parse_size(&self.size)?)
+            .evaluator(parse_eval(&self.evaluator)?)
+            .threads(1)
+            .with_cache(store.clone());
+        for name in &self.workloads {
+            exploration = exploration.workload(find_workload(name)?);
+        }
+        if let Some(limit) = self.limit {
+            exploration = exploration.limit(limit);
+        }
+        let objectives = self
+            .objectives
+            .iter()
+            .map(|name| parse_objective(name))
+            .collect::<Result<Vec<_>, _>>()?;
+        let energy = objectives.iter().any(Objective::needs_energy);
+        exploration = exploration.objectives(objectives).energy(energy);
+        exploration = self.strategy.apply(exploration)?;
+        let report = exploration.run().map_err(|e| e.to_string())?;
+        Ok(report.to_value())
+    }
+}
+
+impl SubsetSpec {
+    fn execute(&self, store: &WorkloadStore) -> Result<Value, String> {
+        let mut run = SubsetRun::new(self.space.resolve()?)
+            .title(&self.title)
+            .size(parse_size(&self.size)?)
+            .evaluator(parse_eval(&self.evaluator)?)
+            .verify(self.verify)
+            .threads(1)
+            .with_cache(store.clone());
+        for name in &self.workloads {
+            run = run.workload(find_workload(name)?);
+        }
+        if let Some(limit) = self.limit {
+            run = run.limit(limit);
+        }
+        let report = run.run().map_err(|e| e.to_string())?;
+        Ok(report.to_value())
+    }
+}
+
+/// Finds a workload by name across the full registry (MiBench core +
+/// extended + the SPEC-like suite).
+pub fn find_workload(name: &str) -> Result<Workload, String> {
+    mibench::all()
+        .into_iter()
+        .chain(mibench::extended())
+        .chain(spec_suite::all())
+        .find(|w| w.name() == name)
+        .ok_or_else(|| format!("unknown workload `{name}`"))
+}
+
+/// Parses a size label.
+pub fn parse_size(label: &str) -> Result<WorkloadSize, String> {
+    match label {
+        "tiny" => Ok(WorkloadSize::Tiny),
+        "small" => Ok(WorkloadSize::Small),
+        "large" => Ok(WorkloadSize::Large),
+        other => Err(format!("unknown size `{other}` (tiny/small/large)")),
+    }
+}
+
+/// Parses an evaluator label.
+pub fn parse_eval(label: &str) -> Result<EvalKind, String> {
+    match label {
+        "model" => Ok(EvalKind::Model),
+        "sim" => Ok(EvalKind::Sim),
+        "ooo" => Ok(EvalKind::Ooo),
+        other => Err(format!("unknown evaluator `{other}` (model/sim/ooo)")),
+    }
+}
+
+/// Parses an objective name.
+pub fn parse_objective(name: &str) -> Result<Objective, String> {
+    match name {
+        "cpi" => Ok(Objective::cpi()),
+        "delay" => Ok(Objective::delay()),
+        "energy" => Ok(Objective::energy()),
+        "edp" => Ok(Objective::edp()),
+        "ed2p" => Ok(Objective::ed2p()),
+        "area" => Ok(Objective::area()),
+        other => Err(format!("unknown objective `{other}`")),
+    }
+}
+
+// --- lenient field readers over the Value tree -----------------------------
+
+fn str_or(value: &Value, key: &str, default: &str) -> Result<String, String> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(default.to_string()),
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(v) => Err(format!("field `{key}` must be a string, got {}", v.kind())),
+    }
+}
+
+fn bool_or(value: &Value, key: &str, default: bool) -> Result<bool, String> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(v) => Err(format!("field `{key}` must be a bool, got {}", v.kind())),
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match *v {
+        Value::UInt(u) => Some(u),
+        Value::Int(i) if i >= 0 => Some(i as u64),
+        _ => None,
+    }
+}
+
+fn u64_or(value: &Value, key: &str, default: u64) -> Result<u64, String> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(v) => {
+            as_u64(v).ok_or_else(|| format!("field `{key}` must be an integer, got {}", v.kind()))
+        }
+    }
+}
+
+fn opt_u64(value: &Value, key: &str) -> Result<Option<u64>, String> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => as_u64(v)
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be an integer, got {}", v.kind())),
+    }
+}
+
+fn str_list(value: &Value, key: &str) -> Result<Vec<String>, String> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(Vec::new()),
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => Ok(s.clone()),
+                other => Err(format!(
+                    "field `{key}` must hold strings, got {}",
+                    other.kind()
+                )),
+            })
+            .collect(),
+        Some(v) => Err(format!("field `{key}` must be an array, got {}", v.kind())),
+    }
+}
+
+fn opt_u32_list(value: &Value, key: &str) -> Result<Option<Vec<u32>>, String> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| {
+                as_u64(v)
+                    .and_then(|u| u32::try_from(u).ok())
+                    .ok_or_else(|| format!("field `{key}` must hold small integers"))
+            })
+            .collect::<Result<Vec<u32>, String>>()
+            .map(Some),
+        Some(v) => Err(format!("field `{key}` must be an array, got {}", v.kind())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(json: &str) -> Result<JobSpec, String> {
+        let value: Value = serde_json::from_str(json).expect("test JSON parses");
+        JobSpec::from_value(&value)
+    }
+
+    #[test]
+    fn minimal_experiment_parses_with_defaults() {
+        let job = parse(r#"{"kind":"experiment","workloads":["sha"],"evaluators":["model"]}"#)
+            .expect("parses");
+        match &job {
+            JobSpec::Experiment(s) => {
+                assert_eq!(s.size, "tiny");
+                assert_eq!(s.limit, None);
+                assert!(!s.energy);
+                assert!(s.space.is_none());
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_do_not_change_the_fingerprint() {
+        let terse = parse(r#"{"kind":"experiment","workloads":["sha"],"evaluators":["model"]}"#)
+            .expect("parses");
+        let spelled = parse(
+            r#"{"kind":"experiment","title":"","workloads":["sha"],"size":"tiny",
+                "evaluators":["model"],"energy":false,"stride":1}"#,
+        )
+        .expect("parses");
+        assert_eq!(terse.fingerprint(), spelled.fingerprint());
+        let different =
+            parse(r#"{"kind":"experiment","workloads":["crc32"],"evaluators":["model"]}"#)
+                .expect("parses");
+        assert_ne!(terse.fingerprint(), different.fingerprint());
+    }
+
+    #[test]
+    fn bad_names_are_rejected_at_parse_time() {
+        for (json, needle) in [
+            (r#"{"kind":"mystery"}"#, "unknown job kind"),
+            (
+                r#"{"kind":"experiment","evaluators":["model"]}"#,
+                "no workloads",
+            ),
+            (
+                r#"{"kind":"experiment","workloads":["nope"],"evaluators":["model"]}"#,
+                "unknown workload",
+            ),
+            (
+                r#"{"kind":"experiment","workloads":["sha"],"evaluators":["magic"]}"#,
+                "unknown evaluator",
+            ),
+            (
+                r#"{"kind":"experiment","workloads":["sha"],"evaluators":["model"],"size":"xl"}"#,
+                "unknown size",
+            ),
+            (
+                r#"{"kind":"exploration","workloads":["sha"],"objectives":["vibes"]}"#,
+                "unknown objective",
+            ),
+            (
+                r#"{"kind":"exploration","workloads":["sha"],"objectives":["cpi"],
+                    "strategy":{"name":"lucky"}}"#,
+                "unknown strategy",
+            ),
+            (
+                r#"{"kind":"subset","workloads":["sha"],"space":{"preset":"huge"}}"#,
+                "unknown space preset",
+            ),
+        ] {
+            let err = parse(json).expect_err(json);
+            assert!(err.contains(needle), "`{err}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn execute_runs_a_tiny_experiment() {
+        let job = parse(
+            r#"{"kind":"experiment","workloads":["sha"],"evaluators":["model"],
+                "limit":20000}"#,
+        )
+        .expect("parses");
+        let store = WorkloadStore::new();
+        let cells = CellMemo::new();
+        let report = job.execute(&store, &cells).expect("runs");
+        assert!(report.get("rows").and_then(Value::as_array).is_some());
+        assert_eq!(cells.stats().misses, 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! End-to-end protocol tests: a real server on a real socket, driven by
+//! the blocking [`Client`], over both transports.
+
+use std::thread;
+
+use mim_serve::{CellMemo, Client, JobSpec, Server, WorkloadStore};
+use serde::Value;
+
+use mim_serve::Engine;
+
+/// Parses a job spec from its JSON line.
+fn job(json: &str) -> JobSpec {
+    let value: Value = serde_json::from_str(json).expect("job JSON parses");
+    JobSpec::from_value(&value).expect("job spec is valid")
+}
+
+/// A tiny experiment the tests submit over and over.
+fn quick_experiment(title: &str) -> JobSpec {
+    job(&format!(
+        r#"{{"kind":"experiment","title":"{title}","workloads":["sha"],"size":"tiny","limit":20000,"evaluators":["model"]}}"#
+    ))
+}
+
+/// Boots a server on `addr`, runs `drive` against it, shuts down, joins.
+fn with_server(addr: &str, drive: impl FnOnce(&str, &Engine)) {
+    let engine = Engine::start(WorkloadStore::new(), CellMemo::new(), 2, 32);
+    let server = Server::bind(addr, engine.clone()).expect("bind");
+    let connect = server.addr().to_connect_string();
+    let handle = thread::spawn(move || server.run());
+    drive(&connect, &engine);
+    let mut closer = Client::connect(&connect).expect("connect for shutdown");
+    closer.shutdown().expect("shutdown accepted");
+    drop(closer);
+    handle.join().expect("server thread").expect("server ran");
+}
+
+#[test]
+fn tcp_round_trip_submits_and_fetches() {
+    with_server("tcp:127.0.0.1:0", |addr, _| {
+        let mut client = Client::connect(addr).expect("connect");
+        let submitted = client.submit(&quick_experiment("tcp")).expect("submit");
+        assert!(!submitted.deduped, "fresh job must not report deduped");
+        let state = client.status(submitted.id).expect("status");
+        assert!(
+            ["queued", "running", "done"].contains(&state.as_str()),
+            "unexpected state `{state}`"
+        );
+        let report = client.result(submitted.id).expect("result");
+        let rows = report.get("rows").and_then(Value::as_array).expect("rows");
+        assert!(!rows.is_empty(), "experiment report has rows");
+        assert_eq!(client.status(submitted.id).expect("status"), "done");
+    });
+}
+
+#[test]
+fn unix_round_trip_submits_and_fetches() {
+    let socket = std::env::temp_dir().join(format!("mim-serve-e2e-{}.sock", std::process::id()));
+    std::fs::remove_file(&socket).ok();
+    with_server(&format!("unix:{}", socket.display()), |addr, _| {
+        let mut client = Client::connect(addr).expect("connect");
+        let submitted = client.submit(&quick_experiment("unix")).expect("submit");
+        let report = client.result(submitted.id).expect("result");
+        assert!(report.get("rows").is_some());
+    });
+    assert!(!socket.exists(), "server removes its socket file on exit");
+}
+
+#[test]
+fn identical_submissions_coalesce_across_connections() {
+    with_server("tcp:127.0.0.1:0", |addr, _| {
+        let spec = quick_experiment("dedup");
+        let mut a = Client::connect(addr).expect("connect a");
+        let mut b = Client::connect(addr).expect("connect b");
+        let first = a.submit(&spec).expect("submit a");
+        let second = b.submit(&spec).expect("submit b");
+        assert_eq!(first.id, second.id, "identical jobs share one id");
+        assert!(second.deduped, "second submission coalesces");
+        let text_a = a.result_text(first.id).expect("result a");
+        let text_b = b.result_text(second.id).expect("result b");
+        assert_eq!(text_a, text_b, "both clients read identical bytes");
+    });
+}
+
+#[test]
+fn overlapping_sweeps_share_cells_and_executions() {
+    with_server("tcp:127.0.0.1:0", |addr, engine| {
+        // Two different titles → different job fingerprints, but identical
+        // cells underneath: the second job should hit the memo everywhere.
+        let mut client = Client::connect(addr).expect("connect");
+        let first = client.submit(&quick_experiment("sweep-a")).expect("a");
+        let second = client.submit(&quick_experiment("sweep-b")).expect("b");
+        assert_ne!(first.id, second.id, "different titles are different jobs");
+        let text_a = client.result_text(first.id).expect("result a");
+        let text_b = client.result_text(second.id).expect("result b");
+        // Titles differ inside the payload, so compare the rows only.
+        let a: Value = serde_json::from_str(&text_a).expect("a parses");
+        let b: Value = serde_json::from_str(&text_b).expect("b parses");
+        assert_eq!(a.get("rows"), b.get("rows"), "identical rows");
+
+        let stats = engine.stats();
+        let cells = stats.get("cells").expect("cells stats");
+        let hits = stat(cells, "hits");
+        let misses = stat(cells, "misses");
+        assert!(
+            hits >= misses,
+            "second sweep hits the memo ({hits} hits, {misses} misses)"
+        );
+        let store = stats.get("store").expect("store stats");
+        assert_eq!(
+            stat(store, "functional_executions"),
+            1,
+            "one workload recorded once, everything else replayed"
+        );
+    });
+}
+
+#[test]
+fn exploration_and_subset_jobs_run_end_to_end() {
+    with_server("tcp:127.0.0.1:0", |addr, _| {
+        let mut client = Client::connect(addr).expect("connect");
+        let explore = job(
+            r#"{"kind":"exploration","title":"e2e explore","workloads":["sha"],"size":"tiny","limit":20000,"objectives":["cpi"],"strategy":{"name":"greedy","seed":7,"restarts":1,"budget":40}}"#,
+        );
+        let submitted = client.submit(&explore).expect("submit exploration");
+        let report = client.result(submitted.id).expect("exploration result");
+        assert!(report.get("best").is_some() || report.get("frontier").is_some());
+
+        let subset = job(
+            r#"{"kind":"subset","title":"e2e subset","workloads":["sha","qsort"],"size":"tiny","limit":20000,"selection":["sha"]}"#,
+        );
+        let submitted = client.submit(&subset).expect("submit subset");
+        let report = client.result(submitted.id).expect("subset result");
+        assert!(report.as_object().is_some());
+    });
+}
+
+#[test]
+fn bad_requests_get_typed_errors_not_disconnects() {
+    with_server("tcp:127.0.0.1:0", |addr, _| {
+        let mut client = Client::connect(addr).expect("connect");
+        // Unknown id → rejected, connection stays usable.
+        let err = client.result(99_999).expect_err("unknown id");
+        assert!(err.to_string().contains("unknown"), "got `{err}`");
+        // Bad job spec → rejected at submit time.
+        let value: Value = serde_json::from_str(
+            r#"{"kind":"experiment","workloads":["nope"],"evaluators":["model"]}"#,
+        )
+        .expect("parses as JSON");
+        let err = JobSpec::from_value(&value).expect_err("unknown workload rejected");
+        assert!(err.contains("unknown workload"));
+        // The connection still answers after errors.
+        let submitted = client
+            .submit(&quick_experiment("after-error"))
+            .expect("submit");
+        assert!(client.result(submitted.id).is_ok());
+    });
+}
+
+/// Reads one numeric counter out of a stats sub-object.
+fn stat(stats: &Value, key: &str) -> u64 {
+    match stats.get(key) {
+        Some(Value::UInt(u)) => *u,
+        Some(Value::Int(i)) => *i as u64,
+        other => panic!("stats `{key}` missing or non-numeric: {other:?}"),
+    }
+}

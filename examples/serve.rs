@@ -1,0 +1,54 @@
+//! The evaluation service, in-process: boot a `mim-serve` engine on a
+//! private TCP port, submit the same sweep twice from a client, and show
+//! that the second submission coalesces onto the first — one computation,
+//! byte-identical reports, and live cache counters.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example serve
+//! ```
+//!
+//! The same protocol is available out-of-process via the binary:
+//! `mim-serve --addr tcp:127.0.0.1:7171 --store-dir .mim-store`.
+
+use mim::prelude::*;
+use mim::serve::{Client, Engine, JobSpec, Server};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A memory-only store; pass `WorkloadStore::persistent(dir)?` instead
+    // and results additionally survive process restarts.
+    let engine = Engine::start(WorkloadStore::new(), CellMemo::new(), 2, 64);
+    let server = Server::bind("tcp:127.0.0.1:0", engine)?;
+    let addr = server.addr().to_connect_string();
+    println!("serving on {addr}");
+    let handle = std::thread::spawn(move || server.run());
+
+    let job: mim::serve::protocol::Value = serde_json::from_str(
+        r#"{"kind":"experiment","title":"example sweep",
+            "workloads":["sha","qsort"],"size":"tiny","limit":20000,
+            "evaluators":["model","sim"]}"#,
+    )?;
+    let job = JobSpec::from_value(&job)?;
+
+    let mut client = Client::connect(&addr)?;
+    let first = client.submit(&job)?;
+    let first_text = client.result_text(first.id)?;
+    println!("job {} done: {} report bytes", first.id, first_text.len());
+
+    let second = client.submit(&job)?;
+    println!(
+        "resubmitted: id {} (deduped: {}) — no new work queued",
+        second.id, second.deduped
+    );
+    assert!(second.deduped && second.id == first.id);
+    assert_eq!(first_text, client.result_text(second.id)?);
+
+    let stats = client.stats()?;
+    println!("server stats: {}", serde_json::to_string(&stats)?);
+
+    client.shutdown()?;
+    drop(client);
+    handle.join().expect("server thread")?;
+    Ok(())
+}

@@ -43,6 +43,15 @@
 //!   [`SubsetRun`](mim_select::SubsetRun)s that sweep a design space on
 //!   the medoids only and report extrapolated metrics with a
 //!   sim-verified error bound
+//! * [`serve`] — **the concurrent evaluation service**: a persistent,
+//!   sharded, content-addressed on-disk workload store
+//!   ([`DiskStore`](mim_serve::DiskStore)) under the shared
+//!   [`WorkloadStore`](mim_runner::WorkloadStore), a job
+//!   [`Engine`](mim_serve::Engine) (bounded queue, worker pool, job- and
+//!   cell-level dedup of overlapping sweeps), and a line-delimited JSON
+//!   protocol over TCP/unix sockets served by the `mim-serve` binary —
+//!   repeated and overlapping requests never re-execute anything, even
+//!   across process restarts
 //!
 //! ## Quickstart
 //!
@@ -109,6 +118,7 @@ pub use mim_power as power;
 pub use mim_profile as profile;
 pub use mim_runner as runner;
 pub use mim_select as select;
+pub use mim_serve as serve;
 pub use mim_trace as trace;
 pub use mim_validate as validate;
 pub use mim_workloads as workloads;
@@ -125,12 +135,13 @@ pub mod prelude {
     pub use mim_power::{EnergyModel, EnergyReport};
     pub use mim_profile::Profiler;
     pub use mim_runner::{
-        EvalKind, EvalResult, Evaluator, Experiment, ExperimentReport, ModelEvaluator,
-        OooEvaluator, SimEvaluator, WorkloadSpec, WorkloadStore,
+        CellMemo, EvalKind, EvalResult, Evaluator, Experiment, ExperimentReport, ModelEvaluator,
+        OooEvaluator, SimEvaluator, StoreStats, WorkloadSpec, WorkloadStore,
     };
     pub use mim_select::{
         Distance, RepresentativeSet, Selection, Signature, SubsetReport, SubsetRun,
     };
+    pub use mim_serve::{Client, Engine, JobSpec, Server};
     pub use mim_trace::{LiveVm, Sampling, Trace, TraceSource};
     pub use mim_validate::{BehaviorSpace, DifferentialRun, ErrorTerm, ValidationReport};
     pub use mim_workloads::WorkloadSize;

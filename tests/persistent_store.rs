@@ -1,0 +1,143 @@
+//! Acceptance tests for the persistent workload store and the bounded
+//! in-memory caches behind long-running servers:
+//!
+//! * `StoreStats` counters account every trace/profile request of a
+//!   repeated sweep (hits, misses, bytes persisted);
+//! * a warm restart — a fresh process pointed at the same store
+//!   directory — performs **zero** functional executions and reproduces
+//!   byte-identical reports;
+//! * the LRU capacity bound keeps memory bounded without changing a
+//!   single output byte.
+
+use std::path::PathBuf;
+
+use mim::core::DesignSpace;
+use mim::runner::{CellMemo, EvalKind, Experiment, ExperimentReport, WorkloadStore};
+use mim::workloads::{mibench, WorkloadSize};
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mim-persistent-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id(),
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn sweep(store: &WorkloadStore, cells: Option<&CellMemo>) -> ExperimentReport {
+    let mut experiment = Experiment::new()
+        .title("persistent-store acceptance")
+        .workloads([mibench::sha(), mibench::qsort()])
+        .size(WorkloadSize::Tiny)
+        .limit(20_000)
+        .design_space(DesignSpace::paper_table2())
+        .stride(24)
+        .evaluators([EvalKind::Model, EvalKind::Sim])
+        .threads(2)
+        .with_cache(store.clone());
+    if let Some(memo) = cells {
+        experiment = experiment.with_cells(memo.clone());
+    }
+    experiment.run().expect("sweep runs")
+}
+
+/// Satellite: `StoreStats` accounts a repeated sweep — first run all
+/// misses, second run all hits, no new functional executions.
+#[test]
+fn store_stats_count_a_repeated_sweep() {
+    let store = WorkloadStore::new();
+    let first = sweep(&store, None);
+    let s1 = store.stats();
+    // One recording + one replayed profile per workload, nothing cached
+    // beforehand.
+    assert_eq!(s1.trace_misses, 2, "one recording per workload");
+    assert_eq!(s1.profile_misses, 2, "one profiling pass per workload");
+    assert_eq!(s1.functional_executions, 2, "recordings are the only runs");
+    assert_eq!(s1.bytes_persisted, 0, "memory-only store persists nothing");
+    assert!(
+        s1.trace_hits >= 2 && s1.profile_hits >= 2,
+        "grid cells replay the warm-phase entries: {s1:?}"
+    );
+
+    let second = sweep(&store, None);
+    let s2 = store.stats();
+    assert_eq!(s2.trace_misses, 2, "second sweep records nothing");
+    assert_eq!(s2.profile_misses, 2, "second sweep profiles nothing");
+    assert_eq!(s2.functional_executions, 2);
+    assert!(s2.trace_hits > s1.trace_hits);
+    assert!(s2.profile_hits > s1.profile_hits);
+    assert_eq!(first.to_json(), second.to_json(), "hits change nothing");
+}
+
+/// Tentpole: a fresh store pointed at the same directory — a process
+/// restart — serves everything from disk: zero functional executions,
+/// byte-identical report.
+#[test]
+fn warm_restart_executes_nothing() {
+    let root = temp_root("restart");
+
+    let cold_store = WorkloadStore::persistent(&root).expect("store opens");
+    let cold = sweep(&cold_store, None);
+    let cold_stats = cold_store.stats();
+    assert_eq!(cold_stats.functional_executions, 2);
+    assert!(cold_stats.bytes_persisted > 0, "artifacts were persisted");
+
+    // "Restart": a brand-new handle with cold memory, warm disk.
+    let warm_store = WorkloadStore::persistent(&root).expect("store reopens");
+    let warm = sweep(&warm_store, None);
+    let warm_stats = warm_store.stats();
+    assert_eq!(
+        warm_stats.functional_executions, 0,
+        "every artifact loads from disk: {warm_stats:?}"
+    );
+    assert_eq!(warm_stats.trace_disk_hits, 2);
+    assert_eq!(warm_stats.profile_disk_hits, 2);
+    assert_eq!(warm_stats.trace_misses + warm_stats.profile_misses, 0);
+    assert_eq!(cold.to_json(), warm.to_json(), "disk loads change nothing");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Satellite: the LRU capacity bound evicts entries but never changes
+/// results — a capacity-1 store reproduces the unbounded store's bytes.
+#[test]
+fn lru_eviction_keeps_determinism() {
+    let unbounded = sweep(&WorkloadStore::new(), None);
+
+    let bounded_store = WorkloadStore::with_capacity(1);
+    let bounded = sweep(&bounded_store, None);
+    let stats = bounded_store.stats();
+    assert!(
+        stats.evictions > 0,
+        "two workloads through capacity 1 must evict: {stats:?}"
+    );
+    assert_eq!(bounded_store.cached_traces(), 1, "capacity holds");
+    assert_eq!(bounded_store.cached_profiles(), 1, "capacity holds");
+    assert_eq!(
+        unbounded.to_json(),
+        bounded.to_json(),
+        "eviction trades time, never bytes"
+    );
+}
+
+/// A shared `CellMemo` answers a repeated experiment's entire grid from
+/// memory — the server-side dedup of overlapping sweep cells.
+#[test]
+fn cell_memo_answers_repeated_grids() {
+    let store = WorkloadStore::new();
+    let memo = CellMemo::new();
+    let first = sweep(&store, Some(&memo));
+    let after_first = memo.stats();
+    assert_eq!(after_first.hits, 0, "cold memo");
+    assert_eq!(after_first.misses as usize, first.rows.len());
+
+    let second = sweep(&store, Some(&memo));
+    let after_second = memo.stats();
+    assert_eq!(
+        after_second.misses, after_first.misses,
+        "second grid computes nothing"
+    );
+    assert_eq!(after_second.hits as usize, second.rows.len());
+    assert_eq!(first.to_json(), second.to_json());
+}
