@@ -9,10 +9,14 @@
 //! * **determinism** — the same job yields byte-identical report payloads
 //!   across runs and across worker counts (1 vs 4);
 //! * **warm restarts** — a fresh engine over the same persistent store
-//!   performs zero functional executions for previously-seen cells.
+//!   performs zero functional executions for previously-seen cells;
+//! * **cheap telemetry** — the same storm with latency timestamping
+//!   globally off (`mim_obs::set_timing(false)`) produces byte-identical
+//!   reports, and turning instrumentation on costs ≤ 5% throughput.
 //!
-//! The measured numbers land in `BENCH_serve.json` at the workspace root
-//! so the perf trajectory is tracked across PRs.
+//! The measured numbers — including p50/p99 job latency scraped from the
+//! engine's `mim-obs` registry — land in `BENCH_serve.json` at the
+//! workspace root so the perf trajectory is tracked across PRs.
 
 use std::collections::BTreeMap;
 use std::hint::black_box;
@@ -51,6 +55,17 @@ fn job_pool() -> Vec<JobSpec> {
     pool
 }
 
+/// Returns whichever of two load runs finished sooner (the second one is
+/// produced lazily so both runs happen back to back).
+fn faster_of(first: LoadRun, second: impl FnOnce() -> LoadRun) -> LoadRun {
+    let second = second();
+    if first.seconds <= second.seconds {
+        first
+    } else {
+        second
+    }
+}
+
 /// Reads one numeric counter out of a stats sub-object.
 fn stat(stats: &Value, section: &str, key: &str) -> u64 {
     match stats.get(section).and_then(|s| s.get(key)) {
@@ -70,6 +85,18 @@ struct LoadRun {
     cell_hits: u64,
     cell_misses: u64,
     executions: u64,
+    /// Median and tail job run latency from the engine's metrics
+    /// registry, in nanoseconds (zero when timing is globally off).
+    run_p50_ns: f64,
+    run_p99_ns: f64,
+    total_p50_ns: f64,
+    total_p99_ns: f64,
+}
+
+impl LoadRun {
+    fn requests_per_second(&self) -> f64 {
+        self.requests as f64 / self.seconds.max(1e-9)
+    }
 }
 
 fn run_load(store: WorkloadStore, workers: usize) -> LoadRun {
@@ -115,6 +142,12 @@ fn run_load(store: WorkloadStore, workers: usize) -> LoadRun {
     let seconds = started.elapsed().as_secs_f64();
 
     let stats = engine.stats();
+    let metrics = engine.metrics();
+    let quantile = |name: &str, q: f64| {
+        metrics
+            .histogram(name)
+            .map_or(0.0, |h| if h.count == 0 { 0.0 } else { h.quantile(q) })
+    };
     let run = LoadRun {
         reports,
         seconds,
@@ -123,6 +156,10 @@ fn run_load(store: WorkloadStore, workers: usize) -> LoadRun {
         cell_hits: stat(&stats, "cells", "hits"),
         cell_misses: stat(&stats, "cells", "misses"),
         executions: stat(&stats, "store", "functional_executions"),
+        run_p50_ns: quantile("jobs.run_ns", 0.5),
+        run_p99_ns: quantile("jobs.run_ns", 0.99),
+        total_p50_ns: quantile("jobs.total_ns", 0.5),
+        total_p99_ns: quantile("jobs.total_ns", 0.99),
     };
 
     let mut closer = Client::connect(&addr).expect("closer connects");
@@ -170,6 +207,34 @@ fn bench_serve_throughput(c: &mut Criterion) {
         "reports must be byte-identical across restarts"
     );
 
+    // Instrumentation overhead: the same in-memory storm with latency
+    // timestamping globally off vs on. Best-of-two per mode damps
+    // scheduler noise; the comparison is wall-clock throughput.
+    mim_obs::set_timing(false);
+    let off = faster_of(run_load(WorkloadStore::new(), 4), || {
+        run_load(WorkloadStore::new(), 4)
+    });
+    mim_obs::set_timing(true);
+    let on = faster_of(run_load(WorkloadStore::new(), 4), || {
+        run_load(WorkloadStore::new(), 4)
+    });
+    assert_eq!(
+        off.reports, on.reports,
+        "reports must be byte-identical with instrumentation off vs on"
+    );
+    let overhead = 1.0 - on.requests_per_second() / off.requests_per_second();
+    assert!(
+        on.requests_per_second() >= 0.95 * off.requests_per_second(),
+        "instrumentation costs {:.1}% throughput (off {:.0} req/s, on {:.0} req/s); budget is 5%",
+        overhead * 100.0,
+        off.requests_per_second(),
+        on.requests_per_second(),
+    );
+    assert!(
+        on.run_p99_ns > 0.0,
+        "the instrumented storm must populate the job latency histograms"
+    );
+
     // Criterion view: one warm submit→result round-trip over TCP.
     let engine = Engine::start(
         WorkloadStore::persistent(&store_dir).expect("reopen store"),
@@ -215,8 +280,16 @@ fn bench_serve_throughput(c: &mut Criterion) {
         warm_seconds: f64,
         cold_requests_per_second: f64,
         warm_requests_per_second: f64,
+        timing_off_requests_per_second: f64,
+        timing_on_requests_per_second: f64,
+        instrumentation_overhead_pct: f64,
+        job_run_p50_ns: f64,
+        job_run_p99_ns: f64,
+        job_total_p50_ns: f64,
+        job_total_p99_ns: f64,
         byte_identical_across_workers: bool,
         byte_identical_across_restarts: bool,
+        byte_identical_instrumentation_on_vs_off: bool,
     }
     let record = BenchRecord {
         bench: "serve_throughput",
@@ -231,10 +304,18 @@ fn bench_serve_throughput(c: &mut Criterion) {
         warm_restart_executions: warm.executions,
         cold_seconds: cold.seconds,
         warm_seconds: warm.seconds,
-        cold_requests_per_second: cold.requests as f64 / cold.seconds.max(1e-9),
-        warm_requests_per_second: warm.requests as f64 / warm.seconds.max(1e-9),
+        cold_requests_per_second: cold.requests_per_second(),
+        warm_requests_per_second: warm.requests_per_second(),
+        timing_off_requests_per_second: off.requests_per_second(),
+        timing_on_requests_per_second: on.requests_per_second(),
+        instrumentation_overhead_pct: overhead * 100.0,
+        job_run_p50_ns: on.run_p50_ns,
+        job_run_p99_ns: on.run_p99_ns,
+        job_total_p50_ns: on.total_p50_ns,
+        job_total_p99_ns: on.total_p99_ns,
         byte_identical_across_workers: true,
         byte_identical_across_restarts: true,
+        byte_identical_instrumentation_on_vs_off: true,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(
@@ -244,12 +325,15 @@ fn bench_serve_throughput(c: &mut Criterion) {
     .expect("write BENCH_serve.json");
     println!(
         "{} requests cold in {:.2}s ({:.0} req/s, {:.1}% cell hits), warm {:.2}s \
-         with 0 executions -> BENCH_serve.json",
+         with 0 executions, instrumentation overhead {:.1}% (p99 job run {:.1}ms) \
+         -> BENCH_serve.json",
         cold.requests,
         cold.seconds,
-        cold.requests as f64 / cold.seconds.max(1e-9),
+        cold.requests_per_second(),
         hit_rate * 100.0,
         warm.seconds,
+        overhead * 100.0,
+        on.run_p99_ns / 1e6,
     );
 }
 

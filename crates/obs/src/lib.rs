@@ -1,0 +1,65 @@
+//! # mim-obs — the observability layer
+//!
+//! The paper's methodology is cycle *attribution*: mechanistic models
+//! explain where a processor's time goes. This crate applies the same
+//! discipline to the stack's own wall-clock time — a long-running
+//! `mim-serve` must be able to answer "where did this job's 40 ms go"
+//! and "what is p99 queue wait under load" without a debugger. Like the
+//! `crates/compat` stand-ins, it is hand-rolled and dependency-free (the
+//! build environment is offline).
+//!
+//! Three pieces:
+//!
+//! * **metrics registry** — [`Registry`] holds named [`Counter`]s,
+//!   [`Gauge`]s, and fixed-log-bucket [`Histogram`]s (deterministic
+//!   power-of-two bounds, relaxed-atomic recording). A [`Snapshot`]
+//!   serializes to line-JSON and Prometheus-style text, parses back, and
+//!   merges across registries — components own a registry each (so test
+//!   counters stay isolated) and a server exposes one combined payload.
+//! * **span tracing** — [`Span`] RAII guards carrying name/parent/fields
+//!   emit structured start/stop events to a pluggable [`SpanSink`]
+//!   (stderr line-JSON, in-memory [`RingSink`] for tests). With no sink
+//!   installed — the default — a span records nothing but a
+//!   timestamps-off count in the [`global`] registry; `MIM_SPANS=stderr`
+//!   or [`set_span_sink`] turns events on.
+//! * **structured logging** — leveled, field-carrying lines in text or
+//!   JSON form (see [`log`][mod@log]), replacing bare `eprintln!` in the
+//!   binaries.
+//!
+//! All telemetry is out-of-band: nothing here touches result payloads,
+//! which stay byte-deterministic with metrics on or off. The [`clock`] /
+//! [`Histogram::observe_since`] pair respects the global [`set_timing`]
+//! switch (env: `MIM_OBS=off`), so the overhead of timestamping can be
+//! measured — and turned off — without recompiling.
+//!
+//! ## Example
+//!
+//! ```
+//! use mim_obs::{clock, Registry};
+//!
+//! let registry = Registry::new();
+//! let hits = registry.counter("cache.hit");
+//! let latency = registry.histogram("lookup_ns");
+//!
+//! let started = clock();
+//! hits.inc();
+//! latency.observe_since(started);
+//!
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counter("cache.hit"), Some(1));
+//! assert!(snapshot.to_prometheus().contains("# TYPE cache_hit counter"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod log;
+mod registry;
+mod span;
+
+pub use log::{set_log_format, set_log_level, Level, LogFormat};
+pub use registry::{
+    bucket_bounds, bucket_index, clock, global, set_timing, timing_enabled, Counter, Gauge,
+    Histogram, HistogramSnapshot, Registry, Snapshot, NUM_BUCKETS,
+};
+pub use span::{set_span_sink, RingSink, Span, SpanEvent, SpanPhase, SpanSink, StderrSink};

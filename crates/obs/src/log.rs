@@ -1,0 +1,189 @@
+//! Structured logging: leveled, field-carrying log lines in text or JSON
+//! form on stderr, with per-level counters in the global registry.
+//!
+//! This replaces bare `eprintln!` logging in the binaries: every line
+//! carries a level, a target, and key/value fields, and the format is a
+//! runtime switch (`--log-format {text,json}` in `mim-serve`) instead of
+//! an ad-hoc string.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use serde::Value;
+
+use crate::registry::global;
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or user-visible failures.
+    Error = 0,
+    /// Degraded but continuing.
+    Warn = 1,
+    /// Lifecycle events (the default level).
+    Info = 2,
+    /// Per-request noise.
+    Debug = 3,
+}
+
+impl Level {
+    /// Lower-case label (`error`/`warn`/`info`/`debug`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses a label (case-insensitive).
+    pub fn parse(text: &str) -> Option<Level> {
+        match text.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Output shape of a log line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFormat {
+    /// `[LEVEL] target: message key=value ...`
+    Text,
+    /// One compact JSON object per line.
+    Json,
+}
+
+impl LogFormat {
+    /// Lower-case label (`text`/`json`).
+    pub fn label(self) -> &'static str {
+        match self {
+            LogFormat::Text => "text",
+            LogFormat::Json => "json",
+        }
+    }
+
+    /// Parses a label (case-insensitive).
+    pub fn parse(text: &str) -> Option<LogFormat> {
+        match text.to_ascii_lowercase().as_str() {
+            "text" => Some(LogFormat::Text),
+            "json" => Some(LogFormat::Json),
+            _ => None,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static FORMAT: AtomicU8 = AtomicU8::new(0); // 0 = text, 1 = json
+
+/// Sets the maximum level that gets emitted (default [`Level::Info`]).
+pub fn set_log_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current maximum emitted level.
+pub fn log_level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Sets the output format (default [`LogFormat::Text`]).
+pub fn set_log_format(format: LogFormat) {
+    FORMAT.store(matches!(format, LogFormat::Json) as u8, Ordering::Relaxed);
+}
+
+/// The current output format.
+pub fn log_format() -> LogFormat {
+    if FORMAT.load(Ordering::Relaxed) == 0 {
+        LogFormat::Text
+    } else {
+        LogFormat::Json
+    }
+}
+
+/// Emits one structured log line on stderr (when `level` passes the
+/// filter) and bumps the `log.<level>` counter in the global registry
+/// either way.
+pub fn log(level: Level, target: &str, message: &str, fields: &[(&str, String)]) {
+    global().counter(&format!("log.{}", level.label())).inc();
+    if level > log_level() {
+        return;
+    }
+    let line = match log_format() {
+        LogFormat::Text => {
+            let mut line = format!(
+                "[{}] {target}: {message}",
+                level.label().to_ascii_uppercase()
+            );
+            for (key, value) in fields {
+                line.push_str(&format!(" {key}={value}"));
+            }
+            line
+        }
+        LogFormat::Json => {
+            let mut object = vec![
+                ("level".to_string(), Value::Str(level.label().to_string())),
+                ("target".to_string(), Value::Str(target.to_string())),
+                ("message".to_string(), Value::Str(message.to_string())),
+            ];
+            for (key, value) in fields {
+                object.push(((*key).to_string(), Value::Str(value.clone())));
+            }
+            serde_json::to_string(&Value::Object(object))
+                .expect("log line serialization is infallible")
+        }
+    };
+    let mut stderr = std::io::stderr().lock();
+    let _ = writeln!(stderr, "{line}");
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(target: &str, message: &str, fields: &[(&str, String)]) {
+    log(Level::Error, target, message, fields);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(target: &str, message: &str, fields: &[(&str, String)]) {
+    log(Level::Warn, target, message, fields);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(target: &str, message: &str, fields: &[(&str, String)]) {
+    log(Level::Info, target, message, fields);
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(target: &str, message: &str, fields: &[(&str, String)]) {
+    log(Level::Debug, target, message, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Debug);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert_eq!(LogFormat::parse("JSON"), Some(LogFormat::Json));
+        assert_eq!(LogFormat::parse("yaml"), None);
+    }
+
+    #[test]
+    fn suppressed_lines_still_count() {
+        let before = crate::global().counter("log.debug").get();
+        // Default level is info, so this line is filtered but counted.
+        debug("test", "invisible", &[]);
+        assert_eq!(crate::global().counter("log.debug").get(), before + 1);
+    }
+}

@@ -1,0 +1,690 @@
+//! The metrics registry: named counters, gauges, and fixed-log-bucket
+//! histograms with cheap atomic recording and deterministic snapshots.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::time::Instant;
+
+use serde::Value;
+
+/// Number of histogram buckets. Bucket 0 covers `[0, 2)` ns; bucket `i`
+/// covers `[2^i, 2^(i+1))`; the last bucket is open-ended. 44 buckets span
+/// sub-nanosecond to ~2.4 hours, enough for any wall-clock duration the
+/// stack measures.
+pub const NUM_BUCKETS: usize = 44;
+
+/// Process-global switch for wall-clock recording. When off, histogram
+/// timers skip `Instant::now()` entirely and record nothing; counters and
+/// gauges keep working (they cost one relaxed atomic op). Initialized from
+/// the `MIM_OBS` environment variable (`off`/`0`/`false` disable timing)
+/// and overridable at runtime with [`set_timing`].
+static TIMING: AtomicBool = AtomicBool::new(true);
+static TIMING_ENV: Once = Once::new();
+
+fn apply_timing_env() {
+    TIMING_ENV.call_once(|| {
+        if matches!(
+            std::env::var("MIM_OBS").as_deref(),
+            Ok("off" | "0" | "false")
+        ) {
+            TIMING.store(false, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Whether wall-clock (histogram timer) recording is enabled.
+pub fn timing_enabled() -> bool {
+    apply_timing_env();
+    TIMING.load(Ordering::Relaxed)
+}
+
+/// Enables or disables wall-clock recording at runtime (overrides the
+/// `MIM_OBS` environment variable).
+pub fn set_timing(enabled: bool) {
+    apply_timing_env();
+    TIMING.store(enabled, Ordering::Relaxed);
+}
+
+/// Reads the clock iff timing is enabled — the start half of every
+/// latency measurement (pair with [`Histogram::observe_since`]).
+pub fn clock() -> Option<Instant> {
+    timing_enabled().then(Instant::now)
+}
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that goes up and down (queue depths, in-flight
+/// counts).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+/// A fixed-log-bucket histogram of `u64` samples (by convention,
+/// nanoseconds). Bucket bounds are deterministic powers of two (see
+/// [`bucket_bounds`]), recording is two-to-three relaxed atomic adds, and
+/// quantiles are estimated from a [`HistogramSnapshot`] by linear
+/// interpolation within the winning bucket.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// The deterministic `[lo, hi)` bounds of bucket `index`. The last bucket
+/// is open-ended (`hi == u64::MAX`).
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < NUM_BUCKETS, "bucket index out of range");
+    let lo = if index == 0 { 0 } else { 1u64 << index };
+    let hi = if index == NUM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << (index + 1)
+    };
+    (lo, hi)
+}
+
+/// The bucket a value lands in: `floor(log2(value))`, clamped to the
+/// bucket range.
+pub fn bucket_index(value: u64) -> usize {
+    if value < 2 {
+        0
+    } else {
+        ((63 - value.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram(Arc::new(HistogramCore {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the nanoseconds elapsed since `started`, when timing is on
+    /// (`started` comes from [`clock`]; `None` means timing was off at the
+    /// start and nothing is recorded).
+    pub fn observe_since(&self, started: Option<Instant>) {
+        if let Some(started) = started {
+            self.record(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the histogram's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram: total count, total sum, and
+/// per-bucket counts (always `NUM_BUCKETS` long).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Per-bucket counts, aligned with [`bucket_bounds`].
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the bucket holding the target rank. The estimate is exact to
+    /// bucket resolution: it always lies within the winning bucket's
+    /// `[lo, hi)` bounds.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cumulative as f64 + n as f64 >= target {
+                let (lo, hi) = bucket_bounds(i);
+                // Cap the open-ended top bucket at twice its lower bound so
+                // interpolation stays finite.
+                let hi = if hi == u64::MAX {
+                    lo.saturating_mul(2)
+                } else {
+                    hi
+                };
+                let fraction = (target - cumulative as f64) / n as f64;
+                return lo as f64 + fraction * (hi - lo) as f64;
+            }
+            cumulative += n;
+        }
+        // Unreachable with a consistent snapshot; degrade gracefully.
+        self.mean()
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<Vec<(String, Counter)>>,
+    gauges: Mutex<Vec<(String, Gauge)>>,
+    histograms: Mutex<Vec<(String, Histogram)>>,
+}
+
+/// A set of named instruments. Cheaply cloneable (an `Arc` handle) and
+/// thread-safe; components own a registry each and snapshots merge, so
+/// per-component counters stay test-isolated while a server can still
+/// expose one combined metrics payload.
+///
+/// Instruments are get-or-create by name: asking twice for the same name
+/// returns handles to the same underlying atomics.
+///
+/// # Example
+///
+/// ```
+/// let registry = mim_obs::Registry::new();
+/// let requests = registry.counter("requests");
+/// requests.inc();
+/// assert_eq!(registry.counter("requests").get(), 1);
+/// let snapshot = registry.snapshot();
+/// assert_eq!(snapshot.counter("requests"), Some(1));
+/// ```
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns (creating on first use) the named counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.inner.counters.lock().expect("counter list poisoned");
+        if let Some((_, c)) = counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let counter = Counter::default();
+        counters.push((name.to_string(), counter.clone()));
+        counter
+    }
+
+    /// Returns (creating on first use) the named gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut gauges = self.inner.gauges.lock().expect("gauge list poisoned");
+        if let Some((_, g)) = gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let gauge = Gauge::default();
+        gauges.push((name.to_string(), gauge.clone()));
+        gauge
+    }
+
+    /// Returns (creating on first use) the named histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut histograms = self
+            .inner
+            .histograms
+            .lock()
+            .expect("histogram list poisoned");
+        if let Some((_, h)) = histograms.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let histogram = Histogram::default();
+        histograms.push((name.to_string(), histogram.clone()));
+        histogram
+    }
+
+    /// A consistent point-in-time snapshot of every instrument, sorted by
+    /// name.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .inner
+            .counters
+            .lock()
+            .expect("counter list poisoned")
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        let mut gauges: Vec<(String, i64)> = self
+            .inner
+            .gauges
+            .lock()
+            .expect("gauge list poisoned")
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        let mut histograms: Vec<(String, HistogramSnapshot)> = self
+            .inner
+            .histograms
+            .lock()
+            .expect("histogram list poisoned")
+            .iter()
+            .map(|(n, h)| (n.clone(), h.snapshot()))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// The process-global registry: span counts, log counts, and anything not
+/// scoped to a component land here.
+pub fn global() -> &'static Registry {
+    static GLOBAL: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// A point-in-time view of one or more registries: sorted instrument
+/// lists that serialize to line-JSON ([`to_json`](Snapshot::to_json)) and
+/// Prometheus-style text exposition
+/// ([`to_prometheus`](Snapshot::to_prometheus)), and parse back
+/// ([`from_value`](Snapshot::from_value)) for round-trip tests and
+/// scrapers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, state)` histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Merges `other` into `self`: counters and gauges with the same name
+    /// sum, histograms with the same name merge bucket-wise, and the
+    /// result stays name-sorted.
+    pub fn merge(&mut self, other: Snapshot) {
+        for (name, value) in other.counters {
+            match self.counters.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, existing)) => *existing += value,
+                None => self.counters.push((name, value)),
+            }
+        }
+        for (name, value) in other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, existing)) => *existing += value,
+                None => self.gauges.push((name, value)),
+            }
+        }
+        for (name, hist) in other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, existing)) => {
+                    existing.count += hist.count;
+                    existing.sum += hist.sum;
+                    for (mine, theirs) in existing.buckets.iter_mut().zip(&hist.buckets) {
+                        *mine += theirs;
+                    }
+                }
+                None => self.histograms.push((name, hist)),
+            }
+        }
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// The snapshot as a JSON value tree. Histograms carry derived
+    /// `mean`/`p50`/`p90`/`p99` fields plus a sparse `[lo, count]` bucket
+    /// list (non-zero buckets only, identified by their lower bound).
+    pub fn to_value(&self) -> Value {
+        let counters = Value::Object(
+            self.counters
+                .iter()
+                .map(|(n, v)| (n.clone(), Value::UInt(*v)))
+                .collect(),
+        );
+        let gauges = Value::Object(
+            self.gauges
+                .iter()
+                .map(|(n, v)| (n.clone(), Value::Int(*v)))
+                .collect(),
+        );
+        let histograms = Value::Object(
+            self.histograms
+                .iter()
+                .map(|(n, h)| {
+                    let buckets = Value::Array(
+                        h.buckets
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &count)| count > 0)
+                            .map(|(i, &count)| {
+                                Value::Array(vec![
+                                    Value::UInt(bucket_bounds(i).0),
+                                    Value::UInt(count),
+                                ])
+                            })
+                            .collect(),
+                    );
+                    (
+                        n.clone(),
+                        Value::Object(vec![
+                            ("count".into(), Value::UInt(h.count)),
+                            ("sum".into(), Value::UInt(h.sum)),
+                            ("mean".into(), Value::Float(h.mean())),
+                            ("p50".into(), Value::Float(h.quantile(0.50))),
+                            ("p90".into(), Value::Float(h.quantile(0.90))),
+                            ("p99".into(), Value::Float(h.quantile(0.99))),
+                            ("buckets".into(), buckets),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Value::Object(vec![
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("histograms".into(), histograms),
+        ])
+    }
+
+    /// Serializes the snapshot as one compact JSON line.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("snapshot serialization is infallible")
+    }
+
+    /// Reconstructs a snapshot from its [`to_value`](Snapshot::to_value)
+    /// form (derived quantile fields are recomputed, not trusted).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first shape mismatch.
+    pub fn from_value(value: &Value) -> Result<Snapshot, String> {
+        fn uint(value: &Value, what: &str) -> Result<u64, String> {
+            match value {
+                Value::UInt(u) => Ok(*u),
+                Value::Int(i) if *i >= 0 => Ok(*i as u64),
+                other => Err(format!(
+                    "{what} must be an unsigned integer, got {}",
+                    other.kind()
+                )),
+            }
+        }
+        let mut snapshot = Snapshot::default();
+        if let Some(counters) = value.get("counters").and_then(Value::as_object) {
+            for (name, v) in counters {
+                snapshot
+                    .counters
+                    .push((name.clone(), uint(v, "counter value")?));
+            }
+        }
+        if let Some(gauges) = value.get("gauges").and_then(Value::as_object) {
+            for (name, v) in gauges {
+                let value = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => {
+                        i64::try_from(*u).map_err(|_| format!("gauge `{name}` out of i64 range"))?
+                    }
+                    other => {
+                        return Err(format!(
+                            "gauge `{name}` must be an integer, got {}",
+                            other.kind()
+                        ))
+                    }
+                };
+                snapshot.gauges.push((name.clone(), value));
+            }
+        }
+        if let Some(histograms) = value.get("histograms").and_then(Value::as_object) {
+            for (name, h) in histograms {
+                let count = uint(
+                    h.get("count")
+                        .ok_or_else(|| format!("histogram `{name}` has no count"))?,
+                    "histogram count",
+                )?;
+                let sum = uint(
+                    h.get("sum")
+                        .ok_or_else(|| format!("histogram `{name}` has no sum"))?,
+                    "histogram sum",
+                )?;
+                let mut buckets = vec![0u64; NUM_BUCKETS];
+                for entry in h
+                    .get("buckets")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| format!("histogram `{name}` has no bucket list"))?
+                {
+                    let pair = entry.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                        format!("histogram `{name}` bucket is not a [lo, count] pair")
+                    })?;
+                    let lo = uint(&pair[0], "bucket bound")?;
+                    let n = uint(&pair[1], "bucket count")?;
+                    let index = if lo == 0 {
+                        0
+                    } else if lo.is_power_of_two() {
+                        (lo.trailing_zeros() as usize).min(NUM_BUCKETS - 1)
+                    } else {
+                        return Err(format!(
+                            "histogram `{name}` bucket bound {lo} is not a power of two"
+                        ));
+                    };
+                    buckets[index] += n;
+                }
+                snapshot.histograms.push((
+                    name.clone(),
+                    HistogramSnapshot {
+                        count,
+                        sum,
+                        buckets,
+                    },
+                ));
+            }
+        }
+        snapshot.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snapshot.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snapshot.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(snapshot)
+    }
+
+    /// Prometheus-style text exposition: `# TYPE` comments, sanitized
+    /// metric names (non-alphanumerics become `_`), cumulative `_bucket`
+    /// lines with `le` labels, and `_sum`/`_count` per histogram.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            let last_nonzero = h.buckets.iter().rposition(|&n| n > 0);
+            if let Some(last) = last_nonzero {
+                for (i, &n) in h.buckets.iter().enumerate().take(last + 1) {
+                    cumulative += n;
+                    let (_, hi) = bucket_bounds(i);
+                    if hi == u64::MAX {
+                        break; // covered by the +Inf line below
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"{hi}\"}} {cumulative}\n"));
+                }
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_are_get_or_create() {
+        let registry = Registry::new();
+        registry.counter("c").add(3);
+        registry.counter("c").inc();
+        assert_eq!(registry.counter("c").get(), 4);
+        registry.gauge("g").set(5);
+        registry.gauge("g").add(-2);
+        assert_eq!(registry.gauge("g").get(), 3);
+        registry.histogram("h").record(9);
+        assert_eq!(registry.histogram("h").count(), 1);
+    }
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        for value in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            let i = bucket_index(value);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= value, "{value} below bucket {i} bound {lo}");
+            assert!(
+                value < hi || i == NUM_BUCKETS - 1,
+                "{value} above bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_stay_within_their_bucket() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snapshot = h.snapshot();
+        // True p50 is 500, in bucket [256, 512).
+        let p50 = snapshot.quantile(0.50);
+        assert!((256.0..512.0).contains(&p50), "p50 = {p50}");
+        // True p99 is 990, in bucket [512, 1024).
+        let p99 = snapshot.quantile(0.99);
+        assert!((512.0..1024.0).contains(&p99), "p99 = {p99}");
+        assert_eq!(snapshot.count, 1000);
+        assert_eq!(snapshot.sum, 500_500);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let a = Registry::new();
+        a.counter("c").add(1);
+        a.gauge("g").set(2);
+        a.histogram("h").record(10);
+        let b = Registry::new();
+        b.counter("c").add(2);
+        b.counter("only-b").inc();
+        b.histogram("h").record(20);
+        let mut merged = a.snapshot();
+        merged.merge(b.snapshot());
+        assert_eq!(merged.counter("c"), Some(3));
+        assert_eq!(merged.counter("only-b"), Some(1));
+        assert_eq!(merged.gauge("g"), Some(2));
+        assert_eq!(merged.histogram("h").unwrap().count, 2);
+        assert_eq!(merged.histogram("h").unwrap().sum, 30);
+    }
+}

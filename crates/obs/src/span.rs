@@ -1,0 +1,275 @@
+//! Span tracing: RAII guards carrying name/parent/fields that emit
+//! structured start/stop events to a pluggable sink.
+//!
+//! By default no sink is installed and a span records nothing but a
+//! timestamps-off count (`span.<name>` in the [global](crate::global)
+//! registry) — no clock reads, no allocation beyond the counter lookup.
+//! Installing a sink ([`set_span_sink`], or the `MIM_SPANS=stderr`
+//! environment switch) turns on start/stop events with elapsed
+//! nanoseconds; the [`RingSink`] keeps them in memory for tests, the
+//! [`StderrSink`] emits line-JSON.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+use serde::Value;
+
+use crate::registry::global;
+
+/// Start or stop of a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// The span was entered.
+    Start,
+    /// The span was dropped; `elapsed_ns` is populated.
+    End,
+}
+
+impl SpanPhase {
+    /// Lower-case label (`start`/`end`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanPhase::Start => "start",
+            SpanPhase::End => "end",
+        }
+    }
+}
+
+/// One structured span event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Process-unique span sequence number.
+    pub seq: u64,
+    /// Sequence number of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Span name.
+    pub name: String,
+    /// Start or end.
+    pub phase: SpanPhase,
+    /// Wall nanoseconds between start and end (end events only).
+    pub elapsed_ns: Option<u64>,
+    /// Key/value fields attached via [`Span::field`] (end events only).
+    pub fields: Vec<(String, String)>,
+}
+
+impl SpanEvent {
+    /// The event as a JSON value (the [`StderrSink`] line shape).
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("span".to_string(), Value::Str(self.name.clone())),
+            ("seq".to_string(), Value::UInt(self.seq)),
+            (
+                "parent".to_string(),
+                match self.parent {
+                    Some(p) => Value::UInt(p),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "phase".to_string(),
+                Value::Str(self.phase.label().to_string()),
+            ),
+        ];
+        if let Some(ns) = self.elapsed_ns {
+            fields.push(("elapsed_ns".to_string(), Value::UInt(ns)));
+        }
+        for (k, v) in &self.fields {
+            fields.push((k.clone(), Value::Str(v.clone())));
+        }
+        Value::Object(fields)
+    }
+}
+
+/// A destination for span events.
+pub trait SpanSink: Send + Sync {
+    /// Receives one start or end event.
+    fn event(&self, event: &SpanEvent);
+}
+
+/// A sink that writes each event as one JSON line to stderr.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl SpanSink for StderrSink {
+    fn event(&self, event: &SpanEvent) {
+        let line = serde_json::to_string(&event.to_value())
+            .expect("span event serialization is infallible");
+        let mut stderr = std::io::stderr().lock();
+        let _ = writeln!(stderr, "{line}");
+    }
+}
+
+/// An in-memory ring buffer of the most recent events — the test sink.
+#[derive(Debug)]
+pub struct RingSink {
+    events: Mutex<VecDeque<SpanEvent>>,
+    capacity: usize,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            events: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.events
+            .lock()
+            .expect("ring sink poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Drops all buffered events.
+    pub fn clear(&self) {
+        self.events.lock().expect("ring sink poisoned").clear();
+    }
+}
+
+impl SpanSink for RingSink {
+    fn event(&self, event: &SpanEvent) {
+        let mut events = self.events.lock().expect("ring sink poisoned");
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event.clone());
+    }
+}
+
+fn sink_slot() -> &'static RwLock<Option<Arc<dyn SpanSink>>> {
+    static SINK: OnceLock<RwLock<Option<Arc<dyn SpanSink>>>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        let initial: Option<Arc<dyn SpanSink>> = match std::env::var("MIM_SPANS").as_deref() {
+            Ok("stderr") => Some(Arc::new(StderrSink)),
+            _ => None,
+        };
+        RwLock::new(initial)
+    })
+}
+
+/// Installs (or, with `None`, removes) the global span sink, overriding
+/// the `MIM_SPANS` environment switch.
+pub fn set_span_sink(sink: Option<Arc<dyn SpanSink>>) {
+    *sink_slot().write().expect("span sink poisoned") = sink;
+}
+
+fn current_sink() -> Option<Arc<dyn SpanSink>> {
+    sink_slot().read().expect("span sink poisoned").clone()
+}
+
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII span guard: entering counts the span (and, when a sink is
+/// installed, emits a start event); dropping emits the end event with
+/// elapsed nanoseconds and the attached fields.
+///
+/// Spans nest per thread: a span entered while another is live records it
+/// as its parent.
+///
+/// # Example
+///
+/// ```
+/// let _guard = mim_obs::Span::enter("request").field("id", "7");
+/// // ... work ...
+/// // drop emits the end event (if a sink is installed)
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    seq: u64,
+    parent: Option<u64>,
+    name: String,
+    started: Option<Instant>,
+    sink: Option<Arc<dyn SpanSink>>,
+    fields: Vec<(String, String)>,
+}
+
+impl std::fmt::Debug for dyn SpanSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SpanSink")
+    }
+}
+
+impl Span {
+    /// Enters a span. Always bumps the `span.<name>` counter in the
+    /// global registry; reads the clock and emits a start event only when
+    /// a sink is installed.
+    pub fn enter(name: impl Into<String>) -> Span {
+        let name = name.into();
+        global().counter(&format!("span.{name}")).inc();
+        let seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            stack.push(seq);
+            parent
+        });
+        let sink = current_sink();
+        let started = sink.as_ref().map(|_| Instant::now());
+        if let Some(sink) = &sink {
+            sink.event(&SpanEvent {
+                seq,
+                parent,
+                name: name.clone(),
+                phase: SpanPhase::Start,
+                elapsed_ns: None,
+                fields: Vec::new(),
+            });
+        }
+        Span {
+            seq,
+            parent,
+            name,
+            started,
+            sink,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attaches a key/value field, reported on the end event.
+    #[must_use]
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<String>) -> Span {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// This span's process-unique sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(i) = stack.iter().rposition(|&s| s == self.seq) {
+                stack.remove(i);
+            }
+        });
+        if let Some(sink) = &self.sink {
+            sink.event(&SpanEvent {
+                seq: self.seq,
+                parent: self.parent,
+                name: std::mem::take(&mut self.name),
+                phase: SpanPhase::End,
+                elapsed_ns: self
+                    .started
+                    .map(|s| s.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64),
+                fields: std::mem::take(&mut self.fields),
+            });
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Integration tests for the observability layer: deterministic bucket
+//! bounds, quantile resolution, concurrent recording, snapshot
+//! serialization round-trips, Prometheus exposition, and span capture.
+
+use std::sync::Arc;
+
+use mim_obs::{
+    bucket_bounds, bucket_index, set_span_sink, Registry, RingSink, Snapshot, Span, SpanPhase,
+    NUM_BUCKETS,
+};
+
+#[test]
+fn bucket_bounds_are_deterministic_powers_of_two() {
+    // Bucket 0 is [0, 2); bucket i is [2^i, 2^(i+1)); the last is open.
+    assert_eq!(bucket_bounds(0).0, 0);
+    for i in 1..NUM_BUCKETS {
+        let (lo, hi) = bucket_bounds(i);
+        assert_eq!(lo, 1u64 << i, "bucket {i} lower bound");
+        if i + 1 < NUM_BUCKETS {
+            assert_eq!(hi, 1u64 << (i + 1), "bucket {i} upper bound");
+        }
+    }
+    // Every representable value maps into exactly the bucket whose bounds
+    // contain it — spot-check the edges where off-by-ones live.
+    for value in [0, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+        let i = bucket_index(value);
+        let (lo, hi) = bucket_bounds(i);
+        assert!(lo <= value, "{value} below bucket {i} bound {lo}");
+        assert!(
+            value < hi || i == NUM_BUCKETS - 1,
+            "{value} above bucket {i}"
+        );
+    }
+}
+
+#[test]
+fn quantile_estimates_stay_within_bucket_resolution() {
+    let registry = Registry::new();
+    let h = registry.histogram("latency_ns");
+    for v in 1..=1000u64 {
+        h.record(v);
+    }
+    let snapshot = h.snapshot();
+    assert_eq!(snapshot.count, 1000);
+    assert_eq!(snapshot.sum, 500_500);
+    // The exact p50 is 500 (bucket [256,512)), p90 is 900, p99 is 990
+    // (both in bucket [512,1024)): estimates must land in the right
+    // bucket, i.e. within a factor-of-two of truth.
+    let p50 = snapshot.quantile(0.5);
+    assert!((256.0..512.0).contains(&p50), "p50 estimate {p50}");
+    let p99 = snapshot.quantile(0.99);
+    assert!((512.0..1024.0).contains(&p99), "p99 estimate {p99}");
+    // Quantiles are monotone in q.
+    assert!(snapshot.quantile(0.1) <= p50);
+    assert!(p50 <= snapshot.quantile(0.9));
+}
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    let registry = Registry::new();
+    let hits = registry.counter("hits");
+    let latency = registry.histogram("latency_ns");
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let hits = hits.clone();
+            let latency = latency.clone();
+            scope.spawn(move || {
+                for i in 0..1000u64 {
+                    hits.inc();
+                    latency.record(t * 1000 + i);
+                }
+            });
+        }
+    });
+    assert_eq!(hits.get(), 8000);
+    let snapshot = latency.snapshot();
+    assert_eq!(snapshot.count, 8000);
+    assert_eq!(snapshot.buckets.iter().sum::<u64>(), 8000);
+}
+
+#[test]
+fn snapshot_round_trips_through_json() {
+    let registry = Registry::new();
+    registry.counter("requests").add(42);
+    registry.gauge("queue_depth").set(-3);
+    let h = registry.histogram("wait_ns");
+    for v in [1, 100, 10_000, 1_000_000] {
+        h.record(v);
+    }
+    let snapshot = registry.snapshot();
+    let parsed = Snapshot::from_value(
+        &serde_json::from_str(&snapshot.to_json()).expect("snapshot JSON parses"),
+    )
+    .expect("snapshot reconstructs");
+    assert_eq!(parsed.counter("requests"), Some(42));
+    assert_eq!(parsed.gauge("queue_depth"), Some(-3));
+    let original = snapshot.histogram("wait_ns").expect("histogram");
+    let restored = parsed.histogram("wait_ns").expect("histogram");
+    assert_eq!(original.count, restored.count);
+    assert_eq!(original.sum, restored.sum);
+    assert_eq!(original.buckets, restored.buckets);
+    assert_eq!(original.quantile(0.5), restored.quantile(0.5));
+}
+
+#[test]
+fn merge_sums_counters_and_buckets() {
+    let a = Registry::new();
+    let b = Registry::new();
+    a.counter("shared").add(3);
+    b.counter("shared").add(4);
+    b.counter("only_b").inc();
+    a.histogram("lat").record(10);
+    b.histogram("lat").record(10);
+    b.histogram("lat").record(1_000_000);
+    let mut merged = a.snapshot();
+    merged.merge(b.snapshot());
+    assert_eq!(merged.counter("shared"), Some(7));
+    assert_eq!(merged.counter("only_b"), Some(1));
+    let lat = merged.histogram("lat").expect("merged histogram");
+    assert_eq!(lat.count, 3);
+    assert_eq!(lat.sum, 1_000_020);
+}
+
+#[test]
+fn prometheus_exposition_is_well_formed() {
+    let registry = Registry::new();
+    registry.counter("store.trace.hit").add(5);
+    registry.gauge("jobs.queue_depth").set(2);
+    let h = registry.histogram("jobs.run_ns");
+    h.record(100);
+    h.record(200_000);
+    let text = registry.snapshot().to_prometheus();
+    assert!(text.contains("# TYPE store_trace_hit counter"), "{text}");
+    assert!(text.contains("store_trace_hit 5"), "{text}");
+    assert!(text.contains("# TYPE jobs_queue_depth gauge"), "{text}");
+    assert!(text.contains("# TYPE jobs_run_ns histogram"), "{text}");
+    assert!(
+        text.contains(r#"jobs_run_ns_bucket{le="+Inf"} 2"#),
+        "{text}"
+    );
+    assert!(text.contains("jobs_run_ns_sum 200100"), "{text}");
+    assert!(text.contains("jobs_run_ns_count 2"), "{text}");
+    // Cumulative buckets never decrease.
+    let mut last = 0u64;
+    for line in text.lines().filter(|l| l.contains("jobs_run_ns_bucket")) {
+        let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(count >= last, "non-cumulative bucket line: {line}");
+        last = count;
+    }
+}
+
+#[test]
+fn spans_capture_nesting_and_fields_in_a_ring_sink() {
+    let ring = Arc::new(RingSink::new(64));
+    set_span_sink(Some(ring.clone()));
+    {
+        let _outer = Span::enter("outer").field("job", "7");
+        let _inner = Span::enter("inner");
+    }
+    set_span_sink(None);
+    let events = ring.events();
+    assert_eq!(events.len(), 4, "start+end for each of two spans");
+    let outer_start = &events[0];
+    assert_eq!(outer_start.name, "outer");
+    assert_eq!(outer_start.phase, SpanPhase::Start);
+    assert_eq!(outer_start.parent, None);
+    let inner_start = &events[1];
+    assert_eq!(inner_start.name, "inner");
+    assert_eq!(
+        inner_start.parent,
+        Some(outer_start.seq),
+        "inner span records the outer as its parent"
+    );
+    // Drop order: inner ends first; the outer end carries its fields.
+    assert_eq!(events[2].name, "inner");
+    assert_eq!(events[2].phase, SpanPhase::End);
+    let outer_end = &events[3];
+    assert_eq!(outer_end.name, "outer");
+    assert_eq!(outer_end.phase, SpanPhase::End);
+    assert_eq!(outer_end.fields, vec![("job".to_string(), "7".to_string())]);
+}

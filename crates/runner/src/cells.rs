@@ -20,10 +20,10 @@
 //! (e.g. different design-space objects covering the same point) still
 //! share one entry.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use mim_core::MachineConfig;
+use mim_obs::{clock, Counter, Histogram, Registry};
 use mim_workloads::WorkloadSize;
 use serde::{Deserialize, Serialize};
 
@@ -61,9 +61,16 @@ impl CellStats {
 struct MemoInner {
     cells: Mutex<Lru<u64, EvalResult>>,
     flight: Flight<u64>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    registry: Registry,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    /// Wall time of requests answered from memory or by joining an
+    /// in-flight computation (`cells.hit_ns`).
+    hit_ns: Histogram,
+    /// Wall time of requests that ran the cell's model evaluation or
+    /// simulation fresh (`cells.eval_ns`) — the per-cell evaluate latency.
+    eval_ns: Histogram,
 }
 
 /// A thread-safe, cheaply cloneable memo of evaluated grid cells, keyed by
@@ -116,15 +123,26 @@ impl CellMemo {
     }
 
     fn bounded(capacity: Option<usize>) -> CellMemo {
+        let registry = Registry::new();
         CellMemo {
             inner: Arc::new(MemoInner {
                 cells: Mutex::new(Lru::new(capacity)),
                 flight: Flight::new(),
-                hits: AtomicU64::new(0),
-                misses: AtomicU64::new(0),
-                evictions: AtomicU64::new(0),
+                hits: registry.counter("cells.hit"),
+                misses: registry.counter("cells.miss"),
+                evictions: registry.counter("cells.evictions"),
+                hit_ns: registry.histogram("cells.hit_ns"),
+                eval_ns: registry.histogram("cells.eval_ns"),
+                registry,
             }),
         }
+    }
+
+    /// The memo's metrics registry: the [`CellStats`] counters plus the
+    /// `cells.hit_ns` / `cells.eval_ns` latency histograms. Scoped to this
+    /// memo — cloned handles share it, unrelated memos do not.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
     }
 
     /// Content fingerprint of one evaluation cell. Stable across
@@ -159,15 +177,18 @@ impl CellMemo {
         key: u64,
         compute: impl FnOnce() -> Result<EvalResult, EvalError>,
     ) -> Result<EvalResult, EvalError> {
+        let started = clock();
         if let Some(result) = self.cached(key) {
-            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            self.inner.hits.inc();
+            self.inner.hit_ns.observe_since(started);
             return Ok(result);
         }
         if let Some(result) = self.inner.flight.claim(&key, || self.cached(key)) {
-            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            self.inner.hits.inc();
+            self.inner.hit_ns.observe_since(started);
             return Ok(result);
         }
-        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        self.inner.misses.inc();
         let outcome = compute();
         if let Ok(result) = &outcome {
             let evicted = self
@@ -176,9 +197,10 @@ impl CellMemo {
                 .lock()
                 .expect("cell memo poisoned")
                 .insert(key, result.clone());
-            self.inner.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.inner.evictions.add(evicted);
         }
         self.inner.flight.release(&key);
+        self.inner.eval_ns.observe_since(started);
         outcome
     }
 
@@ -200,12 +222,14 @@ impl CellMemo {
         self.len() == 0
     }
 
-    /// A consistent snapshot of the memo's counters.
+    /// A consistent snapshot of the memo's counters, read back from the
+    /// same [`Registry`] instruments the hot path records into (see
+    /// [`registry`](CellMemo::registry)).
     pub fn stats(&self) -> CellStats {
         CellStats {
-            hits: self.inner.hits.load(Ordering::Relaxed),
-            misses: self.inner.misses.load(Ordering::Relaxed),
-            evictions: self.inner.evictions.load(Ordering::Relaxed),
+            hits: self.inner.hits.get(),
+            misses: self.inner.misses.get(),
+            evictions: self.inner.evictions.get(),
         }
     }
 }

@@ -31,6 +31,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use mim_bpred::PredictorConfig;
 use mim_cache::{CacheConfig, HierarchyConfig};
 use mim_isa::Program;
+use mim_obs::{clock, Counter, Histogram, Registry};
 use mim_profile::WorkloadProfile;
 use mim_trace::Trace;
 
@@ -227,8 +228,13 @@ fn profile_key(
 #[derive(Debug)]
 pub struct DiskStore {
     root: PathBuf,
-    /// Bytes written by `put_*` since this handle was opened.
-    bytes_written: AtomicU64,
+    /// Bytes written by `put_*` since this handle was opened
+    /// (`store.disk.bytes_written` in the owning registry).
+    bytes_written: Counter,
+    /// `get_*` wall time in nanoseconds (`store.disk.get_ns`).
+    get_ns: Histogram,
+    /// `put_*` wall time in nanoseconds (`store.disk.put_ns`).
+    put_ns: Histogram,
     /// Monotonic discriminator for temporary file names, so concurrent
     /// writers in one process never collide on the same temp path.
     tmp_seq: AtomicU64,
@@ -244,11 +250,30 @@ impl DiskStore {
     ///
     /// Returns [`StoreError::Io`] if the root directory cannot be created.
     pub fn open(root: impl Into<PathBuf>) -> Result<DiskStore, StoreError> {
+        DiskStore::open_instrumented(root, &Registry::new())
+    }
+
+    /// [`open`](DiskStore::open), with the handle's byte counter and
+    /// read/write latency histograms created in `registry` (as
+    /// `store.disk.bytes_written`, `store.disk.get_ns`,
+    /// `store.disk.put_ns`) instead of a private throwaway registry —
+    /// this is how a [`WorkloadStore`](crate::WorkloadStore) shares one
+    /// registry across its memory and disk tiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the root directory cannot be created.
+    pub fn open_instrumented(
+        root: impl Into<PathBuf>,
+        registry: &Registry,
+    ) -> Result<DiskStore, StoreError> {
         let root = root.into();
         fs::create_dir_all(&root).map_err(|e| StoreError::io(&root, &e))?;
         Ok(DiskStore {
             root,
-            bytes_written: AtomicU64::new(0),
+            bytes_written: registry.counter("store.disk.bytes_written"),
+            get_ns: registry.histogram("store.disk.get_ns"),
+            put_ns: registry.histogram("store.disk.put_ns"),
             tmp_seq: AtomicU64::new(0),
         })
     }
@@ -260,7 +285,7 @@ impl DiskStore {
 
     /// Bytes persisted through this handle (headers + payloads).
     pub fn bytes_written(&self) -> u64 {
-        self.bytes_written.load(Ordering::Relaxed)
+        self.bytes_written.get()
     }
 
     /// Path of the entry for `key`: `<root>/<low byte>/<key>.<ext>`.
@@ -282,9 +307,11 @@ impl DiskStore {
         program: &Program,
         limit: Option<u64>,
     ) -> Result<Option<Trace>, StoreError> {
+        let started = clock();
         let fingerprint = Trace::fingerprint_of(program);
         let path = self.entry_path(trace_key(fingerprint, limit), "trace");
         let Some(payload) = read_entry(&path, KIND_TRACE, fingerprint)? else {
+            self.get_ns.observe_since(started);
             return Ok(None);
         };
         let trace = Trace::from_bytes(&payload).map_err(|e| StoreError::Corrupt {
@@ -299,6 +326,7 @@ impl DiskStore {
                 message: "payload trace does not match the requested program".into(),
             });
         }
+        self.get_ns.observe_since(started);
         Ok(Some(trace))
     }
 
@@ -333,10 +361,12 @@ impl DiskStore {
         l2s: &[CacheConfig],
         predictors: &[PredictorConfig],
     ) -> Result<Option<WorkloadProfile>, StoreError> {
+        let started = clock();
         let fingerprint = Trace::fingerprint_of(program);
         let key = profile_key(fingerprint, limit, hierarchy, l2s, predictors);
         let path = self.entry_path(key, "profile");
         let Some(payload) = read_entry(&path, KIND_PROFILE, fingerprint)? else {
+            self.get_ns.observe_since(started);
             return Ok(None);
         };
         let text = String::from_utf8(payload).map_err(|_| StoreError::Corrupt {
@@ -347,6 +377,7 @@ impl DiskStore {
             path,
             message: e.to_string(),
         })?;
+        self.get_ns.observe_since(started);
         Ok(Some(profile))
     }
 
@@ -382,6 +413,7 @@ impl DiskStore {
         fingerprint: u64,
         payload: &[u8],
     ) -> Result<(), StoreError> {
+        let started = clock();
         let shard = path.parent().expect("entry paths have a shard directory");
         fs::create_dir_all(shard).map_err(|e| StoreError::io(shard, &e))?;
         let mut bytes = Vec::with_capacity(29 + payload.len());
@@ -401,8 +433,8 @@ impl DiskStore {
             fs::remove_file(&tmp).ok();
             StoreError::io(path, &e)
         })?;
-        self.bytes_written
-            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.bytes_written.add(bytes.len() as u64);
+        self.put_ns.observe_since(started);
         Ok(())
     }
 }

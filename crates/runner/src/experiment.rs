@@ -8,6 +8,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use mim_core::{DesignPoint, DesignSpace, MachineConfig};
+use mim_obs::{clock, Span};
 use mim_workloads::WorkloadSize;
 use serde::{Deserialize, Serialize};
 
@@ -558,7 +559,12 @@ impl Experiment {
         // profiling pass) per workload (§2.1), parallel over workloads.
         // Simulation-only experiments without energy skip the profile but
         // still record the trace their simulations replay.
+        let _span = Span::enter("experiment.run")
+            .field("title", self.title.clone())
+            .field("workloads", self.workloads.len().to_string())
+            .field("points", points.len().to_string());
         let t_profile = Instant::now();
+        let warm_span = Span::enter("experiment.warm");
         let needs_profile = self.energy
             || self
                 .kinds
@@ -599,6 +605,7 @@ impl Experiment {
             }
             Ok(())
         });
+        drop(warm_span);
         for outcome in warm {
             outcome?;
         }
@@ -616,9 +623,14 @@ impl Experiment {
             }
         }
         let t_eval = Instant::now();
+        let grid_span = Span::enter("experiment.grid").field("cells", cells.len().to_string());
         let n_builtin = self.kinds.len();
+        // Per-cell evaluate latency lands in the shared store's registry,
+        // so a server merging store metrics sees the grid's distribution.
+        let cell_ns = self.cache.registry().histogram("experiment.cell_ns");
         let outcomes: Vec<Result<EvalResult, EvalError>> =
             parallel_map(threads, &cells, |_, &(wi, pi, ei)| {
+                let cell_started = clock();
                 let spec = &self.workloads[wi];
                 let evaluator = &evaluators[pi][ei];
                 // Memoize built-in cells only: custom evaluators may close
@@ -639,11 +651,13 @@ impl Experiment {
                     _ => evaluator.evaluate(spec, self.size)?,
                 };
                 result.machine_index = pi;
+                cell_ns.observe_since(cell_started);
                 if let Some(on_cell) = &self.on_cell {
                     on_cell(&result);
                 }
                 Ok(result)
             });
+        drop(grid_span);
         let eval_seconds = t_eval.elapsed().as_secs_f64();
         let mut rows = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {

@@ -26,12 +26,12 @@
 //! caller records/profiles while the rest wait on the in-flight marker,
 //! so a burst of identical requests costs one functional execution.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use mim_bpred::PredictorConfig;
 use mim_cache::{CacheConfig, HierarchyConfig};
 use mim_isa::Program;
+use mim_obs::{clock, Counter, Histogram, Registry};
 use mim_profile::{SweepProfiler, WorkloadProfile};
 use mim_trace::Trace;
 use mim_workloads::WorkloadSize;
@@ -193,6 +193,50 @@ impl<K: Clone + PartialEq> Flight<K> {
     }
 }
 
+/// The store's instruments, resolved once against its [`Registry`] so the
+/// hot paths touch pre-looked-up atomics, never the registry's name map.
+///
+/// The counters here **are** the [`StoreStats`] fields — `stats()` reads
+/// them back out of the registry, so the `stats` endpoint of a server and
+/// a `metrics` scrape of the same registry can never disagree.
+struct StoreInstruments {
+    /// Functional `Vm` executions this store has triggered (recordings and
+    /// live profiling passes). Unlike `mim_isa::functional_executions`,
+    /// this counter is scoped to the store, so record-once assertions are
+    /// immune to unrelated VM activity elsewhere in the test process.
+    executions: Counter,
+    trace_hits: Counter,
+    trace_disk_hits: Counter,
+    trace_misses: Counter,
+    profile_hits: Counter,
+    profile_disk_hits: Counter,
+    profile_misses: Counter,
+    evictions: Counter,
+    trace_hit_ns: Histogram,
+    trace_miss_ns: Histogram,
+    profile_hit_ns: Histogram,
+    profile_miss_ns: Histogram,
+}
+
+impl StoreInstruments {
+    fn new(registry: &Registry) -> StoreInstruments {
+        StoreInstruments {
+            executions: registry.counter("store.executions"),
+            trace_hits: registry.counter("store.trace.hit"),
+            trace_disk_hits: registry.counter("store.trace.disk_hit"),
+            trace_misses: registry.counter("store.trace.miss"),
+            profile_hits: registry.counter("store.profile.hit"),
+            profile_disk_hits: registry.counter("store.profile.disk_hit"),
+            profile_misses: registry.counter("store.profile.miss"),
+            evictions: registry.counter("store.evictions"),
+            trace_hit_ns: registry.histogram("store.trace.hit_ns"),
+            trace_miss_ns: registry.histogram("store.trace.miss_ns"),
+            profile_hit_ns: registry.histogram("store.profile.hit_ns"),
+            profile_miss_ns: registry.histogram("store.profile.miss_ns"),
+        }
+    }
+}
+
 struct Inner {
     programs: Mutex<Vec<(ProgramKey, Arc<Program>)>>,
     traces: Mutex<Lru<TraceKey, Arc<Trace>>>,
@@ -200,22 +244,12 @@ struct Inner {
     trace_flight: Flight<TraceKey>,
     profile_flight: Flight<ProfileKey>,
     disk: Option<DiskStore>,
-    /// Functional `Vm` executions this store has triggered (recordings and
-    /// live profiling passes). Unlike `mim_isa::functional_executions`,
-    /// this counter is scoped to the store, so record-once assertions are
-    /// immune to unrelated VM activity elsewhere in the test process.
-    executions: AtomicU64,
-    trace_hits: AtomicU64,
-    trace_disk_hits: AtomicU64,
-    trace_misses: AtomicU64,
-    profile_hits: AtomicU64,
-    profile_disk_hits: AtomicU64,
-    profile_misses: AtomicU64,
-    evictions: AtomicU64,
+    registry: Registry,
+    m: StoreInstruments,
 }
 
 impl Inner {
-    fn with(capacity: Option<usize>, disk: Option<DiskStore>) -> Inner {
+    fn with(capacity: Option<usize>, disk: Option<DiskStore>, registry: Registry) -> Inner {
         Inner {
             programs: Mutex::new(Vec::new()),
             traces: Mutex::new(Lru::new(capacity)),
@@ -223,21 +257,15 @@ impl Inner {
             trace_flight: Flight::new(),
             profile_flight: Flight::new(),
             disk,
-            executions: AtomicU64::new(0),
-            trace_hits: AtomicU64::new(0),
-            trace_disk_hits: AtomicU64::new(0),
-            trace_misses: AtomicU64::new(0),
-            profile_hits: AtomicU64::new(0),
-            profile_disk_hits: AtomicU64::new(0),
-            profile_misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            m: StoreInstruments::new(&registry),
+            registry,
         }
     }
 }
 
 impl Default for Inner {
     fn default() -> Inner {
-        Inner::with(None, None)
+        Inner::with(None, None, Registry::new())
     }
 }
 
@@ -289,7 +317,7 @@ impl WorkloadStore {
     /// bounded: they are small and shared by every size variant.
     pub fn with_capacity(capacity: usize) -> WorkloadStore {
         WorkloadStore {
-            inner: Arc::new(Inner::with(Some(capacity), None)),
+            inner: Arc::new(Inner::with(Some(capacity), None, Registry::new())),
         }
     }
 
@@ -303,8 +331,10 @@ impl WorkloadStore {
     ///
     /// Returns a [`StoreError`] if the directory cannot be created.
     pub fn persistent(dir: impl Into<std::path::PathBuf>) -> Result<WorkloadStore, StoreError> {
+        let registry = Registry::new();
+        let disk = DiskStore::open_instrumented(dir, &registry)?;
         Ok(WorkloadStore {
-            inner: Arc::new(Inner::with(None, Some(DiskStore::open(dir)?))),
+            inner: Arc::new(Inner::with(None, Some(disk), registry)),
         })
     }
 
@@ -320,14 +350,24 @@ impl WorkloadStore {
         dir: impl Into<std::path::PathBuf>,
         capacity: usize,
     ) -> Result<WorkloadStore, StoreError> {
+        let registry = Registry::new();
+        let disk = DiskStore::open_instrumented(dir, &registry)?;
         Ok(WorkloadStore {
-            inner: Arc::new(Inner::with(Some(capacity), Some(DiskStore::open(dir)?))),
+            inner: Arc::new(Inner::with(Some(capacity), Some(disk), registry)),
         })
     }
 
     /// The attached persistent store, if any.
     pub fn disk(&self) -> Option<&DiskStore> {
         self.inner.disk.as_ref()
+    }
+
+    /// The store's metrics registry: the [`StoreStats`] counters plus
+    /// `store.*_ns` latency histograms (trace/profile hit and miss paths,
+    /// persistent-store reads and writes). The registry is scoped to this
+    /// store — cloned handles share it, unrelated stores do not.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
     }
 
     /// Returns the workload's program at `size`, instantiating it on first
@@ -372,9 +412,11 @@ impl WorkloadStore {
         size: WorkloadSize,
         limit: Option<u64>,
     ) -> Result<Arc<Trace>, EvalError> {
+        let started = clock();
         let key = (spec.name().to_string(), size, limit);
         if let Some(t) = self.cached_trace(&key) {
-            self.inner.trace_hits.fetch_add(1, Ordering::Relaxed);
+            self.inner.m.trace_hits.inc();
+            self.inner.m.trace_hit_ns.observe_since(started);
             return Ok(t);
         }
         if let Some(t) = self
@@ -382,7 +424,8 @@ impl WorkloadStore {
             .trace_flight
             .claim(&key, || self.cached_trace(&key))
         {
-            self.inner.trace_hits.fetch_add(1, Ordering::Relaxed);
+            self.inner.m.trace_hits.inc();
+            self.inner.m.trace_hit_ns.observe_since(started);
             return Ok(t);
         }
         // This thread owns the computation; every path must release the
@@ -392,6 +435,7 @@ impl WorkloadStore {
             self.insert_trace(key.clone(), Arc::clone(trace));
         }
         self.inner.trace_flight.release(&key);
+        self.inner.m.trace_miss_ns.observe_since(started);
         outcome
     }
 
@@ -407,12 +451,12 @@ impl WorkloadStore {
             // Damaged entries degrade to a recompute (and get rewritten);
             // persistence must never take an evaluation down.
             if let Ok(Some(trace)) = disk.get_trace(&program, limit) {
-                self.inner.trace_disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.inner.m.trace_disk_hits.inc();
                 return Ok(Arc::new(trace));
             }
         }
-        self.inner.trace_misses.fetch_add(1, Ordering::Relaxed);
-        self.inner.executions.fetch_add(1, Ordering::Relaxed);
+        self.inner.m.trace_misses.inc();
+        self.inner.m.executions.inc();
         let trace = Trace::record(&program, limit)
             .map_err(|e| EvalError::vm(spec.name(), "recorder", &e))?;
         if let Some(disk) = &self.inner.disk {
@@ -428,7 +472,7 @@ impl WorkloadStore {
             .lock()
             .expect("trace cache poisoned")
             .insert(key, trace);
-        self.inner.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.inner.m.evictions.add(evicted);
     }
 
     fn cached_trace(&self, key: &TraceKey) -> Option<Arc<Trace>> {
@@ -462,6 +506,7 @@ impl WorkloadStore {
         l2s: &[CacheConfig],
         predictors: &[PredictorConfig],
     ) -> Result<Arc<WorkloadProfile>, EvalError> {
+        let started = clock();
         let key = ProfileKey {
             workload: spec.name().to_string(),
             size,
@@ -471,7 +516,8 @@ impl WorkloadStore {
             predictors: predictors.to_vec(),
         };
         if let Some(p) = self.cached_profile(&key) {
-            self.inner.profile_hits.fetch_add(1, Ordering::Relaxed);
+            self.inner.m.profile_hits.inc();
+            self.inner.m.profile_hit_ns.observe_since(started);
             return Ok(p);
         }
         if let Some(p) = self
@@ -479,7 +525,8 @@ impl WorkloadStore {
             .profile_flight
             .claim(&key, || self.cached_profile(&key))
         {
-            self.inner.profile_hits.fetch_add(1, Ordering::Relaxed);
+            self.inner.m.profile_hits.inc();
+            self.inner.m.profile_hit_ns.observe_since(started);
             return Ok(p);
         }
         let outcome = self.load_or_compute_profile(spec, &key);
@@ -490,9 +537,10 @@ impl WorkloadStore {
                 .lock()
                 .expect("profile cache poisoned")
                 .insert(key.clone(), Arc::clone(profile));
-            self.inner.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.inner.m.evictions.add(evicted);
         }
         self.inner.profile_flight.release(&key);
+        self.inner.m.profile_miss_ns.observe_since(started);
         outcome
     }
 
@@ -515,11 +563,11 @@ impl WorkloadStore {
                 // program's name so loads are indistinguishable from
                 // computes even across renamed copies.
                 profile.name = program.name().to_string();
-                self.inner.profile_disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.inner.m.profile_disk_hits.inc();
                 return Ok(Arc::new(profile));
             }
         }
-        self.inner.profile_misses.fetch_add(1, Ordering::Relaxed);
+        self.inner.m.profile_misses.inc();
         let profiler = SweepProfiler::new(
             key.hierarchy.clone(),
             key.l2s.clone(),
@@ -536,7 +584,7 @@ impl WorkloadStore {
                     .map_err(|e| EvalError::trace(spec.name(), "profiler", &e))?
             }
             None => {
-                self.inner.executions.fetch_add(1, Ordering::Relaxed);
+                self.inner.m.executions.inc();
                 profiler
                     .profile(&program, key.limit)
                     .map_err(|e| EvalError::vm(spec.name(), "profiler", &e))?
@@ -584,7 +632,7 @@ impl WorkloadStore {
     /// Replayed profiles, simulations, MLP estimates, and persistent-store
     /// loads never increment it.
     pub fn functional_executions(&self) -> u64 {
-        self.inner.executions.load(Ordering::Relaxed)
+        self.inner.m.executions.get()
     }
 
     /// Number of recorded traces (used by tests to assert the record-once
@@ -598,18 +646,23 @@ impl WorkloadStore {
     }
 
     /// A consistent snapshot of the store's counters.
+    ///
+    /// The fields are read back from the same [`Registry`] instruments the
+    /// hot paths record into (see [`registry`](WorkloadStore::registry)),
+    /// so `stats()` and a metrics scrape are two views of one source of
+    /// truth.
     pub fn stats(&self) -> StoreStats {
-        let i = &self.inner;
+        let m = &self.inner.m;
         StoreStats {
-            trace_hits: i.trace_hits.load(Ordering::Relaxed),
-            trace_disk_hits: i.trace_disk_hits.load(Ordering::Relaxed),
-            trace_misses: i.trace_misses.load(Ordering::Relaxed),
-            profile_hits: i.profile_hits.load(Ordering::Relaxed),
-            profile_disk_hits: i.profile_disk_hits.load(Ordering::Relaxed),
-            profile_misses: i.profile_misses.load(Ordering::Relaxed),
-            evictions: i.evictions.load(Ordering::Relaxed),
-            bytes_persisted: i.disk.as_ref().map_or(0, DiskStore::bytes_written),
-            functional_executions: i.executions.load(Ordering::Relaxed),
+            trace_hits: m.trace_hits.get(),
+            trace_disk_hits: m.trace_disk_hits.get(),
+            trace_misses: m.trace_misses.get(),
+            profile_hits: m.profile_hits.get(),
+            profile_disk_hits: m.profile_disk_hits.get(),
+            profile_misses: m.profile_misses.get(),
+            evictions: m.evictions.get(),
+            bytes_persisted: self.inner.disk.as_ref().map_or(0, DiskStore::bytes_written),
+            functional_executions: m.executions.get(),
         }
     }
 }

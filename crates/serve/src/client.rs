@@ -9,7 +9,7 @@ use std::os::unix::net::UnixStream;
 use serde::Value;
 
 use crate::error::ServeError;
-use crate::protocol::{to_line, Request};
+use crate::protocol::{to_line, MetricsFormat, Request};
 use crate::spec::JobSpec;
 
 enum Stream {
@@ -153,6 +153,35 @@ impl Client {
             .get("stats")
             .cloned()
             .ok_or_else(|| ServeError::Protocol("stats reply has no `stats`".into()))
+    }
+
+    /// Fetches the server's merged metrics snapshot as a JSON value
+    /// (counters, gauges, and latency histograms with derived quantiles).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn metrics(&mut self) -> Result<Value, ServeError> {
+        let response = self.request(&Request::Metrics(MetricsFormat::Json))?;
+        response
+            .get("metrics")
+            .cloned()
+            .ok_or_else(|| ServeError::Protocol("metrics reply has no `metrics`".into()))
+    }
+
+    /// Fetches the server's metrics in Prometheus text exposition form.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn metrics_prometheus(&mut self) -> Result<String, ServeError> {
+        let response = self.request(&Request::Metrics(MetricsFormat::Prometheus))?;
+        match response.get("metrics_text") {
+            Some(Value::Str(s)) => Ok(s.clone()),
+            _ => Err(ServeError::Protocol(
+                "metrics reply has no `metrics_text`".into(),
+            )),
+        }
     }
 
     /// Asks the server to drain and stop.

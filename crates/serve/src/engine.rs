@@ -22,7 +22,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
+use mim_obs::{clock, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, Span};
 use mim_runner::{CellMemo, WorkloadStore};
 use serde::{Serialize, Value};
 
@@ -61,11 +63,56 @@ struct JobRecord {
     error: Option<String>,
 }
 
+/// A queued job: id, spec, and (when timing is on) its admission
+/// timestamp, so the worker that pops it can attribute the queue wait.
+struct QueuedJob {
+    id: u64,
+    spec: JobSpec,
+    submitted_at: Option<Instant>,
+}
+
+/// The engine's per-job lifecycle instruments, resolved once against the
+/// engine's [`Registry`]. The counters back the `jobs` section of the
+/// `stats` payload (one source of truth), and the histograms carve a
+/// job's wall time into the submitted→queued→running→done stages.
+struct EngineInstruments {
+    submitted: Counter,
+    deduped: Counter,
+    completed: Counter,
+    failed: Counter,
+    /// Jobs currently executing on a worker (`jobs.running`).
+    running: Gauge,
+    /// Jobs admitted but not yet picked up (`jobs.queue_depth`).
+    queue_depth: Gauge,
+    /// Admission → worker pickup (`jobs.queue_wait_ns`).
+    queue_wait_ns: Histogram,
+    /// Worker pickup → completion (`jobs.run_ns`).
+    run_ns: Histogram,
+    /// Admission → completion (`jobs.total_ns`).
+    total_ns: Histogram,
+}
+
+impl EngineInstruments {
+    fn new(registry: &Registry) -> EngineInstruments {
+        EngineInstruments {
+            submitted: registry.counter("jobs.submitted"),
+            deduped: registry.counter("jobs.deduped"),
+            completed: registry.counter("jobs.completed"),
+            failed: registry.counter("jobs.failed"),
+            running: registry.gauge("jobs.running"),
+            queue_depth: registry.gauge("jobs.queue_depth"),
+            queue_wait_ns: registry.histogram("jobs.queue_wait_ns"),
+            run_ns: registry.histogram("jobs.run_ns"),
+            total_ns: registry.histogram("jobs.total_ns"),
+        }
+    }
+}
+
 struct EngineInner {
     store: WorkloadStore,
     cells: CellMemo,
     queue_capacity: usize,
-    queue: Mutex<VecDeque<(u64, JobSpec)>>,
+    queue: Mutex<VecDeque<QueuedJob>>,
     queue_ready: Condvar,
     jobs: Mutex<HashMap<u64, JobRecord>>,
     job_changed: Condvar,
@@ -73,11 +120,8 @@ struct EngineInner {
     dedup: Mutex<HashMap<u64, u64>>,
     next_id: AtomicU64,
     stop: AtomicBool,
-    submitted: AtomicU64,
-    deduped: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    running: AtomicU64,
+    registry: Registry,
+    m: EngineInstruments,
 }
 
 /// A running evaluation engine: `workers` threads draining a FIFO queue
@@ -98,6 +142,7 @@ impl Engine {
         workers: usize,
         queue_capacity: usize,
     ) -> Engine {
+        let registry = Registry::new();
         let inner = Arc::new(EngineInner {
             store,
             cells,
@@ -109,11 +154,8 @@ impl Engine {
             dedup: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             stop: AtomicBool::new(false),
-            submitted: AtomicU64::new(0),
-            deduped: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            running: AtomicU64::new(0),
+            m: EngineInstruments::new(&registry),
+            registry,
         });
         let handles = (0..workers.max(1))
             .map(|_| {
@@ -135,6 +177,27 @@ impl Engine {
     /// The engine's shared cell memo.
     pub fn cells(&self) -> &CellMemo {
         &self.inner.cells
+    }
+
+    /// The engine's own metrics registry — job lifecycle counters, queue
+    /// gauges, and per-stage latency histograms. The store's and the cell
+    /// memo's registries are separate; [`metrics`](Engine::metrics) merges
+    /// all of them.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// One combined metrics snapshot across every registry the serving
+    /// stack records into: the engine's job instruments, the
+    /// [`WorkloadStore`]'s counters and latency histograms, the
+    /// [`CellMemo`]'s, and the process-global registry (span and log
+    /// counts) — the payload of the protocol's `metrics` command.
+    pub fn metrics(&self) -> Snapshot {
+        let mut snapshot = self.inner.registry.snapshot();
+        snapshot.merge(self.inner.store.registry().snapshot());
+        snapshot.merge(self.inner.cells.registry().snapshot());
+        snapshot.merge(mim_obs::global().snapshot());
+        snapshot
     }
 
     /// Submits a job. Returns `(id, deduped)` — `deduped` is true when an
@@ -159,7 +222,7 @@ impl Engine {
                 .get(&existing)
                 .is_some_and(|r| r.status != JobStatus::Failed);
             if alive {
-                self.inner.deduped.fetch_add(1, Ordering::Relaxed);
+                self.inner.m.deduped.inc();
                 return Ok((existing, true));
             }
             // A failed attempt does not pin its fingerprint: retry fresh.
@@ -181,8 +244,13 @@ impl Engine {
             },
         );
         dedup.insert(fingerprint, id);
-        queue.push_back((id, spec));
-        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        queue.push_back(QueuedJob {
+            id,
+            spec,
+            submitted_at: clock(),
+        });
+        self.inner.m.submitted.inc();
+        self.inner.m.queue_depth.set(queue.len() as i64);
         self.inner.queue_ready.notify_one();
         Ok((id, false))
     }
@@ -228,36 +296,33 @@ impl Engine {
     }
 
     /// A point-in-time stats object: store counters, cell-memo counters,
-    /// and job accounting — the payload of the protocol's `stats` reply.
+    /// job accounting, and per-stage latency summaries — the payload of
+    /// the protocol's `stats` reply. The counters are read from the same
+    /// registries [`metrics`](Engine::metrics) snapshots.
     pub fn stats(&self) -> Value {
         let queue_depth = self.inner.queue.lock().expect("job queue poisoned").len();
+        let m = &self.inner.m;
         let jobs = Value::Object(vec![
-            (
-                "submitted".into(),
-                self.inner.submitted.load(Ordering::Relaxed).to_value(),
-            ),
-            (
-                "deduped".into(),
-                self.inner.deduped.load(Ordering::Relaxed).to_value(),
-            ),
-            (
-                "completed".into(),
-                self.inner.completed.load(Ordering::Relaxed).to_value(),
-            ),
-            (
-                "failed".into(),
-                self.inner.failed.load(Ordering::Relaxed).to_value(),
-            ),
-            (
-                "running".into(),
-                self.inner.running.load(Ordering::Relaxed).to_value(),
-            ),
+            ("submitted".into(), m.submitted.get().to_value()),
+            ("deduped".into(), m.deduped.get().to_value()),
+            ("completed".into(), m.completed.get().to_value()),
+            ("failed".into(), m.failed.get().to_value()),
+            ("running".into(), (m.running.get().max(0) as u64).to_value()),
             ("queued".into(), queue_depth.to_value()),
+        ]);
+        let latency = Value::Object(vec![
+            (
+                "queue_wait_ns".into(),
+                latency_summary(&m.queue_wait_ns.snapshot()),
+            ),
+            ("run_ns".into(), latency_summary(&m.run_ns.snapshot())),
+            ("total_ns".into(), latency_summary(&m.total_ns.snapshot())),
         ]);
         Value::Object(vec![
             ("store".into(), self.inner.store.stats().to_value()),
             ("cells".into(), self.inner.cells.stats().to_value()),
             ("jobs".into(), jobs),
+            ("latency".into(), latency),
         ])
     }
 
@@ -284,12 +349,24 @@ impl Engine {
     }
 }
 
+/// Count/mean/p50/p99 summary of one latency histogram, as the `stats`
+/// payload's `latency` section reports it.
+fn latency_summary(h: &HistogramSnapshot) -> Value {
+    Value::Object(vec![
+        ("count".into(), h.count.to_value()),
+        ("mean_ns".into(), h.mean().to_value()),
+        ("p50_ns".into(), h.quantile(0.5).to_value()),
+        ("p99_ns".into(), h.quantile(0.99).to_value()),
+    ])
+}
+
 fn worker_loop(inner: &EngineInner) {
     loop {
         let job = {
             let mut queue = inner.queue.lock().expect("job queue poisoned");
             loop {
                 if let Some(job) = queue.pop_front() {
+                    inner.m.queue_depth.set(queue.len() as i64);
                     break Some(job);
                 }
                 if inner.stop.load(Ordering::SeqCst) {
@@ -298,27 +375,40 @@ fn worker_loop(inner: &EngineInner) {
                 queue = inner.queue_ready.wait(queue).expect("job queue poisoned");
             }
         };
-        let Some((id, spec)) = job else { return };
+        let Some(QueuedJob {
+            id,
+            spec,
+            submitted_at,
+        }) = job
+        else {
+            return;
+        };
+        inner.m.queue_wait_ns.observe_since(submitted_at);
         set_status(inner, id, JobStatus::Running);
-        inner.running.fetch_add(1, Ordering::Relaxed);
+        inner.m.running.add(1);
+        let run_started = clock();
+        let span = Span::enter("job.run").field("id", id.to_string());
         // A panicking evaluator fails its job, never the worker pool.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             spec.execute(&inner.store, &inner.cells)
         }))
         .unwrap_or_else(|_| Err("job panicked".into()));
-        inner.running.fetch_sub(1, Ordering::Relaxed);
+        drop(span);
+        inner.m.run_ns.observe_since(run_started);
+        inner.m.total_ns.observe_since(submitted_at);
+        inner.m.running.add(-1);
         let mut jobs = inner.jobs.lock().expect("job table poisoned");
         let record = jobs.get_mut(&id).expect("running job has a record");
         match outcome {
             Ok(report) => {
                 record.status = JobStatus::Done;
                 record.result = Some(Arc::new(report));
-                inner.completed.fetch_add(1, Ordering::Relaxed);
+                inner.m.completed.inc();
             }
             Err(message) => {
                 record.status = JobStatus::Failed;
                 record.error = Some(message);
-                inner.failed.fetch_add(1, Ordering::Relaxed);
+                inner.m.failed.inc();
             }
         }
         drop(jobs);

@@ -19,10 +19,11 @@
 //!   [`CellMemo`], so each (workload, machine, evaluator) cell is
 //!   evaluated once across all concurrent jobs);
 //! * **the protocol** — line-delimited JSON over TCP or unix sockets
-//!   (`submit`/`status`/`result`/`stats`/`shutdown`; see
+//!   (`submit`/`status`/`result`/`stats`/`metrics`/`shutdown`; see
 //!   [`protocol`]), served by [`Server`] and driven by the blocking
 //!   [`Client`]. Result payloads are byte-deterministic across runs,
-//!   worker counts, and restarts.
+//!   worker counts, and restarts — telemetry (the `mim-obs` registries
+//!   behind `stats` and `metrics`) is strictly out-of-band.
 //!
 //! ## Example: in-process server + client round-trip
 //!
@@ -71,3 +72,8 @@ pub use spec::{
 // Re-exported so server embedders configure stores without naming
 // mim-runner directly.
 pub use mim_runner::{CellMemo, CellStats, DiskStore, StoreError, StoreStats, WorkloadStore};
+
+// Re-exported so embedders and the bench inspect metrics snapshots
+// without naming mim-obs directly.
+pub use mim_obs::{Registry, Snapshot};
+pub use protocol::MetricsFormat;

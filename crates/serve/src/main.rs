@@ -16,13 +16,28 @@
 //! * `--queue <n>` — bounded queue capacity (default 64).
 //! * `--capacity <n>` — LRU bound on the in-memory trace/profile maps
 //!   (omit for unbounded).
+//! * `--log-format {text,json}` — structured log line shape (default
+//!   `text`).
+//! * `--log-level {error,warn,info,debug}` — maximum emitted level
+//!   (default `info`).
+//! * `--spans stderr` — emit span start/stop events as line-JSON on
+//!   stderr (equivalent to `MIM_SPANS=stderr`; off by default).
 //! * `--smoke [--quick]` — run the self-test: serve on a private unix
 //!   socket, submit the same experiment twice, assert the second
-//!   submission coalesces and the report bytes match, then shut down
-//!   cleanly. Exits non-zero on any violation.
+//!   submission coalesces and the report bytes match, scrape the
+//!   `metrics` command, then shut down cleanly. Exits non-zero on any
+//!   violation.
+//! * `--metrics-out <path>` — (smoke only) write the scraped metrics
+//!   snapshot to `<path>` as pretty JSON, for CI artifacts.
+//!
+//! Environment: `MIM_OBS=off` disables latency timestamping (counters
+//! keep working), `MIM_SPANS=stderr` mirrors `--spans stderr`.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use mim_obs::log::{error, info};
+use mim_obs::{set_log_format, set_log_level, set_span_sink, Level, LogFormat, StderrSink};
 use mim_serve::{CellMemo, Client, Engine, JobSpec, Server, WorkloadStore};
 use serde::Value;
 
@@ -42,13 +57,30 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
-            eprintln!("mim-serve: {message}");
+            error("mim-serve", &message, &[]);
             ExitCode::FAILURE
         }
     }
 }
 
 fn run(args: &[String]) -> Result<(), String> {
+    if let Some(format) = value_flag(args, "--log-format")? {
+        set_log_format(
+            LogFormat::parse(&format)
+                .ok_or_else(|| format!("--log-format wants text or json, got `{format}`"))?,
+        );
+    }
+    if let Some(level) = value_flag(args, "--log-level")? {
+        set_log_level(Level::parse(&level).ok_or_else(|| {
+            format!("--log-level wants error, warn, info, or debug, got `{level}`")
+        })?);
+    }
+    if let Some(sink) = value_flag(args, "--spans")? {
+        if sink != "stderr" {
+            return Err(format!("--spans supports only `stderr`, got `{sink}`"));
+        }
+        set_span_sink(Some(Arc::new(StderrSink)));
+    }
     let addr = value_flag(args, "--addr")?.unwrap_or_else(|| "tcp:127.0.0.1:7171".into());
     let store_dir = value_flag(args, "--store-dir")?;
     let workers: usize = value_flag(args, "--workers")?
@@ -63,14 +95,20 @@ fn run(args: &[String]) -> Result<(), String> {
 
     if args.iter().any(|a| a == "--smoke") {
         let quick = args.iter().any(|a| a == "--quick");
-        return smoke(store, workers, quick);
+        let metrics_out = value_flag(args, "--metrics-out")?;
+        return smoke(store, workers, quick, metrics_out.as_deref());
     }
 
     let engine = Engine::start(store, CellMemo::new(), workers, queue);
     let server = Server::bind(&addr, engine).map_err(|e| e.to_string())?;
-    println!(
-        "mim-serve listening on {} ({workers} workers, queue {queue})",
-        server.addr().to_connect_string()
+    info(
+        "mim-serve",
+        "listening",
+        &[
+            ("addr", server.addr().to_connect_string()),
+            ("workers", workers.to_string()),
+            ("queue", queue.to_string()),
+        ],
     );
     server.run().map_err(|e| e.to_string())
 }
@@ -88,8 +126,14 @@ fn build_store(dir: Option<&str>, capacity: Option<usize>) -> Result<WorkloadSto
 }
 
 /// The CI end-to-end check: unix socket, two identical submissions, one
-/// computation, byte-identical reports, clean shutdown.
-fn smoke(store: WorkloadStore, workers: usize, quick: bool) -> Result<(), String> {
+/// computation, byte-identical reports, a well-formed metrics scrape,
+/// clean shutdown.
+fn smoke(
+    store: WorkloadStore,
+    workers: usize,
+    quick: bool,
+    metrics_out: Option<&str>,
+) -> Result<(), String> {
     let socket = std::env::temp_dir().join(format!("mim-serve-smoke-{}.sock", std::process::id()));
     std::fs::remove_file(&socket).ok();
     let addr = format!("unix:{}", socket.display());
@@ -145,6 +189,39 @@ fn smoke(store: WorkloadStore, workers: usize, quick: bool) -> Result<(), String
                 "expected one functional execution per workload, counted {executions}"
             ));
         }
+        let metrics = client.metrics().map_err(|e| e.to_string())?;
+        let completed = metrics
+            .get("counters")
+            .and_then(|c| c.get("jobs.completed"))
+            .and_then(|v| match v {
+                Value::UInt(u) => Some(*u),
+                Value::Int(i) => Some(*i as u64),
+                _ => None,
+            })
+            .ok_or("metrics reply lacks counters jobs.completed")?;
+        if completed != 1 {
+            return Err(format!(
+                "expected 1 completed job in metrics, saw {completed}"
+            ));
+        }
+        if let Some(path) = metrics_out {
+            let path = std::path::Path::new(path);
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+            }
+            let pretty = serde_json::to_string_pretty(&metrics).map_err(|e| e.to_string())?;
+            std::fs::write(path, pretty).map_err(|e| e.to_string())?;
+        }
+        info(
+            "smoke",
+            "OK",
+            &[
+                ("id", first.id.to_string()),
+                ("report_bytes", first_text.len().to_string()),
+                ("executions", executions.to_string()),
+            ],
+        );
+        // Keep the one-line stdout summary CI logs grep for.
         println!(
             "smoke OK: id={} deduped resubmit, {} report bytes, {executions} executions",
             first.id,

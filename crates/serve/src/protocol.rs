@@ -9,7 +9,9 @@
 //! | `{"cmd":"submit","job":{...}}`            | `{"ok":true,"id":N,"deduped":B}` |
 //! | `{"cmd":"status","id":N}`                 | `{"ok":true,"id":N,"state":"queued"\|"running"\|"done"\|"failed"}` |
 //! | `{"cmd":"result","id":N}`                 | `{"ok":true,"id":N,"result":{...report...}}` (blocks until done) |
-//! | `{"cmd":"stats"}`                         | `{"ok":true,"stats":{"store":{...},"cells":{...},"jobs":{...}}}` |
+//! | `{"cmd":"stats"}`                         | `{"ok":true,"stats":{"store":{...},"cells":{...},"jobs":{...},"latency":{...}}}` |
+//! | `{"cmd":"metrics"}`                       | `{"ok":true,"metrics":{"counters":{...},"gauges":{...},"histograms":{...}}}` |
+//! | `{"cmd":"metrics","format":"prometheus"}` | `{"ok":true,"metrics_text":"..."}` (Prometheus exposition text) |
 //! | `{"cmd":"shutdown"}`                      | `{"ok":true}` then the server drains and exits |
 //!
 //! The `result` payload is byte-deterministic: reports serialize wall
@@ -19,6 +21,17 @@
 pub use serde::Value;
 
 use crate::spec::JobSpec;
+
+/// Wire format of a `metrics` reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// The snapshot as a JSON object (`metrics` field).
+    #[default]
+    Json,
+    /// Prometheus text exposition, embedded as one JSON string
+    /// (`metrics_text` field).
+    Prometheus,
+}
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +44,9 @@ pub enum Request {
     Result(u64),
     /// Fetch server counters.
     Stats,
+    /// Fetch the merged metrics snapshot (counters, gauges, latency
+    /// histograms) in the requested format.
+    Metrics(MetricsFormat),
     /// Drain and stop the server.
     Shutdown,
 }
@@ -60,6 +76,17 @@ impl Request {
             "status" => Ok(Request::Status(request_id(&value)?)),
             "result" => Ok(Request::Result(request_id(&value)?)),
             "stats" => Ok(Request::Stats),
+            "metrics" => match value.get("format") {
+                None => Ok(Request::Metrics(MetricsFormat::Json)),
+                Some(Value::Str(s)) if s == "json" => Ok(Request::Metrics(MetricsFormat::Json)),
+                Some(Value::Str(s)) if s == "prometheus" => {
+                    Ok(Request::Metrics(MetricsFormat::Prometheus))
+                }
+                Some(Value::Str(s)) => Err(format!(
+                    "unknown metrics format `{s}` (expected `json` or `prometheus`)"
+                )),
+                Some(v) => Err(format!("`format` must be a string, got {}", v.kind())),
+            },
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown command `{other}`")),
         }
@@ -81,6 +108,16 @@ impl Request {
                 ("id".to_string(), Value::UInt(*id)),
             ],
             Request::Stats => vec![("cmd".to_string(), Value::Str("stats".into()))],
+            Request::Metrics(format) => {
+                let label = match format {
+                    MetricsFormat::Json => "json",
+                    MetricsFormat::Prometheus => "prometheus",
+                };
+                vec![
+                    ("cmd".to_string(), Value::Str("metrics".into())),
+                    ("format".to_string(), Value::Str(label.into())),
+                ]
+            }
             Request::Shutdown => vec![("cmd".to_string(), Value::Str("shutdown".into()))],
         };
         to_line(&Value::Object(fields))
@@ -130,6 +167,18 @@ mod tests {
             (r#"{"cmd":"status","id":3}"#, Request::Status(3)),
             (r#"{"cmd":"result","id":9}"#, Request::Result(9)),
             (r#"{"cmd":"stats"}"#, Request::Stats),
+            (
+                r#"{"cmd":"metrics"}"#,
+                Request::Metrics(MetricsFormat::Json),
+            ),
+            (
+                r#"{"cmd":"metrics","format":"json"}"#,
+                Request::Metrics(MetricsFormat::Json),
+            ),
+            (
+                r#"{"cmd":"metrics","format":"prometheus"}"#,
+                Request::Metrics(MetricsFormat::Prometheus),
+            ),
             (r#"{"cmd":"shutdown"}"#, Request::Shutdown),
         ] {
             let request = Request::parse(line).expect(line);
@@ -146,6 +195,10 @@ mod tests {
             (r#"{"cmd":"frobnicate"}"#, "unknown command"),
             (r#"{"cmd":"status"}"#, "missing the `id`"),
             (r#"{"cmd":"submit"}"#, "missing the `job`"),
+            (
+                r#"{"cmd":"metrics","format":"xml"}"#,
+                "unknown metrics format",
+            ),
             (
                 r#"{"cmd":"submit","job":{"kind":"nope"}}"#,
                 "unknown job kind",

@@ -12,7 +12,7 @@ use serde::Value;
 
 use crate::engine::Engine;
 use crate::error::ServeError;
-use crate::protocol::{error_response, ok_response, to_line, Request};
+use crate::protocol::{error_response, ok_response, to_line, MetricsFormat, Request};
 
 /// A bound server address, normalized back to string form.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -235,6 +235,16 @@ fn respond(engine: &Engine, line: &str) -> (Value, bool) {
             Err(message) => (error_response(message), false),
         },
         Request::Stats => (ok_response(vec![("stats".into(), engine.stats())]), false),
+        Request::Metrics(format) => {
+            let snapshot = engine.metrics();
+            let fields = match format {
+                MetricsFormat::Json => vec![("metrics".into(), snapshot.to_value())],
+                MetricsFormat::Prometheus => {
+                    vec![("metrics_text".into(), Value::Str(snapshot.to_prometheus()))]
+                }
+            };
+            (ok_response(fields), false)
+        }
         Request::Shutdown => (ok_response(vec![]), true),
     }
 }

@@ -156,6 +156,80 @@ fn bad_requests_get_typed_errors_not_disconnects() {
     });
 }
 
+#[test]
+fn metrics_command_scrapes_live_registries() {
+    with_server("tcp:127.0.0.1:0", |addr, _| {
+        let mut client = Client::connect(addr).expect("connect");
+        let submitted = client.submit(&quick_experiment("metrics")).expect("submit");
+        client.result(submitted.id).expect("result");
+
+        let metrics = client.metrics().expect("metrics");
+        let counters = metrics.get("counters").expect("counters section");
+        assert_eq!(stat(counters, "jobs.submitted"), 1);
+        assert_eq!(stat(counters, "jobs.completed"), 1);
+        assert_eq!(
+            stat(counters, "store.executions"),
+            1,
+            "the store's one functional execution shows in the merged snapshot"
+        );
+        // The engine's job-stage histograms are named in the snapshot even
+        // before quantiles matter.
+        let histograms = metrics.get("histograms").expect("histograms section");
+        for name in ["jobs.queue_wait_ns", "jobs.run_ns", "jobs.total_ns"] {
+            assert!(histograms.get(name).is_some(), "missing histogram {name}");
+        }
+
+        // The same snapshot in Prometheus exposition form.
+        let text = client.metrics_prometheus().expect("prometheus metrics");
+        assert!(text.contains("# TYPE jobs_completed counter"), "{text}");
+        assert!(text.contains("jobs_run_ns_bucket"), "{text}");
+
+        // The stats payload gained a latency section fed by the same
+        // registry.
+        let stats = client.stats().expect("stats");
+        let latency = stats.get("latency").expect("latency section");
+        for stage in ["queue_wait_ns", "run_ns", "total_ns"] {
+            let summary = latency.get(stage).expect(stage);
+            assert!(summary.get("p50_ns").is_some());
+            assert!(summary.get("p99_ns").is_some());
+        }
+    });
+}
+
+#[test]
+fn result_bytes_identical_with_timing_off() {
+    // Same job, two fresh servers: one with latency timestamping on (the
+    // default), one with it globally off. Telemetry is out-of-band, so
+    // the result payloads must be byte-identical.
+    let spec = quick_experiment("timing");
+    let mut with_timing = String::new();
+    with_server("tcp:127.0.0.1:0", |addr, _| {
+        let mut client = Client::connect(addr).expect("connect");
+        let submitted = client.submit(&spec).expect("submit");
+        with_timing = client.result_text(submitted.id).expect("result");
+    });
+
+    mim_obs::set_timing(false);
+    let mut without_timing = String::new();
+    let mut executions = 0;
+    with_server("tcp:127.0.0.1:0", |addr, engine| {
+        let mut client = Client::connect(addr).expect("connect");
+        let submitted = client.submit(&spec).expect("submit");
+        without_timing = client.result_text(submitted.id).expect("result");
+        executions = stat(
+            engine.stats().get("store").expect("store stats"),
+            "functional_executions",
+        );
+    });
+    mim_obs::set_timing(true);
+
+    assert_eq!(
+        with_timing, without_timing,
+        "telemetry must never leak into result payloads"
+    );
+    assert_eq!(executions, 1, "counters keep working with timing off");
+}
+
 /// Reads one numeric counter out of a stats sub-object.
 fn stat(stats: &Value, key: &str) -> u64 {
     match stats.get(key) {
