@@ -1,9 +1,13 @@
-//! `trace_replay_throughput`: replay vs functional re-execution.
+//! `trace_replay_throughput`: replay vs functional re-execution, and the
+//! block-compiled recording path vs the interpreter.
 //!
 //! Quantifies the trace layer's premise — replaying a recorded dynamic
 //! instruction stream is much faster than re-interpreting the program —
-//! and writes the measured speedup to `BENCH_trace.json` at the workspace
-//! root so the perf trajectory is tracked across PRs.
+//! plus the block engine's recording throughput (`Trace::record` runs on
+//! compiled blocks by default), and writes the measured speedups to
+//! `BENCH_trace.json` at the workspace root so the perf trajectory is
+//! tracked across PRs. The record asserts the block engine's ≥5×
+//! recording-throughput floor over the interpreter baseline.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -34,7 +38,13 @@ fn bench_trace_replay(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_replay_throughput");
     group.throughput(Throughput::Elements(n));
     group.bench_function("execute", |b| {
+        b.iter(|| black_box(drain(LiveVm::interpreted(&program))))
+    });
+    group.bench_function("execute_block", |b| {
         b.iter(|| black_box(drain(LiveVm::new(&program))))
+    });
+    group.bench_function("record_block", |b| {
+        b.iter(|| black_box(Trace::record(&program, None).expect("record").len()))
     });
     group.bench_function("replay", |b| {
         b.iter(|| black_box(drain(trace.replay(&program).expect("replay"))))
@@ -76,12 +86,18 @@ struct BenchRecord {
     workload: String,
     instructions: u64,
     execute_minsts_per_sec: f64,
+    block_minsts_per_sec: f64,
+    block_speedup: f64,
     replay_minsts_per_sec: f64,
     replay_speedup: f64,
     in_memory_bytes: usize,
     serialized_bytes: usize,
     serialized_bytes_per_kilo_inst: f64,
 }
+
+/// The block engine's contract: recording throughput at least this many
+/// times the interpreter baseline (asserted on every bench run).
+const BLOCK_SPEEDUP_FLOOR: f64 = 5.0;
 
 /// Steady-state measurement (separate from the criterion reporting above)
 /// persisted as `BENCH_trace.json` for the repo's perf trajectory.
@@ -95,7 +111,14 @@ fn write_bench_record(program: &mim_isa::Program, trace: &Trace) {
         }
         best / 1e6
     };
-    let execute = rate(&mut || drain(LiveVm::new(program)));
+    // The baseline is the per-step interpreter — the only recording path
+    // before the block engine existed, pinned via `LiveVm::interpreted`
+    // so its meaning never drifts with the engine default.
+    let execute = rate(&mut || drain(LiveVm::interpreted(program)));
+    // The block path is measured as a full `Trace::record` (compile +
+    // dispatch + both recorded streams), i.e. end-to-end recording
+    // throughput, not a bare dispatch number.
+    let block = rate(&mut || Trace::record(program, None).expect("record").len());
     let replay = rate(&mut || drain(trace.replay(program).expect("replay")));
     let serialized = trace.to_bytes().len();
     let record = BenchRecord {
@@ -103,6 +126,8 @@ fn write_bench_record(program: &mim_isa::Program, trace: &Trace) {
         workload: trace.name().to_string(),
         instructions: trace.len(),
         execute_minsts_per_sec: execute,
+        block_minsts_per_sec: block,
+        block_speedup: block / execute,
         replay_minsts_per_sec: replay,
         replay_speedup: replay / execute,
         in_memory_bytes: trace.encoded_bytes(),
@@ -113,9 +138,16 @@ fn write_bench_record(program: &mim_isa::Program, trace: &Trace) {
     let json = serde_json::to_string_pretty(&record).expect("serialize");
     std::fs::write(path, json).expect("write BENCH_trace.json");
     println!(
-        "trace replay: {replay:.1} Minsts/s vs execute {execute:.1} Minsts/s \
-         ({:.1}x) -> BENCH_trace.json",
-        record.replay_speedup
+        "trace replay: {replay:.1} Minsts/s, block record {block:.1} Minsts/s \
+         vs execute {execute:.1} Minsts/s (replay {:.1}x, block {:.1}x) \
+         -> BENCH_trace.json",
+        record.replay_speedup, record.block_speedup
+    );
+    assert!(
+        record.block_speedup >= BLOCK_SPEEDUP_FLOOR,
+        "block-compiled recording regressed below its {BLOCK_SPEEDUP_FLOOR}x floor: \
+         {block:.1} vs {execute:.1} Minsts/s ({:.2}x)",
+        record.block_speedup
     );
 }
 

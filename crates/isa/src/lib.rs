@@ -7,12 +7,20 @@
 //! * [`ProgramBuilder`] — an ergonomic assembler with labels and a data
 //!   segment, used by `mim-workloads` to express benchmark kernels,
 //! * [`Vm`] — a deterministic functional simulator that executes a
-//!   [`Program`] and emits one [`TraceEvent`] per dynamic instruction.
+//!   [`Program`] and emits one [`TraceEvent`] per dynamic instruction,
+//! * [`BlockEngine`] — a block-compiled (DBT-style) functional backend
+//!   producing bit-identical results at a multiple of the interpreter's
+//!   throughput, with [`BlockHooks`] for timing-tool observation; the
+//!   [`Executor`] trait abstracts over the two backends.
 //!
 //! The trace events drive both the single-pass profiler (`mim-profile`) and
 //! the cycle-accurate pipeline simulator (`mim-pipeline`); the ISA is the
 //! stand-in for the ARM/Alpha binaries the ISPASS 2012 paper ran under the
-//! M5 simulator.
+//! M5 simulator. The interpreter and the block engine implement the same
+//! architectural semantics — [`Vm`] remains the reference (and the
+//! differential oracle in tests); [`BlockEngine`] is the throughput
+//! backend that recording and profiling use by default (see
+//! [`block_engine_enabled`]).
 //!
 //! ## Example
 //!
@@ -46,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod asm;
+mod block;
 mod builder;
 mod disasm;
 mod error;
@@ -55,6 +64,10 @@ mod reg;
 mod vm;
 
 pub use asm::{assemble, disassemble, AsmError};
+pub use block::{
+    block_engine_enabled, set_block_engine, Block, BlockCache, BlockCompiler, BlockEngine,
+    BlockHooks, Executor, NoHooks,
+};
 pub use builder::{Label, ProgramBuilder};
 pub use error::VmError;
 pub use inst::{Cond, Inst, InstClass, Opcode};

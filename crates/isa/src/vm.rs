@@ -7,17 +7,31 @@ use crate::inst::{InstClass, Opcode};
 use crate::program::{Program, WORD_BYTES};
 use crate::reg::{Reg, NUM_REGS};
 
-/// Process-wide count of functional execution passes started via
-/// [`Vm::run`]/[`Vm::run_with`].
+/// Process-wide count of functional execution passes, bumped once per
+/// recording pass by whichever backend performs it.
 static FUNCTIONAL_EXECUTIONS: AtomicU64 = AtomicU64::new(0);
 
-/// Number of functional execution passes ([`Vm::run`] / [`Vm::run_with`]
-/// calls) started in this process so far.
+/// Records the start of one functional execution pass. Called by every
+/// functional backend's run entry point — [`Vm::run_with`] and
+/// [`BlockEngine::run_hooks`](crate::BlockEngine::run_hooks) — so the
+/// counter's meaning is backend-independent.
+pub(crate) fn count_functional_execution() {
+    FUNCTIONAL_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Number of functional execution passes started in this process so far.
 ///
-/// The record-once trace layer (`mim-trace`) exists to keep this number at
-/// one per `(workload, size)` no matter how many design points consume the
-/// dynamic instruction stream; tests assert that invariant by sampling the
-/// counter around a sweep. Monotone, never reset; measure deltas.
+/// A "pass" is one *recording run* — a [`Vm::run`]/[`Vm::run_with`] call
+/// on the interpreter, or a
+/// [`BlockEngine::run_hooks`](crate::BlockEngine::run_hooks)-family call
+/// on the block-compiled engine — **not** one instruction step. Which
+/// backend executed the pass is deliberately invisible here: the counter
+/// measures how often the stack re-executes a program, the quantity the
+/// record-once trace layer (`mim-trace`) exists to minimize. That layer
+/// keeps this number at one per `(workload, size)` no matter how many
+/// design points consume the dynamic instruction stream; tests assert the
+/// invariant by sampling the counter around a sweep. Monotone, never
+/// reset; measure deltas.
 pub fn functional_executions() -> u64 {
     FUNCTIONAL_EXECUTIONS.load(Ordering::Relaxed)
 }
@@ -319,7 +333,7 @@ impl<'p> Vm<'p> {
     where
         F: FnMut(&TraceEvent),
     {
-        FUNCTIONAL_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
+        count_functional_execution();
         let limit = limit.unwrap_or(u64::MAX);
         let start = self.retired;
         while self.retired - start < limit {

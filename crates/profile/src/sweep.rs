@@ -3,7 +3,7 @@
 use mim_bpred::{MultiPredictor, PredictorConfig, PredictorStats};
 use mim_cache::{CacheConfig, HierarchyConfig, MemAccessKind, MissCounts, MultiConfig};
 use mim_core::{BranchStats, InstMix, MachineConfig, ModelInputs};
-use mim_isa::{InstClass, Program, VmError};
+use mim_isa::{BlockEngine, BlockHooks, InstClass, Program, TraceEvent, VmError};
 use mim_trace::{LiveVm, TraceError, TraceSource};
 use serde::{Deserialize, Serialize};
 
@@ -150,7 +150,13 @@ impl SweepProfiler {
     /// Runs the workload functionally once, collecting all statistics.
     ///
     /// `limit` bounds the number of retired instructions (useful for
-    /// sampling long workloads); `None` runs to completion.
+    /// sampling long workloads); `None` runs to completion. The pass runs
+    /// on the block-compiled engine by default — the profiler's collector
+    /// is a [`BlockHooks`] set, so no per-event
+    /// [`TraceEvent`] reconstruction happens between execution and the
+    /// cache/predictor models. With the block engine disabled
+    /// ([`mim_isa::block_engine_enabled`]) it falls back to the per-step
+    /// interpreter; the resulting profile is identical either way.
     ///
     /// Design-space sweeps should record the workload once
     /// (`mim_trace::Trace::record`) and call
@@ -165,8 +171,15 @@ impl SweepProfiler {
         program: &Program,
         limit: Option<u64>,
     ) -> Result<WorkloadProfile, VmError> {
-        self.profile_source(&mut LiveVm::new(program).with_limit(limit))
-            .map_err(TraceError::into_vm)
+        if !mim_isa::block_engine_enabled() {
+            return self
+                .profile_source(&mut LiveVm::interpreted(program).with_limit(limit))
+                .map_err(TraceError::into_vm);
+        }
+        let mut collector = self.collector();
+        let mut engine = BlockEngine::new(program);
+        engine.run_hooks(limit, &mut collector)?;
+        Ok(collector.into_profile(program.name().to_string()))
     }
 
     /// Profiles the dynamic instruction stream produced by any
@@ -181,53 +194,109 @@ impl SweepProfiler {
         source: &mut S,
     ) -> Result<WorkloadProfile, TraceError> {
         let name = source.name().to_string();
-        let mut caches = MultiConfig::new(&self.base, self.l2s.clone());
-        let mut preds = MultiPredictor::new(&self.predictors);
-        let mut deps = DepTracker::new();
-        let mut mix = InstMix::default();
+        let mut collector = self.collector();
+        source.drive(&mut |ev| collector.observe(ev))?;
+        Ok(collector.into_profile(name))
+    }
 
-        source.drive(&mut |ev| {
-            // Instruction mix.
-            match ev.class {
-                InstClass::Mul => mix.mul += 1,
-                InstClass::Div => mix.div += 1,
-                InstClass::Load => mix.load += 1,
-                InstClass::Store => mix.store += 1,
-                InstClass::CondBranch => mix.cond_branch += 1,
-                InstClass::Jump => mix.jump += 1,
-                _ => mix.alu += 1,
-            }
-            // Dependencies.
-            deps.observe(ev);
-            // Caches: one fetch access per instruction, plus data accesses.
-            caches.access(MemAccessKind::Fetch, Program::inst_addr(ev.pc));
-            if let Some(addr) = ev.eff_addr {
-                let kind = if ev.class == InstClass::Load {
-                    MemAccessKind::Load
-                } else {
-                    MemAccessKind::Store
-                };
-                caches.access(kind, addr);
-            }
-            // Branch predictors (conditional branches only — jumps are
-            // always-taken and handled analytically by the model).
-            if ev.class == InstClass::CondBranch {
-                preds.observe(ev.pc, ev.taken == Some(true));
-            }
-        })?;
+    /// A fresh statistics collector for this sweep's candidate lists.
+    fn collector(&self) -> Collector {
+        Collector {
+            caches: MultiConfig::new(&self.base, self.l2s.clone()),
+            preds: MultiPredictor::new(&self.predictors),
+            deps: DepTracker::new(),
+            mix: InstMix::default(),
+            l2_count: self.l2s.len(),
+        }
+    }
+}
 
-        let (deps_unit, deps_ll, deps_load) = deps.into_histograms();
-        let misses = (0..self.l2s.len()).map(|i| caches.counts(i)).collect();
-        Ok(WorkloadProfile {
+/// The profiling pass's mutable state: instruction mix, dependency
+/// tracker, multi-configuration caches, and multi-predictor — everything
+/// one retired instruction touches.
+///
+/// The collector is both the [`TraceSource`] observer (via
+/// [`observe`](Collector::observe)) and a [`BlockHooks`] set, with the
+/// identical per-instruction side-effect order either way: mix →
+/// dependencies → instruction fetch → data access (loads/stores) →
+/// predictor (conditional branches). All hook inputs are static template
+/// fields plus the hook's own dynamic argument, so the block engine's
+/// fast path feeds the models directly.
+struct Collector {
+    caches: MultiConfig,
+    preds: MultiPredictor,
+    deps: DepTracker,
+    mix: InstMix,
+    l2_count: usize,
+}
+
+impl Collector {
+    /// Observes one retired instruction from a [`TraceSource`] stream.
+    fn observe(&mut self, ev: &TraceEvent) {
+        self.instruction(ev);
+        if let Some(addr) = ev.eff_addr {
+            self.mem_access(ev, addr);
+        }
+        if ev.class == InstClass::CondBranch {
+            self.cond_branch(ev, ev.taken == Some(true));
+        }
+    }
+
+    /// The per-instruction side effects that depend only on static fields:
+    /// mix, dependency tracking, and the instruction-fetch cache access.
+    #[inline(always)]
+    fn instruction(&mut self, ev: &TraceEvent) {
+        match ev.class {
+            InstClass::Mul => self.mix.mul += 1,
+            InstClass::Div => self.mix.div += 1,
+            InstClass::Load => self.mix.load += 1,
+            InstClass::Store => self.mix.store += 1,
+            InstClass::CondBranch => self.mix.cond_branch += 1,
+            InstClass::Jump => self.mix.jump += 1,
+            _ => self.mix.alu += 1,
+        }
+        self.deps.observe(ev);
+        self.caches
+            .access(MemAccessKind::Fetch, Program::inst_addr(ev.pc));
+    }
+
+    fn into_profile(self, name: String) -> WorkloadProfile {
+        let (deps_unit, deps_ll, deps_load) = self.deps.into_histograms();
+        let misses = (0..self.l2_count).map(|i| self.caches.counts(i)).collect();
+        WorkloadProfile {
             name,
-            num_insts: mix.total(),
-            mix,
+            num_insts: self.mix.total(),
+            mix: self.mix,
             deps_unit,
             deps_ll,
             deps_load,
             misses,
-            branch: preds.into_stats(),
-        })
+            branch: self.preds.into_stats(),
+        }
+    }
+}
+
+impl BlockHooks for Collector {
+    #[inline(always)]
+    fn before_instruction(&mut self, op: &TraceEvent) {
+        self.instruction(op);
+    }
+
+    #[inline(always)]
+    fn mem_access(&mut self, op: &TraceEvent, addr: u64) {
+        let kind = if op.class == InstClass::Load {
+            MemAccessKind::Load
+        } else {
+            MemAccessKind::Store
+        };
+        self.caches.access(kind, addr);
+    }
+
+    #[inline(always)]
+    fn cond_branch(&mut self, op: &TraceEvent, taken: bool) {
+        // Conditional branches only — jumps are always-taken and handled
+        // analytically by the model.
+        self.preds.observe(op.pc, taken);
     }
 }
 

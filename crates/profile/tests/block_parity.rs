@@ -1,0 +1,51 @@
+//! Backend-parity sweep over every bundled workload: the block-compiled
+//! engine and the per-step interpreter must produce byte-identical
+//! recordings and identical `WorkloadProfile`s.
+//!
+//! One `#[test]` flips the process-global engine toggle sequentially, so
+//! this stays in its own integration-test binary.
+
+use mim_core::MachineConfig;
+use mim_isa::set_block_engine;
+use mim_profile::SweepProfiler;
+use mim_trace::Trace;
+use mim_workloads::{mibench, spec, WorkloadSize};
+
+#[test]
+fn every_bundled_workload_is_backend_invariant() {
+    let machine = MachineConfig::default_config();
+    let profiler = SweepProfiler::new(
+        machine.hierarchy.clone(),
+        vec![machine.hierarchy.l2.clone()],
+        vec![machine.predictor.clone()],
+    );
+    let workloads: Vec<_> = mibench::all().into_iter().chain(spec::all()).collect();
+    assert!(workloads.len() >= 20, "expected the full bundled set");
+
+    for w in &workloads {
+        let p = w.program(WorkloadSize::Tiny);
+
+        // Recording parity: the two constructors must serialize the same.
+        let block_trace = Trace::record(&p, None).unwrap();
+        let interp_trace = Trace::record_interpreted(&p, None).unwrap();
+        assert_eq!(
+            block_trace.to_bytes(),
+            interp_trace.to_bytes(),
+            "trace bytes diverge on {}",
+            w.name()
+        );
+
+        // Profile parity: block-hook collection vs interpreter observer.
+        set_block_engine(true);
+        let block_profile = profiler.profile(&p, None).unwrap();
+        set_block_engine(false);
+        let interp_profile = profiler.profile(&p, None).unwrap();
+        set_block_engine(true);
+        assert_eq!(
+            serde_json::to_string(&block_profile).unwrap(),
+            serde_json::to_string(&interp_profile).unwrap(),
+            "workload profile diverges on {}",
+            w.name()
+        );
+    }
+}

@@ -172,10 +172,27 @@ fn metrics_command_scrapes_live_registries() {
             1,
             "the store's one functional execution shows in the merged snapshot"
         );
+        // The block engine's compile/dispatch telemetry reaches the same
+        // merged snapshot: the job's one recording compiled blocks and hit
+        // the inline successor cache.
+        assert!(
+            stat(counters, "block.compiled") > 0,
+            "recording should compile basic blocks"
+        );
+        assert!(
+            stat(counters, "block.cache_hits") > 0,
+            "steady-state dispatch should hit the block cache"
+        );
+
         // The engine's job-stage histograms are named in the snapshot even
         // before quantiles matter.
         let histograms = metrics.get("histograms").expect("histograms section");
-        for name in ["jobs.queue_wait_ns", "jobs.run_ns", "jobs.total_ns"] {
+        for name in [
+            "jobs.queue_wait_ns",
+            "jobs.run_ns",
+            "jobs.total_ns",
+            "block.compile_ns",
+        ] {
             assert!(histograms.get(name).is_some(), "missing histogram {name}");
         }
 

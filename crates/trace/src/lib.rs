@@ -19,12 +19,15 @@
 //! * [`Sampling`] — systematic (SMARTS-style periodic) sampling of the
 //!   replayed stream for `Large` runs.
 //!
-//! Replay streams events ~2.5× faster than functional re-execution (no
-//! register file, no data memory, no ALU — measured by the
-//! `trace_replay_throughput` bench in `mim-bench` and tracked in
-//! `BENCH_trace.json`), and — the bigger win — a design-space sweep
-//! amortizes the one recording over every design point instead of
-//! re-executing per point.
+//! The one recording itself runs on `mim-isa`'s block-compiled engine
+//! ([`Trace::record`]'s two streams map directly onto its
+//! `cond_branch`/`mem_access` hooks), sustaining ≥5× the per-step
+//! interpreter's throughput; replay then streams events ~2.5× faster
+//! than interpreted re-execution (no register file, no data memory, no
+//! ALU). Both are measured by the `trace_replay_throughput` bench in
+//! `mim-bench` and tracked in `BENCH_trace.json` — and, the bigger win,
+//! a design-space sweep amortizes the one recording over every design
+//! point instead of re-executing per point.
 //!
 //! ## Example: record once, replay everywhere
 //!

@@ -1,7 +1,7 @@
 //! The [`TraceSource`] abstraction: one interface over live functional
 //! execution and recorded-trace replay.
 
-use mim_isa::{InstClass, Program, RunOutcome, TraceEvent, Vm};
+use mim_isa::{BlockEngine, InstClass, Program, RunOutcome, TraceEvent, Vm};
 
 use crate::error::TraceError;
 use crate::trace::Trace;
@@ -34,25 +34,55 @@ pub trait TraceSource {
     fn drive(&mut self, observer: &mut dyn FnMut(&TraceEvent)) -> Result<RunOutcome, TraceError>;
 }
 
-/// The live recording backend: drives a functional [`Vm`] pass, emitting
-/// each retired instruction as it executes.
+/// The functional backend a [`LiveVm`] drives: the per-step interpreter
+/// ([`Vm`]) or the block-compiled engine ([`BlockEngine`]). Both emit the
+/// identical [`TraceEvent`] stream; the choice only affects throughput.
+enum Backend<'p> {
+    Interp(Vm<'p>),
+    Block(BlockEngine<'p>),
+}
+
+/// The live recording backend: drives a functional execution pass,
+/// emitting each retired instruction as it executes.
 ///
 /// This is the only [`TraceSource`] that actually executes the program;
 /// it backs the legacy program-based entry points
 /// (`PipelineSim::simulate`, `SweepProfiler::profile`) and
-/// [`Trace::record`].
+/// [`Trace::record`]. By default it runs on the block-compiled
+/// [`BlockEngine`]; [`LiveVm::interpreted`] (or
+/// `MIM_BLOCK_ENGINE=off`, see [`mim_isa::block_engine_enabled`]) forces
+/// the per-step interpreter, which emits the byte-identical stream at a
+/// fraction of the throughput and serves as the differential oracle.
 pub struct LiveVm<'p> {
     program: &'p Program,
-    vm: Vm<'p>,
+    backend: Backend<'p>,
     limit: Option<u64>,
 }
 
 impl<'p> LiveVm<'p> {
-    /// A live source over a fresh VM for `program`, unlimited.
+    /// A live source over a fresh functional engine for `program`,
+    /// unlimited. Uses the block-compiled engine unless the block engine
+    /// has been disabled ([`mim_isa::block_engine_enabled`]).
     pub fn new(program: &'p Program) -> LiveVm<'p> {
+        let backend = if mim_isa::block_engine_enabled() {
+            Backend::Block(BlockEngine::new(program))
+        } else {
+            Backend::Interp(Vm::new(program))
+        };
         LiveVm {
             program,
-            vm: Vm::new(program),
+            backend,
+            limit: None,
+        }
+    }
+
+    /// A live source pinned to the per-step interpreter regardless of the
+    /// engine toggle — the differential oracle, and the baseline the
+    /// `trace_replay` bench measures block-engine speedup against.
+    pub fn interpreted(program: &'p Program) -> LiveVm<'p> {
+        LiveVm {
+            program,
+            backend: Backend::Interp(Vm::new(program)),
             limit: None,
         }
     }
@@ -70,7 +100,10 @@ impl TraceSource for LiveVm<'_> {
     }
 
     fn drive(&mut self, observer: &mut dyn FnMut(&TraceEvent)) -> Result<RunOutcome, TraceError> {
-        Ok(self.vm.run_with(self.limit, |ev| observer(ev))?)
+        match &mut self.backend {
+            Backend::Interp(vm) => Ok(vm.run_with(self.limit, |ev| observer(ev))?),
+            Backend::Block(engine) => Ok(engine.run_with(self.limit, |ev| observer(ev))?),
+        }
     }
 }
 

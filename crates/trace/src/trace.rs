@@ -4,7 +4,9 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use mim_isa::{Cond, InstClass, Opcode, Program, RunOutcome, Vm, VmError};
+use mim_isa::{
+    BlockEngine, BlockHooks, Cond, InstClass, Opcode, Program, RunOutcome, TraceEvent, Vm, VmError,
+};
 
 use crate::error::TraceError;
 use crate::source::{Replay, Sampling};
@@ -74,23 +76,43 @@ impl Trace {
     /// Records the program's functional execution (at most `limit` retired
     /// instructions, or to completion) into a trace.
     ///
-    /// This is the **only** place the trace layer runs the [`Vm`]; every
-    /// downstream consumer replays the recording instead.
+    /// This is the **only** place the trace layer executes the program;
+    /// every downstream consumer replays the recording instead. The
+    /// execution runs on the block-compiled [`BlockEngine`] by default —
+    /// the trace's two streams (branch direction bits, effective
+    /// addresses) map one-to-one onto the engine's
+    /// [`cond_branch`](BlockHooks::cond_branch) and
+    /// [`mem_access`](BlockHooks::mem_access) hooks, so recording pays no
+    /// per-event [`TraceEvent`] reconstruction. With the block engine
+    /// disabled ([`mim_isa::block_engine_enabled`]) this falls back to
+    /// [`record_interpreted`](Trace::record_interpreted); the produced
+    /// trace is byte-identical either way.
     ///
     /// # Errors
     ///
     /// Propagates any [`VmError`] raised during execution.
     pub fn record(program: &Program, limit: Option<u64>) -> Result<Trace, VmError> {
-        let mut trace = Trace {
-            name: program.name().to_string(),
-            fingerprint: Trace::fingerprint_of(program),
-            text_len: program.len() as u32,
-            events: 0,
-            halted: false,
-            taken_bits: 0,
-            taken: Vec::new(),
-            addrs: Vec::new(),
-        };
+        if !mim_isa::block_engine_enabled() {
+            return Trace::record_interpreted(program, limit);
+        }
+        let mut trace = Trace::empty_for(program);
+        let mut engine = BlockEngine::new(program);
+        let outcome = engine.run_hooks(limit, &mut RecordHooks { trace: &mut trace })?;
+        trace.events = outcome.instructions();
+        trace.halted = outcome.halted();
+        Ok(trace)
+    }
+
+    /// Records via the per-step interpreter [`Vm`], bypassing the block
+    /// engine — the differential oracle against
+    /// [`record`](Trace::record): both constructors produce byte-identical
+    /// traces ([`to_bytes`](Trace::to_bytes)) for every program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] raised during execution.
+    pub fn record_interpreted(program: &Program, limit: Option<u64>) -> Result<Trace, VmError> {
+        let mut trace = Trace::empty_for(program);
         let mut vm = Vm::new(program);
         let outcome = vm.run_with(limit, |ev| {
             trace.events += 1;
@@ -103,6 +125,21 @@ impl Trace {
         })?;
         trace.halted = outcome.halted();
         Ok(trace)
+    }
+
+    /// An empty trace carrying `program`'s identity, ready for a recording
+    /// pass to fill in.
+    fn empty_for(program: &Program) -> Trace {
+        Trace {
+            name: program.name().to_string(),
+            fingerprint: Trace::fingerprint_of(program),
+            text_len: program.len() as u32,
+            events: 0,
+            halted: false,
+            taken_bits: 0,
+            taken: Vec::new(),
+            addrs: Vec::new(),
+        }
     }
 
     /// Name of the recorded program.
@@ -383,6 +420,27 @@ impl Trace {
         let bytes = fs::read(path)?;
         Trace::from_bytes(&bytes)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// The recording hook set for the block engine: exactly the two dynamic
+/// streams a [`Trace`] stores. Event counts and the halted flag come from
+/// the engine's [`RunOutcome`], so every other hook stays a no-op and the
+/// fast path never materializes a [`TraceEvent`] the recording would
+/// discard.
+struct RecordHooks<'t> {
+    trace: &'t mut Trace,
+}
+
+impl BlockHooks for RecordHooks<'_> {
+    #[inline(always)]
+    fn mem_access(&mut self, _op: &TraceEvent, addr: u64) {
+        self.trace.addrs.push(addr);
+    }
+
+    #[inline(always)]
+    fn cond_branch(&mut self, _op: &TraceEvent, taken: bool) {
+        self.trace.push_bit(taken);
     }
 }
 

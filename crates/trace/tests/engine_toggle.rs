@@ -1,0 +1,49 @@
+//! End-to-end check of the `MIM_BLOCK_ENGINE=off` override: the toggle
+//! must route every consumer back onto the per-step interpreter, and the
+//! recorded payload must be byte-identical either way.
+//!
+//! This lives in its own integration-test binary (one `#[test]`) because
+//! the override is process-global and latched from the environment on
+//! first query — sharing a binary with other tests would race that
+//! latch.
+
+use mim_isa::{block_engine_enabled, set_block_engine};
+use mim_trace::{LiveVm, Trace, TraceSource};
+use mim_workloads::{mibench, WorkloadSize};
+
+#[test]
+fn off_override_forces_interpreter_with_identical_payload() {
+    // Latch the environment before anything queries the toggle.
+    std::env::set_var("MIM_BLOCK_ENGINE", "off");
+    assert!(
+        !block_engine_enabled(),
+        "MIM_BLOCK_ENGINE=off must disable the block engine"
+    );
+
+    let p = mibench::sha().program(WorkloadSize::Tiny);
+
+    // Interpreter-backed recording and live stream (engine off).
+    let trace_off = Trace::record(&p, None).unwrap();
+    let mut events_off = 0u64;
+    let outcome_off = LiveVm::new(&p).drive(&mut |_| events_off += 1).unwrap();
+
+    // Flip the engine back on at runtime (overrides the env latch) and
+    // repeat: the payload bytes and the stream shape must not change.
+    set_block_engine(true);
+    assert!(block_engine_enabled());
+    let trace_on = Trace::record(&p, None).unwrap();
+    let mut events_on = 0u64;
+    let outcome_on = LiveVm::new(&p).drive(&mut |_| events_on += 1).unwrap();
+
+    assert_eq!(
+        trace_off.to_bytes(),
+        trace_on.to_bytes(),
+        "recorded payload must be byte-identical across backends"
+    );
+    assert_eq!(events_off, events_on);
+    assert_eq!(outcome_off, outcome_on);
+
+    // Restore the env-selected state for hygiene (still this process).
+    set_block_engine(false);
+    assert!(!block_engine_enabled());
+}
