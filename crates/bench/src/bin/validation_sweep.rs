@@ -16,10 +16,78 @@
 use mim_bench::cli::BenchArgs;
 use mim_bench::write_json;
 use mim_core::{DesignSpace, MachineConfig};
+use mim_runner::{EvalKind, Experiment};
 use mim_validate::{print_summary, BehaviorSpace, DifferentialRun};
+use mim_workloads::{mibench, WorkloadSize};
+
+/// Sampled-simulation cross-check: for every (workload, width) cell the
+/// sampled CPI must land inside its *own reported* 95% confidence
+/// interval around the full simulation's CPI, plus a small epsilon (2% of
+/// the full CPI) covering the non-sampling bias a CLT interval cannot
+/// see (the shared pipeline-drain cycles and boundary effects of finite
+/// sample units).
+fn sampled_cross_check(quick: bool) {
+    let workloads = if quick {
+        vec![
+            mibench::sha(),
+            mibench::qsort(),
+            mibench::dijkstra(),
+            mibench::stringsearch(),
+        ]
+    } else {
+        mibench::all()
+    };
+    let designs = DesignSpace::new(MachineConfig::default_config())
+        .with_widths(vec![1, 2, 4])
+        .expect("distinct widths");
+    let report = Experiment::new()
+        .title("sampled-vs-full cross-check")
+        .workloads(workloads)
+        .size(WorkloadSize::Tiny)
+        .design_space(designs)
+        .evaluators([EvalKind::Sim, EvalKind::Sampled])
+        .threads(0)
+        .run()
+        .expect("cross-check experiment");
+
+    let sampled_name = report
+        .evaluators
+        .iter()
+        .find(|e| e.starts_with("sampled"))
+        .expect("sampled evaluator ran")
+        .clone();
+    let pairs = report.compare(&sampled_name, "sim");
+    assert!(!pairs.is_empty(), "cross-check produced no cells");
+    let mut worst = 0.0f64;
+    for pair in &pairs {
+        let row = report
+            .get(&pair.workload, pair.machine_index, &sampled_name)
+            .expect("sampled row");
+        let summary = row.sampling.expect("sampled rows carry a summary");
+        let tolerance = summary.cpi_ci95 + 0.02 * pair.baseline_cpi;
+        let err = (pair.subject_cpi - pair.baseline_cpi).abs();
+        worst = worst.max(err - summary.cpi_ci95);
+        assert!(
+            err <= tolerance,
+            "{} width cell {}: sampled CPI {:.4} vs full {:.4} \
+             outside CI ±{:.4} (+2% bias allowance)",
+            pair.workload,
+            pair.machine_index,
+            pair.subject_cpi,
+            pair.baseline_cpi,
+            summary.cpi_ci95,
+        );
+    }
+    println!(
+        "sampled cross-check: {} cells within CI+2%, worst excess over CI {:.4} CPI",
+        pairs.len(),
+        worst.max(0.0),
+    );
+}
 
 fn main() -> std::io::Result<()> {
     let quick = BenchArgs::parse().flag("--quick");
+    sampled_cross_check(quick);
     let space = if quick {
         BehaviorSpace::default_grid()
     } else {

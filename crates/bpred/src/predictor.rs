@@ -22,6 +22,17 @@ pub trait BranchPredictor {
     /// `pc`.
     fn update(&mut self, pc: u32, taken: bool);
 
+    /// Functional warming: trains on a resolved branch without any
+    /// prediction being observed — the cheap update path sampled
+    /// simulation drives between detailed sample units so the predictor
+    /// enters each unit with the state a full run would have.
+    ///
+    /// Defaults to [`update`](BranchPredictor::update); implementations
+    /// whose training depends on the prior prediction may override.
+    fn warm(&mut self, pc: u32, taken: bool) {
+        self.update(pc, taken);
+    }
+
     /// Short human-readable description (e.g. `"gshare-1KB"`).
     fn name(&self) -> &str;
 
@@ -182,5 +193,35 @@ mod tests {
         let before = p.predict(12);
         p.update(12, !before);
         assert!(!p.name().is_empty());
+    }
+
+    #[test]
+    fn warming_trains_identically_to_update() {
+        // Interleaving warm and update calls must evolve the same state
+        // as training with update alone: sampled simulation relies on
+        // warm-path training being indistinguishable from measured-path
+        // training.
+        for config in [PredictorConfig::gshare_1k(), PredictorConfig::hybrid_3_5k()] {
+            let mut warmed = config.build();
+            let mut trained = config.build();
+            for i in 0..500u32 {
+                let pc = (i * 7) % 64;
+                let taken = (i / 3) % 2 == 0;
+                if i % 2 == 0 {
+                    warmed.warm(pc, taken);
+                } else {
+                    warmed.update(pc, taken);
+                }
+                trained.update(pc, taken);
+            }
+            for pc in 0..64 {
+                assert_eq!(
+                    warmed.predict(pc),
+                    trained.predict(pc),
+                    "{} diverged at pc {pc}",
+                    config.name()
+                );
+            }
+        }
     }
 }

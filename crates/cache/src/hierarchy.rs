@@ -207,6 +207,33 @@ impl Hierarchy {
             }
         }
     }
+
+    /// Functional warming: performs the access's *state* updates (cache
+    /// fills, LRU recency, TLB refills) without touching the miss
+    /// counters.
+    ///
+    /// This is the cheap update path sampled simulation drives between
+    /// detailed sample units, so the hierarchy enters each unit with the
+    /// state a full run would have while [`counts`](Hierarchy::counts)
+    /// reflects measured events only. The fill and replacement decisions
+    /// are identical to [`access`](Hierarchy::access): interleaving warm
+    /// and counted accesses evolves the same state as counting them all.
+    pub fn warm(&mut self, kind: MemAccessKind, addr: u64) {
+        match kind {
+            MemAccessKind::Fetch => {
+                self.itlb.access(addr);
+                if !self.l1i.access(addr).hit {
+                    self.l2.access(addr);
+                }
+            }
+            MemAccessKind::Load | MemAccessKind::Store => {
+                self.dtlb.access(addr);
+                if !self.l1d.access(addr).hit {
+                    self.l2.access(addr);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +312,44 @@ mod tests {
         let c = h.counts();
         assert_eq!(c.itlb_misses, 1);
         assert_eq!(c.dtlb_misses, 4);
+    }
+
+    #[test]
+    fn warming_updates_state_but_not_counters() {
+        let mut warmed = small_hierarchy();
+        warmed.warm(MemAccessKind::Load, 0);
+        warmed.warm(MemAccessKind::Fetch, 4096);
+        assert_eq!(warmed.counts(), MissCounts::default());
+        // The warmed lines/pages now hit, exactly as if `access` had
+        // brought them in.
+        let (level, tlb_miss) = warmed.access(MemAccessKind::Load, 0);
+        assert_eq!(level, MemLevel::L1);
+        assert!(!tlb_miss);
+        let (level, tlb_miss) = warmed.access(MemAccessKind::Fetch, 4096);
+        assert_eq!(level, MemLevel::L1);
+        assert!(!tlb_miss);
+
+        // Warm and counted accesses evolve identical cache state: a
+        // warm-then-access sequence leaves the same hit/miss future as
+        // access-then-access, differing only in what was counted.
+        let mut via_warm = small_hierarchy();
+        let mut via_access = small_hierarchy();
+        let addrs = [0u64, 8 * 64, 16 * 64, 0, 4096, 2 * 4096, 64];
+        for (i, &addr) in addrs.iter().enumerate() {
+            if i % 2 == 0 {
+                via_warm.warm(MemAccessKind::Load, addr);
+            } else {
+                via_warm.access(MemAccessKind::Load, addr);
+            }
+            via_access.access(MemAccessKind::Load, addr);
+        }
+        for &addr in &addrs {
+            assert_eq!(
+                via_warm.access(MemAccessKind::Load, addr).0,
+                via_access.access(MemAccessKind::Load, addr).0,
+                "state diverged at {addr:#x}"
+            );
+        }
     }
 
     #[test]

@@ -9,8 +9,8 @@ use std::sync::Mutex;
 
 use mim_core::{DesignPoint, DesignSpace};
 use mim_runner::{
-    EvalKind, EvalResult, Evaluator, Experiment, ModelEvaluator, OooEvaluator, SimEvaluator,
-    WorkloadSpec, WorkloadStore,
+    EvalKind, EvalResult, Evaluator, Experiment, ModelEvaluator, OooEvaluator, SampledSimEvaluator,
+    SimEvaluator, WorkloadSpec, WorkloadStore,
 };
 use mim_workloads::WorkloadSize;
 
@@ -57,6 +57,11 @@ impl PointScorer {
                 .with_energy(self.energy)
                 .evaluate(spec, self.size)?,
             EvalKind::Ooo => OooEvaluator::for_point(&self.space, point)
+                .with_cache(self.cache.clone())
+                .with_limit(self.limit)
+                .with_energy(self.energy)
+                .evaluate(spec, self.size)?,
+            EvalKind::Sampled => SampledSimEvaluator::for_point(&self.space, point)
                 .with_cache(self.cache.clone())
                 .with_limit(self.limit)
                 .with_energy(self.energy)

@@ -252,6 +252,7 @@ mod tests {
             misses: None,
             branch: None,
             energy: None,
+            sampling: None,
             wall_seconds: 0.0,
         }
     }

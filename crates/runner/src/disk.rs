@@ -33,7 +33,7 @@ use mim_cache::{CacheConfig, HierarchyConfig};
 use mim_isa::Program;
 use mim_obs::{clock, Counter, Histogram, Registry};
 use mim_profile::WorkloadProfile;
-use mim_trace::Trace;
+use mim_trace::{StreamingReplay, Trace};
 
 /// Magic bytes opening every store file.
 const MAGIC: &[u8; 8] = b"MIMSTORE";
@@ -346,6 +346,57 @@ impl DiskStore {
         self.write_entry(&path, KIND_TRACE, fingerprint, &trace.to_bytes())
     }
 
+    /// Opens the recorded trace for `program` (at `limit`) as an
+    /// incremental [`StreamingReplay`] over the entry file, returning
+    /// `Ok(None)` when absent.
+    ///
+    /// Unlike [`get_trace`](DiskStore::get_trace), the payload is never
+    /// materialized: only the 29-byte entry header and the trace header
+    /// are read eagerly, and replay memory stays bounded by the stream's
+    /// fixed chunk buffers no matter how long the trace is — the read
+    /// path sampled simulation wants for beyond-memory streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`StoreError`] for unreadable, truncated,
+    /// wrong-version, mismatched, or corrupt entries.
+    pub fn stream_trace<'p>(
+        &self,
+        program: &'p Program,
+        limit: Option<u64>,
+    ) -> Result<Option<StreamingReplay<'p, fs::File>>, StoreError> {
+        let started = clock();
+        let fingerprint = Trace::fingerprint_of(program);
+        let path = self.entry_path(trace_key(fingerprint, limit), "trace");
+        let mut file = match fs::File::open(&path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::io(&path, &e)),
+        };
+        let payload_len = validate_entry_header(&mut file, &path, KIND_TRACE, fingerprint)?;
+        let total = file
+            .metadata()
+            .map_err(|e| StoreError::io(&path, &e))?
+            .len();
+        if total < 29 + payload_len {
+            return Err(StoreError::Truncated { path });
+        }
+        if total > 29 + payload_len {
+            return Err(StoreError::Corrupt {
+                path,
+                message: "trailing bytes after payload".into(),
+            });
+        }
+        // The streaming decoder works off absolute seek positions, so the
+        // 29-byte entry header in front of the trace bytes is transparent.
+        let replay = StreamingReplay::new(file, program).map_err(|e| StoreError::Corrupt {
+            path,
+            message: e.to_string(),
+        })?;
+        self.get_ns.observe_since(started);
+        Ok(Some(replay))
+    }
+
     /// Looks up the sweep profile for `program` under the given candidate
     /// lists, returning `Ok(None)` when absent.
     ///
@@ -437,6 +488,50 @@ impl DiskStore {
         self.put_ns.observe_since(started);
         Ok(())
     }
+}
+
+/// Reads and validates the 29-byte entry header from an open reader,
+/// leaving it positioned at the payload. Returns the payload length.
+fn validate_entry_header(
+    reader: &mut impl io::Read,
+    path: &Path,
+    kind: u8,
+    fingerprint: u64,
+) -> Result<u64, StoreError> {
+    let mut header = [0u8; 29];
+    reader
+        .read_exact(&mut header)
+        .map_err(|_| StoreError::Truncated {
+            path: path.to_path_buf(),
+        })?;
+    let corrupt = |message: &str| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        message: message.into(),
+    };
+    if &header[..8] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(StoreError::Version {
+            path: path.to_path_buf(),
+            found: version,
+        });
+    }
+    if header[12] != kind {
+        return Err(corrupt("wrong artifact kind"));
+    }
+    let found = u64::from_le_bytes(header[13..21].try_into().expect("8 bytes"));
+    if found != fingerprint {
+        return Err(StoreError::FingerprintMismatch {
+            path: path.to_path_buf(),
+            expected: fingerprint,
+            found,
+        });
+    }
+    Ok(u64::from_le_bytes(
+        header[21..29].try_into().expect("8 bytes"),
+    ))
 }
 
 /// Reads and validates one entry, returning its payload (or `None` if the
@@ -564,6 +659,44 @@ mod tests {
             .get_profile(&program, None, &hierarchy, &l2s2, &predictors)
             .unwrap()
             .is_none());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn stream_trace_replays_identically_to_materialized() {
+        use mim_trace::TraceSource;
+        let root = temp_root("stream");
+        let store = DiskStore::open(&root).unwrap();
+        let program = mibench::sha().program(WorkloadSize::Tiny);
+        assert!(store.stream_trace(&program, None).unwrap().is_none());
+        let trace = Trace::record(&program, None).unwrap();
+        store.put_trace(&program, None, &trace).unwrap();
+
+        let mut materialized = Vec::new();
+        trace
+            .replay(&program)
+            .unwrap()
+            .drive(&mut |ev| materialized.push(*ev))
+            .unwrap();
+        let mut streamed = Vec::new();
+        let mut stream = store.stream_trace(&program, None).unwrap().unwrap();
+        let outcome = stream.drive(&mut |ev| streamed.push(*ev)).unwrap();
+        assert_eq!(streamed, materialized);
+        assert_eq!(outcome.instructions(), materialized.len() as u64);
+
+        // Streaming a damaged entry is a typed error, not a panic.
+        let path = store.entry_path(trace_key(Trace::fingerprint_of(&program), None), "trace");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..20]).unwrap();
+        assert!(matches!(
+            store.stream_trace(&program, None),
+            Err(StoreError::Truncated { .. })
+        ));
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(
+            store.stream_trace(&program, None),
+            Err(StoreError::Truncated { .. })
+        ));
         fs::remove_dir_all(&root).ok();
     }
 

@@ -22,7 +22,9 @@ use mim_pipeline::{PipelineSim, SimResult};
 use mim_power::{Activity, EnergyModel};
 use mim_workloads::WorkloadSize;
 
-use crate::result::{BranchSummary, EvalError, EvalKind, EvalResult};
+use mim_trace::Sampling;
+
+use crate::result::{BranchSummary, EvalError, EvalKind, EvalResult, SamplingSummary};
 use crate::spec::WorkloadSpec;
 use crate::store::WorkloadStore;
 
@@ -157,6 +159,7 @@ fn result_from_stack(
         }),
         stack: Some(stack),
         energy,
+        sampling: None,
         wall_seconds,
     }
 }
@@ -416,6 +419,7 @@ impl SimEvaluator {
                 taken_correct: sim.taken_correct,
             }),
             energy,
+            sampling: None,
             wall_seconds,
         }
     }
@@ -453,6 +457,193 @@ impl Evaluator for SimEvaluator {
             None
         };
         Ok(self.result_from_sim(workload, &sim, inputs.as_ref(), t0.elapsed().as_secs_f64()))
+    }
+}
+
+/// Evaluates workloads with the sampled pipeline simulator: detailed
+/// timing on the sampling plan's periodic windows, functional warming of
+/// caches and the branch predictor between them, and a CLT 95% confidence
+/// interval over per-unit CPIs reported in [`EvalResult::sampling`].
+///
+/// When the shared [`WorkloadStore`] has a persistent [`DiskStore`]
+/// attached, the trace is replayed **incrementally from disk**
+/// ([`DiskStore::stream_trace`]) so evaluation memory stays bounded by
+/// the stream's fixed chunk buffers — the path for streams too long to
+/// materialize. Without one it replays the store's in-memory recording;
+/// both paths walk byte-identical event streams.
+///
+/// The default display name encodes the sampling geometry
+/// (`sampled-p1000-l100-w900-o100`), so results from different plans
+/// never collide in memoized experiment cells.
+///
+/// [`DiskStore`]: crate::DiskStore
+/// [`DiskStore::stream_trace`]: crate::DiskStore::stream_trace
+#[derive(Clone)]
+pub struct SampledSimEvaluator {
+    machine: MachineConfig,
+    sweep: SweepContext,
+    store: WorkloadStore,
+    limit: Option<u64>,
+    name: String,
+    sampling: Sampling,
+    energy: bool,
+}
+
+impl SampledSimEvaluator {
+    /// Sampled evaluator for a single machine configuration with the
+    /// default 1-in-10 plan ([`Sampling::default_plan`]).
+    pub fn new(machine: &MachineConfig) -> SampledSimEvaluator {
+        let sampling = Sampling::default_plan();
+        SampledSimEvaluator {
+            machine: machine.clone(),
+            sweep: SweepContext::single(machine),
+            store: WorkloadStore::new(),
+            limit: None,
+            name: SampledSimEvaluator::plan_name(sampling),
+            sampling,
+            energy: false,
+        }
+    }
+
+    /// Sampled evaluator for one point of a design space.
+    pub fn for_point(space: &DesignSpace, point: &DesignPoint) -> SampledSimEvaluator {
+        SampledSimEvaluator {
+            machine: point.machine.clone(),
+            sweep: SweepContext::for_point(space, point),
+            ..SampledSimEvaluator::new(&point.machine)
+        }
+    }
+
+    fn plan_name(s: Sampling) -> String {
+        format!(
+            "sampled-p{}-l{}-w{}-o{}",
+            s.period(),
+            s.length(),
+            s.warmup(),
+            s.offset()
+        )
+    }
+
+    /// Shares a workload store with other evaluators.
+    pub fn with_cache(mut self, store: WorkloadStore) -> SampledSimEvaluator {
+        self.store = store;
+        self
+    }
+
+    /// Truncates the walked stream to `limit` retired instructions.
+    pub fn with_limit(mut self, limit: Option<u64>) -> SampledSimEvaluator {
+        self.limit = limit;
+        self
+    }
+
+    /// Overrides the evaluator's display name.
+    pub fn with_name(mut self, name: impl Into<String>) -> SampledSimEvaluator {
+        self.name = name.into();
+        self
+    }
+
+    /// Replaces the sampling plan (and, if the name is still the default
+    /// geometry-encoded one, renames the evaluator to match).
+    pub fn with_sampling(mut self, sampling: Sampling) -> SampledSimEvaluator {
+        if self.name == SampledSimEvaluator::plan_name(self.sampling) {
+            self.name = SampledSimEvaluator::plan_name(sampling);
+        }
+        self.sampling = sampling;
+        self
+    }
+
+    /// Also evaluates the energy model (profiles the workload for the
+    /// instruction mix the energy model needs).
+    pub fn with_energy(mut self, energy: bool) -> SampledSimEvaluator {
+        self.energy = energy;
+        self
+    }
+
+    fn simulate(
+        &self,
+        workload: &WorkloadSpec,
+        size: WorkloadSize,
+    ) -> Result<SimResult, EvalError> {
+        let program = self.store.program(workload, size);
+        let sim = PipelineSim::new(&self.machine);
+        // Prefer the persistent store's incremental read path: O(chunk)
+        // memory instead of O(trace). A damaged entry degrades to the
+        // materialized path, like every other DiskStore read.
+        if let Some(stream) = self
+            .store
+            .disk()
+            .and_then(|disk| disk.stream_trace(&program, self.limit).ok().flatten())
+        {
+            let mut stream = stream.with_sampling(self.sampling);
+            return sim
+                .simulate_sampled(&mut stream)
+                .map_err(|e| EvalError::trace(workload.name(), &self.name, &e));
+        }
+        let trace = self.store.trace(workload, size, self.limit)?;
+        let mut replay = trace
+            .replay(&program)
+            .map_err(|e| EvalError::trace(workload.name(), &self.name, &e))?
+            .with_sampling(self.sampling);
+        sim.simulate_sampled(&mut replay)
+            .map_err(|e| EvalError::trace(workload.name(), &self.name, &e))
+    }
+}
+
+impl Evaluator for SampledSimEvaluator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> EvalKind {
+        EvalKind::Sampled
+    }
+
+    fn evaluate(
+        &self,
+        workload: &WorkloadSpec,
+        size: WorkloadSize,
+    ) -> Result<EvalResult, EvalError> {
+        let t0 = Instant::now();
+        let sim = self.simulate(workload, size)?;
+        let stats = sim
+            .sampling
+            .as_ref()
+            .expect("simulate_sampled always attaches sampling stats");
+        let inputs = if self.energy {
+            Some(self.sweep.inputs(&self.store, workload, size, self.limit)?)
+        } else {
+            None
+        };
+        let energy = inputs.as_ref().map(|inputs| {
+            EnergyModel::new(&self.machine).evaluate(&Activity::from_sim(&sim, inputs))
+        });
+        Ok(EvalResult {
+            workload: workload.name().to_string(),
+            evaluator: self.name.clone(),
+            kind: EvalKind::Sampled,
+            machine_id: self.machine.id(),
+            machine_index: 0,
+            instructions: sim.instructions,
+            cycles: sim.cycles as f64,
+            // The estimator's mean per-unit CPI, not the rounded
+            // cycles/instructions quotient.
+            cpi: stats.cpi,
+            stack: None,
+            misses: Some(sim.misses),
+            branch: Some(BranchSummary {
+                branches: sim.branches,
+                mispredicts: sim.mispredicts,
+                taken_correct: sim.taken_correct,
+            }),
+            energy,
+            sampling: Some(SamplingSummary {
+                units: stats.units,
+                measured_instructions: stats.measured_instructions,
+                fraction: stats.fraction,
+                cpi_ci95: stats.ci_half_width,
+            }),
+            wall_seconds: t0.elapsed().as_secs_f64(),
+        })
     }
 }
 

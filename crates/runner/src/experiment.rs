@@ -13,7 +13,9 @@ use mim_workloads::WorkloadSize;
 use serde::{Deserialize, Serialize};
 
 use crate::cells::CellMemo;
-use crate::evaluator::{Evaluator, ModelEvaluator, OooEvaluator, SimEvaluator};
+use crate::evaluator::{
+    Evaluator, ModelEvaluator, OooEvaluator, SampledSimEvaluator, SimEvaluator,
+};
 use crate::result::{EvalError, EvalKind, EvalResult};
 use crate::spec::WorkloadSpec;
 use crate::store::WorkloadStore;
@@ -253,6 +255,7 @@ pub struct Experiment {
     kinds: Vec<EvalKind>,
     custom: Vec<Arc<dyn Evaluator>>,
     rob_size: u32,
+    sampling: mim_trace::Sampling,
     energy: bool,
     threads: usize,
     cache: WorkloadStore,
@@ -283,6 +286,7 @@ impl Experiment {
             kinds: Vec::new(),
             custom: Vec::new(),
             rob_size: 128,
+            sampling: mim_trace::Sampling::default_plan(),
             energy: false,
             threads: 0,
             cache: WorkloadStore::new(),
@@ -363,6 +367,14 @@ impl Experiment {
     /// Reorder-buffer size for [`EvalKind::Ooo`] evaluators (default 128).
     pub fn rob_size(mut self, rob_size: u32) -> Experiment {
         self.rob_size = rob_size;
+        self
+    }
+
+    /// Sampling plan for [`EvalKind::Sampled`] evaluators (default
+    /// [`Sampling::default_plan`](mim_trace::Sampling::default_plan), the
+    /// 1-in-10 plan with full functional warming).
+    pub fn sampling(mut self, sampling: mim_trace::Sampling) -> Experiment {
+        self.sampling = sampling;
         self
     }
 
@@ -473,6 +485,20 @@ impl Experiment {
                                 .with_cache(self.cache.clone())
                                 .with_limit(self.limit)
                                 .with_rob_size(self.rob_size)
+                                .with_energy(self.energy),
+                        ),
+                        (EvalKind::Sampled, Some(space)) => Arc::new(
+                            SampledSimEvaluator::for_point(space, point)
+                                .with_cache(self.cache.clone())
+                                .with_limit(self.limit)
+                                .with_sampling(self.sampling)
+                                .with_energy(self.energy),
+                        ),
+                        (EvalKind::Sampled, None) => Arc::new(
+                            SampledSimEvaluator::new(&point.machine)
+                                .with_cache(self.cache.clone())
+                                .with_limit(self.limit)
+                                .with_sampling(self.sampling)
                                 .with_energy(self.energy),
                         ),
                     };
@@ -590,7 +616,7 @@ impl Experiment {
         let needs_trace = self
             .kinds
             .iter()
-            .any(|k| matches!(k, EvalKind::Sim | EvalKind::Ooo));
+            .any(|k| matches!(k, EvalKind::Sim | EvalKind::Ooo | EvalKind::Sampled));
         let warm: Vec<Result<(), EvalError>> = parallel_map(threads, &self.workloads, |_, spec| {
             self.cache.program(spec, self.size);
             if needs_trace {

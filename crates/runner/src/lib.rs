@@ -12,7 +12,9 @@
 //!   [`ModelEvaluator`] (mechanistic model over a cached
 //!   [`WorkloadProfile`](mim_profile::WorkloadProfile)), [`SimEvaluator`]
 //!   (cycle-accurate pipeline), [`OooEvaluator`] (out-of-order interval
-//!   model).
+//!   model), and [`SampledSimEvaluator`] (statistically sampled
+//!   simulation with functional warming, reporting a CLT 95% confidence
+//!   interval in [`SamplingSummary`]).
 //! * [`Experiment`] — a builder running the (workload × design-point ×
 //!   evaluator) grid: each workload is functionally executed **once**
 //!   (recorded into a [`Trace`](mim_trace::Trace) held by the shared
@@ -71,10 +73,12 @@ mod store;
 
 pub use cells::{CellMemo, CellStats};
 pub use disk::{DiskStore, StoreError};
-pub use evaluator::{Evaluator, InputsMap, ModelEvaluator, OooEvaluator, SimEvaluator};
+pub use evaluator::{
+    Evaluator, InputsMap, ModelEvaluator, OooEvaluator, SampledSimEvaluator, SimEvaluator,
+};
 pub use experiment::{
     parallel_map, print_comparison, CpiComparison, Experiment, ExperimentReport, ExperimentTiming,
 };
-pub use result::{BranchSummary, EvalError, EvalKind, EvalResult};
+pub use result::{BranchSummary, EvalError, EvalKind, EvalResult, SamplingSummary};
 pub use spec::WorkloadSpec;
 pub use store::{ProfileCache, StoreStats, WorkloadStore};

@@ -21,6 +21,10 @@ pub enum EvalKind {
     Sim,
     /// The first-order out-of-order interval model (the §6.1 comparator).
     Ooo,
+    /// The sampled pipeline simulator: detailed timing on periodic sample
+    /// units with functional warming between them, reporting a CLT 95%
+    /// confidence interval alongside the scaled estimate.
+    Sampled,
 }
 
 impl EvalKind {
@@ -30,6 +34,7 @@ impl EvalKind {
             EvalKind::Model => "model",
             EvalKind::Sim => "sim",
             EvalKind::Ooo => "ooo",
+            EvalKind::Sampled => "sampled",
         }
     }
 }
@@ -49,6 +54,23 @@ pub struct BranchSummary {
     pub mispredicts: u64,
     /// Correctly predicted branches whose prediction was taken.
     pub taken_correct: u64,
+}
+
+/// Sampling statistics attached to results from the sampled simulator.
+///
+/// Mirrors [`mim_pipeline::SampledStats`] in serializable form: how much
+/// of the stream was measured in detail and how tight the CLT interval
+/// around the reported CPI is.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingSummary {
+    /// Number of sample units the estimate aggregates.
+    pub units: u64,
+    /// Instructions simulated in detail (measured windows only).
+    pub measured_instructions: u64,
+    /// Fraction of the walked stream measured in detail.
+    pub fraction: f64,
+    /// CLT 95% confidence half-width (±ε) on the reported CPI.
+    pub cpi_ci95: f64,
 }
 
 /// One evaluation outcome: a (workload, machine, evaluator) cell.
@@ -90,6 +112,8 @@ pub struct EvalResult {
     pub branch: Option<BranchSummary>,
     /// Energy/EDP evaluation, when the experiment enables it.
     pub energy: Option<EnergyReport>,
+    /// Sampling statistics (sampled simulator only).
+    pub sampling: Option<SamplingSummary>,
     /// Wall-clock seconds this evaluation took. Excluded from
     /// serialization so reports stay deterministic.
     #[serde(skip)]

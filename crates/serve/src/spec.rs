@@ -61,6 +61,45 @@ impl SpaceSpec {
     }
 }
 
+/// Sampling-plan description for `sampled` evaluations: the geometry of
+/// the periodic detailed windows and their functional warm-up.
+///
+/// Defaults to the library's default 1-in-10 plan
+/// ([`Sampling::default_plan`](mim_trace::Sampling::default_plan)).
+/// Geometry is validated at submit time through
+/// [`Sampling::try_new`](mim_trace::Sampling::try_new), so a bad plan is
+/// rejected synchronously instead of panicking inside a worker.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SamplingSpec {
+    /// Sample-unit period in instructions.
+    pub period: u64,
+    /// Detailed-window length in instructions (must satisfy
+    /// `0 < length <= period`).
+    pub length: u64,
+    /// Functional warm-up events walked before each window.
+    pub warmup: u64,
+    /// Stream position of the first window.
+    pub offset: u64,
+}
+
+impl SamplingSpec {
+    fn parse(value: &Value) -> Result<SamplingSpec, String> {
+        let default = mim_trace::Sampling::default_plan();
+        Ok(SamplingSpec {
+            period: u64_or(value, "period", default.period())?,
+            length: u64_or(value, "length", default.length())?,
+            warmup: u64_or(value, "warmup", default.warmup())?,
+            offset: u64_or(value, "offset", default.offset())?,
+        })
+    }
+
+    fn resolve(&self) -> Result<mim_trace::Sampling, String> {
+        let plan =
+            mim_trace::Sampling::try_new(self.period, self.length).map_err(|e| e.to_string())?;
+        Ok(plan.with_warmup(self.warmup).with_offset(self.offset))
+    }
+}
+
 /// Search-strategy description for exploration jobs.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct StrategySpec {
@@ -120,10 +159,13 @@ pub struct ExperimentSpec {
     pub size: String,
     /// Instruction budget per evaluation, if truncated.
     pub limit: Option<u64>,
-    /// Evaluator labels (`model`/`sim`/`ooo`).
+    /// Evaluator labels (`model`/`sim`/`ooo`/`sampled`).
     pub evaluators: Vec<String>,
     /// Whether to run the energy model.
     pub energy: bool,
+    /// Sampling plan for `sampled` evaluators (absent = the default
+    /// 1-in-10 plan with full warming).
+    pub sampling: Option<SamplingSpec>,
     /// Design space to sweep (absent = the single default machine).
     pub space: Option<SpaceSpec>,
     /// Evaluate only every `stride`-th design point.
@@ -213,6 +255,10 @@ impl JobSpec {
                 limit: opt_u64(value, "limit")?,
                 evaluators: str_list(value, "evaluators")?,
                 energy: bool_or(value, "energy", false)?,
+                sampling: match value.get("sampling") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => Some(SamplingSpec::parse(v)?),
+                },
                 space: match value.get("space") {
                     None | Some(Value::Null) => None,
                     Some(v) => Some(SpaceSpec::parse(v)?),
@@ -281,6 +327,9 @@ impl JobSpec {
                 }
                 for label in &s.evaluators {
                     parse_eval(label)?;
+                }
+                if let Some(sampling) = &s.sampling {
+                    sampling.resolve()?;
                 }
                 if let Some(space) = &s.space {
                     space.resolve()?;
@@ -363,6 +412,9 @@ impl ExperimentSpec {
         }
         if let Some(limit) = self.limit {
             experiment = experiment.limit(limit);
+        }
+        if let Some(sampling) = &self.sampling {
+            experiment = experiment.sampling(sampling.resolve()?);
         }
         if let Some(space) = &self.space {
             experiment = experiment
@@ -456,7 +508,10 @@ pub fn parse_eval(label: &str) -> Result<EvalKind, String> {
         "model" => Ok(EvalKind::Model),
         "sim" => Ok(EvalKind::Sim),
         "ooo" => Ok(EvalKind::Ooo),
-        other => Err(format!("unknown evaluator `{other}` (model/sim/ooo)")),
+        "sampled" => Ok(EvalKind::Sampled),
+        other => Err(format!(
+            "unknown evaluator `{other}` (model/sim/ooo/sampled)"
+        )),
     }
 }
 
@@ -623,10 +678,54 @@ mod tests {
                 r#"{"kind":"subset","workloads":["sha"],"space":{"preset":"huge"}}"#,
                 "unknown space preset",
             ),
+            // Bad sampling geometry is rejected synchronously at submit
+            // time (through `Sampling::try_new`), never inside a worker.
+            (
+                r#"{"kind":"experiment","workloads":["sha"],"evaluators":["sampled"],
+                    "sampling":{"period":10,"length":0}}"#,
+                "invalid sampling plan",
+            ),
+            (
+                r#"{"kind":"experiment","workloads":["sha"],"evaluators":["sampled"],
+                    "sampling":{"period":10,"length":11}}"#,
+                "invalid sampling plan",
+            ),
         ] {
             let err = parse(json).expect_err(json);
             assert!(err.contains(needle), "`{err}` should mention `{needle}`");
         }
+    }
+
+    #[test]
+    fn sampled_jobs_parse_and_execute_with_ci_stats() {
+        let job = parse(
+            r#"{"kind":"experiment","workloads":["sha"],"evaluators":["sim","sampled"],
+                "sampling":{"period":500,"length":50,"warmup":450,"offset":50}}"#,
+        )
+        .expect("parses");
+        let store = WorkloadStore::new();
+        let cells = CellMemo::new();
+        let report = job.execute(&store, &cells).expect("runs");
+        let rows = report
+            .get("rows")
+            .and_then(Value::as_array)
+            .expect("rows array");
+        assert_eq!(rows.len(), 2);
+        // The sampled row carries the sampling summary; the full-sim row
+        // does not.
+        let sampling_of = |row: &Value| row.get("sampling").cloned().expect("field present");
+        assert_eq!(sampling_of(&rows[0]), Value::Null);
+        let stats = sampling_of(&rows[1]);
+        match stats.get("units").expect("units field") {
+            Value::Int(n) => assert!(*n > 1, "{n} units"),
+            Value::UInt(n) => assert!(*n > 1, "{n} units"),
+            other => panic!("units should be an integer, got {}", other.kind()),
+        }
+        assert!(stats.get("cpi_ci95").is_some());
+        assert_eq!(
+            rows[1].get("evaluator"),
+            Some(&Value::Str("sampled-p500-l50-w450-o50".into()))
+        );
     }
 
     #[test]

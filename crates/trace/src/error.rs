@@ -23,6 +23,23 @@ pub enum TraceError {
     /// program text (the trace does not describe this program's control
     /// flow).
     Corrupt(String),
+    /// A source was driven again after an earlier
+    /// [`drive`](crate::TraceSource::drive) already consumed its stream.
+    /// The [`TraceSource`](crate::TraceSource) contract is driven-once; a
+    /// second drive used to silently report a successful zero-event
+    /// outcome, which corrupted any consumer that aggregated it.
+    Exhausted {
+        /// Name of the exhausted source.
+        source: String,
+    },
+    /// A [`Sampling`](crate::Sampling) plan with impossible geometry was
+    /// rejected (`length` must satisfy `0 < length <= period`).
+    InvalidSampling {
+        /// Requested period, in events.
+        period: u64,
+        /// Requested window length, in events.
+        length: u64,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -35,6 +52,15 @@ impl fmt::Display for TraceError {
                  (fingerprint mismatch)"
             ),
             TraceError::Corrupt(reason) => write!(f, "corrupt trace: {reason}"),
+            TraceError::Exhausted { source } => write!(
+                f,
+                "trace source `{source}` was already driven (a TraceSource \
+                 is driven once; construct a fresh replay for another pass)"
+            ),
+            TraceError::InvalidSampling { period, length } => write!(
+                f,
+                "invalid sampling plan: need 0 < length ({length}) <= period ({period})"
+            ),
         }
     }
 }

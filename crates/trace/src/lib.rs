@@ -17,7 +17,12 @@
 //!   against; [`LiveVm`] (functional execution, the recording backend)
 //!   and [`Replay`] (trace replay) both implement it.
 //! * [`Sampling`] — systematic (SMARTS-style periodic) sampling of the
-//!   replayed stream for `Large` runs.
+//!   replayed stream for `Large` runs, with per-window functional warming
+//!   ([`SamplePhase::Warm`]) and a window offset so estimates don't
+//!   over-weight program cold-start.
+//! * [`StreamingReplay`] — the same replay decoded incrementally from a
+//!   serialized trace (file, store entry, or cursor) in O(1) memory:
+//!   two fixed-size section buffers regardless of trace length.
 //!
 //! The one recording itself runs on `mim-isa`'s block-compiled engine
 //! ([`Trace::record`]'s two streams map directly onto its
@@ -67,10 +72,12 @@
 
 mod error;
 mod source;
+mod stream;
 mod trace;
 
 pub use error::TraceError;
-pub use source::{LiveVm, Replay, Sampling, TraceSource};
+pub use source::{LiveVm, Replay, SamplePhase, Sampling, TraceSource};
+pub use stream::{StreamingReplay, CHUNK as STREAM_CHUNK_BYTES};
 pub use trace::Trace;
 
 #[cfg(test)]
@@ -300,6 +307,202 @@ mod tests {
         assert_eq!(outcome.instructions(), trace.len());
         assert!((sampling.fraction() - 0.3).abs() < 1e-12);
         assert!((sampling.scale() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn redriving_an_exhausted_replay_is_an_error() {
+        // Regression: a second `drive` used to skip the walk and re-report
+        // a successful outcome with zero events, silently corrupting any
+        // consumer that aggregated the second pass.
+        let p = kernel();
+        let trace = Trace::record(&p, None).unwrap();
+        let mut replay = trace.replay(&p).unwrap();
+        let mut events = 0u64;
+        replay.drive(&mut |_| events += 1).unwrap();
+        assert_eq!(events, trace.len());
+        let again = replay.drive(&mut |_| panic!("no events on a re-drive"));
+        assert!(
+            matches!(again, Err(TraceError::Exhausted { ref source }) if source == "kernel"),
+            "re-drive must fail, got {again:?}"
+        );
+        // Same contract on the phased entry point and the streaming replay.
+        let mut replay = trace.replay(&p).unwrap();
+        replay.drive_phased(&mut |_, _| {}).unwrap();
+        assert!(matches!(
+            replay.drive(&mut |_| {}),
+            Err(TraceError::Exhausted { .. })
+        ));
+        let bytes = trace.to_bytes();
+        let mut streaming = StreamingReplay::new(std::io::Cursor::new(bytes), &p).unwrap();
+        streaming.drive(&mut |_| {}).unwrap();
+        assert!(matches!(
+            streaming.drive(&mut |_| {}),
+            Err(TraceError::Exhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn try_new_rejects_bad_geometry_new_still_panics() {
+        assert!(matches!(
+            Sampling::try_new(10, 0),
+            Err(TraceError::InvalidSampling {
+                period: 10,
+                length: 0
+            })
+        ));
+        assert!(matches!(
+            Sampling::try_new(10, 11),
+            Err(TraceError::InvalidSampling { .. })
+        ));
+        assert_eq!(Sampling::try_new(10, 10).unwrap().fraction(), 1.0);
+        let err = Sampling::try_new(5, 9).unwrap_err();
+        assert!(err.to_string().contains("0 < length (9) <= period (5)"));
+        assert!(std::panic::catch_unwind(|| Sampling::new(10, 0)).is_err());
+    }
+
+    #[test]
+    fn sampling_phases_partition_the_stream() {
+        let s = Sampling::new(10, 3).with_warmup(4).with_offset(5);
+        // Windows at 5..8, 15..18, ...; warm-up covers the 4 positions
+        // before each window start.
+        let phases: Vec<SamplePhase> = (0..20).map(|pos| s.phase(pos)).collect();
+        use SamplePhase::*;
+        assert_eq!(
+            phases,
+            vec![
+                Skip, Warm, Warm, Warm, Warm, // 0..5: warm-up into window 0
+                Measure, Measure, Measure, // 5..8: window 0
+                Skip, Skip, Skip, // 8..11
+                Warm, Warm, Warm, Warm, // 11..15: warm-up into window 1
+                Measure, Measure, Measure, // 15..18: window 1
+                Skip, Skip,
+            ]
+        );
+        // `contains` is exactly the Measure phase.
+        for pos in 0..50 {
+            assert_eq!(s.contains(pos), s.phase(pos) == SamplePhase::Measure);
+        }
+        // Full warming tags every non-measured event Warm.
+        let full = Sampling::new(10, 3).with_warmup(7);
+        assert!((0..100).all(|p| full.phase(p) != SamplePhase::Skip));
+    }
+
+    #[test]
+    fn drive_phased_tags_warm_and_measure_consistently() {
+        let p = kernel();
+        let trace = Trace::record(&p, None).unwrap();
+        let sampling = Sampling::new(10, 3).with_warmup(2).with_offset(4);
+        let (live, _) = live_events(&p, None);
+        let mut tagged = Vec::new();
+        let outcome = trace
+            .sampled_replay(&p, sampling)
+            .unwrap()
+            .drive_phased(&mut |phase, ev| tagged.push((phase, *ev)))
+            .unwrap();
+        assert_eq!(outcome.instructions(), trace.len());
+        // Every delivered event matches the live stream at its position
+        // and carries the phase the plan assigns to that position.
+        let expected: Vec<(SamplePhase, TraceEvent)> = live
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| sampling.phase(*i as u64) != SamplePhase::Skip)
+            .map(|(i, ev)| (sampling.phase(i as u64), *ev))
+            .collect();
+        assert_eq!(tagged, expected);
+        assert!(tagged.iter().any(|(ph, _)| *ph == SamplePhase::Warm));
+        assert!(tagged.iter().any(|(ph, _)| *ph == SamplePhase::Measure));
+        // Plain drive sees only the Measure subset.
+        let mut plain = Vec::new();
+        trace
+            .sampled_replay(&p, sampling)
+            .unwrap()
+            .drive(&mut |ev| plain.push(*ev))
+            .unwrap();
+        let measured: Vec<TraceEvent> = expected
+            .iter()
+            .filter(|(ph, _)| *ph == SamplePhase::Measure)
+            .map(|(_, ev)| *ev)
+            .collect();
+        assert_eq!(plain, measured);
+    }
+
+    #[test]
+    fn streaming_replay_is_byte_identical_to_materialized() {
+        let p = kernel();
+        let trace = Trace::record(&p, None).unwrap();
+        let bytes = trace.to_bytes();
+        let n = trace.len();
+        let limits = [None, Some(1), Some(5), Some(n - 1), Some(n), Some(n + 1)];
+        let samplings = [
+            None,
+            Some(Sampling::new(10, 3)),
+            Some(Sampling::new(7, 2).with_warmup(3).with_offset(4)),
+        ];
+        for limit in limits {
+            for sampling in samplings {
+                let mut mat = trace.replay(&p).unwrap().with_limit(limit);
+                if let Some(s) = sampling {
+                    mat = mat.with_sampling(s);
+                }
+                let mut mat_events = Vec::new();
+                let mat_outcome = mat
+                    .drive_phased(&mut |ph, ev| mat_events.push((ph, *ev)))
+                    .unwrap();
+
+                let mut st = StreamingReplay::new(std::io::Cursor::new(bytes.clone()), &p)
+                    .unwrap()
+                    .with_limit(limit);
+                if let Some(s) = sampling {
+                    st = st.with_sampling(s);
+                }
+                let mut st_events = Vec::new();
+                let st_outcome = st
+                    .drive_phased(&mut |ph, ev| st_events.push((ph, *ev)))
+                    .unwrap();
+
+                assert_eq!(
+                    mat_events, st_events,
+                    "limit {limit:?} sampling {sampling:?}"
+                );
+                assert_eq!(mat_outcome, st_outcome, "limit {limit:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_replay_from_file_and_error_paths() {
+        let p = kernel();
+        let trace = Trace::record(&p, None).unwrap();
+        let path = std::env::temp_dir().join(format!("mim-stream-{}.bin", std::process::id()));
+        trace.write_to(&path).unwrap();
+        let mut events = 0u64;
+        let outcome = StreamingReplay::open(&path, &p)
+            .unwrap()
+            .drive(&mut |_| events += 1)
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(events, trace.len());
+        assert_eq!(outcome, trace.outcome());
+
+        // Wrong program: rejected at construction, like Trace::replay.
+        let mut other = ProgramBuilder::named("kernel");
+        other.li(Reg::R1, 1);
+        other.halt();
+        let other = other.build();
+        assert!(matches!(
+            StreamingReplay::new(std::io::Cursor::new(trace.to_bytes()), &other),
+            Err(TraceError::ProgramMismatch { .. })
+        ));
+
+        // Truncated bytes: error, never a panic — at construction for
+        // header truncation, or during the walk for stream truncation.
+        let bytes = trace.to_bytes();
+        for len in (0..bytes.len()).step_by(7) {
+            match StreamingReplay::new(std::io::Cursor::new(bytes[..len].to_vec()), &p) {
+                Ok(mut replay) => assert!(replay.drive(&mut |_| {}).is_err(), "len {len}"),
+                Err(e) => assert!(matches!(e, TraceError::Corrupt(_)), "len {len}: {e:?}"),
+            }
+        }
     }
 
     #[test]

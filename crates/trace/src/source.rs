@@ -17,7 +17,9 @@ use crate::trace::Trace;
 ///
 /// A source is driven **once**: [`drive`](TraceSource::drive) consumes the
 /// stream from the source's current position to its end (instruction
-/// limits are a property of the source, fixed at construction).
+/// limits are a property of the source, fixed at construction). Replays
+/// enforce this: a second drive raises [`TraceError::Exhausted`] instead
+/// of silently reporting a successful zero-event pass.
 pub trait TraceSource {
     /// Name of the workload producing the stream.
     fn name(&self) -> &str;
@@ -32,6 +34,50 @@ pub trait TraceSource {
     /// the program text (possible only for hand-built or corrupted
     /// traces — [`Trace::replay`] already rejects mismatched programs).
     fn drive(&mut self, observer: &mut dyn FnMut(&TraceEvent)) -> Result<RunOutcome, TraceError>;
+
+    /// The sampling plan governing this source's stream, if any.
+    ///
+    /// Consumers that care about sample-unit structure (the sampled timing
+    /// simulation) read the plan here; sources without one expose the
+    /// whole stream as a single measured unit.
+    fn sampling(&self) -> Option<Sampling> {
+        None
+    }
+
+    /// Drives `observer` with each event tagged by its [`SamplePhase`]
+    /// under the source's sampling plan.
+    ///
+    /// Sampled sources deliver [`SamplePhase::Warm`] events (walked for
+    /// functional warming between detailed units) and
+    /// [`SamplePhase::Measure`] events (inside a sample window);
+    /// [`SamplePhase::Skip`] events are walked but never delivered — not
+    /// materializing them is where sampling's speedup comes from. The
+    /// default implementation wraps [`drive`](TraceSource::drive) and tags
+    /// everything [`SamplePhase::Measure`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`drive`](TraceSource::drive).
+    fn drive_phased(
+        &mut self,
+        observer: &mut dyn FnMut(SamplePhase, &TraceEvent),
+    ) -> Result<RunOutcome, TraceError> {
+        self.drive(&mut |ev| observer(SamplePhase::Measure, ev))
+    }
+}
+
+/// The role of one walked event under a [`Sampling`] plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplePhase {
+    /// Fast-forward: the event is walked so control flow advances, but no
+    /// observer sees it.
+    Skip,
+    /// Functional warming: the event should update cache-hierarchy and
+    /// branch-predictor *state* only — no timing is charged.
+    Warm,
+    /// Detailed measurement: the event is inside a sample window and runs
+    /// through the full timing model.
+    Measure,
 }
 
 /// The functional backend a [`LiveVm`] drives: the per-step interpreter
@@ -107,9 +153,16 @@ impl TraceSource for LiveVm<'_> {
     }
 }
 
-/// Systematic sampling plan for replay: out of every `period` events, the
-/// first `length` are emitted (the classic SMARTS-style periodic sampling
-/// of the dynamic instruction stream).
+/// Systematic sampling plan for replay: out of every `period` events,
+/// `length` are emitted (the classic SMARTS-style periodic sampling of the
+/// dynamic instruction stream).
+///
+/// Sample windows start at stream positions `offset + k * period`; the
+/// `warmup` events immediately before each window are tagged
+/// [`SamplePhase::Warm`] so consumers can functionally warm caches and
+/// predictors without charging timing. A non-zero
+/// [`offset`](Sampling::with_offset) keeps the first window from
+/// measuring program cold-start.
 ///
 /// Intended for `Large` runs where even replay is worth truncating:
 /// consumers observe `length/period` of the stream and scale additive
@@ -121,20 +174,63 @@ impl TraceSource for LiveVm<'_> {
 pub struct Sampling {
     period: u64,
     length: u64,
+    warmup: u64,
+    offset: u64,
 }
 
 impl Sampling {
-    /// A plan emitting the first `length` of every `period` events.
+    /// A plan emitting `length` of every `period` events, with no warming
+    /// and no offset.
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < length <= period`.
+    /// Panics unless `0 < length <= period`. Paths fed by untrusted input
+    /// (serve job specs) must use [`try_new`](Sampling::try_new) instead.
     pub fn new(period: u64, length: u64) -> Sampling {
-        assert!(
-            length > 0 && length <= period,
-            "sampling needs 0 < length ({length}) <= period ({period})"
-        );
-        Sampling { period, length }
+        Sampling::try_new(period, length)
+            .unwrap_or_else(|_| panic!("sampling needs 0 < length ({length}) <= period ({period})"))
+    }
+
+    /// Fallible constructor: rejects impossible geometry with a typed
+    /// error instead of panicking, so a bad request can never take down a
+    /// worker that builds plans from untrusted specs.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::InvalidSampling`] unless `0 < length <= period`.
+    pub fn try_new(period: u64, length: u64) -> Result<Sampling, TraceError> {
+        if length == 0 || length > period {
+            return Err(TraceError::InvalidSampling { period, length });
+        }
+        Ok(Sampling {
+            period,
+            length,
+            warmup: 0,
+            offset: 0,
+        })
+    }
+
+    /// The default plan for sampled timing simulation: 1-in-10 coverage
+    /// (100-event windows every 1000 events) with full functional warming
+    /// between windows and the first window offset past position 0 so it
+    /// does not measure program cold-start.
+    pub fn default_plan() -> Sampling {
+        Sampling::new(1000, 100).with_warmup(900).with_offset(100)
+    }
+
+    /// Sets the number of events before each sample window tagged
+    /// [`SamplePhase::Warm`] (functional state updates, no timing).
+    /// `period - length` warms through every skipped event.
+    pub fn with_warmup(mut self, warmup: u64) -> Sampling {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Shifts all sample windows to start at `offset + k * period`, so
+    /// the first window no longer measures the stream's cold-start.
+    pub fn with_offset(mut self, offset: u64) -> Sampling {
+        self.offset = offset;
+        self
     }
 
     /// Events emitted per period.
@@ -147,10 +243,40 @@ impl Sampling {
         self.period
     }
 
+    /// Warm-up length before each window, in events.
+    pub fn warmup(&self) -> u64 {
+        self.warmup
+    }
+
+    /// Stream position of the first sample window.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
     /// True if the event at stream position `pos` is inside a sample
     /// window.
     pub fn contains(&self, pos: u64) -> bool {
-        pos % self.period < self.length
+        self.phase(pos) == SamplePhase::Measure
+    }
+
+    /// The [`SamplePhase`] of the event at stream position `pos`:
+    /// `Measure` inside a window, `Warm` within `warmup` events before a
+    /// window start, `Skip` otherwise.
+    pub fn phase(&self, pos: u64) -> SamplePhase {
+        if pos >= self.offset && (pos - self.offset) % self.period < self.length {
+            return SamplePhase::Measure;
+        }
+        // Distance to the next window start (always >= 1 here).
+        let gap = if pos < self.offset {
+            self.offset - pos
+        } else {
+            self.period - (pos - self.offset) % self.period
+        };
+        if gap <= self.warmup {
+            SamplePhase::Warm
+        } else {
+            SamplePhase::Skip
+        }
     }
 
     /// Fraction of the stream observed (`length / period`).
@@ -179,10 +305,7 @@ pub struct Replay<'a> {
     program: &'a Program,
     limit: u64,
     sampling: Option<Sampling>,
-    pos: u64,
-    pc: u32,
-    taken_idx: u64,
-    addr_idx: usize,
+    driven: bool,
 }
 
 impl<'a> Replay<'a> {
@@ -192,10 +315,7 @@ impl<'a> Replay<'a> {
             program,
             limit: u64::MAX,
             sampling: None,
-            pos: 0,
-            pc: 0,
-            taken_idx: 0,
-            addr_idx: 0,
+            driven: false,
         }
     }
 
@@ -221,74 +341,41 @@ impl TraceSource for Replay<'_> {
     }
 
     fn drive(&mut self, observer: &mut dyn FnMut(&TraceEvent)) -> Result<RunOutcome, TraceError> {
-        let total = self.trace.events().min(self.limit);
-        while self.pos < total {
-            let pc = self.pc;
-            let inst = self.program.fetch(pc).ok_or_else(|| {
-                TraceError::Corrupt(format!(
-                    "replay of `{}` left the program text at pc {pc}",
-                    self.trace.name()
-                ))
-            })?;
-            let class = inst.class();
-            if class == InstClass::Halt {
-                return Err(TraceError::Corrupt(format!(
-                    "replay of `{}` reached halt at pc {pc} with {} events left",
-                    self.trace.name(),
-                    total - self.pos
-                )));
+        self.drive_phased(&mut |phase, ev| {
+            if phase == SamplePhase::Measure {
+                observer(ev);
             }
+        })
+    }
 
-            let mut eff_addr = None;
-            let mut taken = None;
-            let mut next_pc = pc + 1;
-            match class {
-                InstClass::Load | InstClass::Store => {
-                    eff_addr = Some(self.trace.addr(self.addr_idx).ok_or_else(|| {
-                        TraceError::Corrupt(format!(
-                            "replay of `{}` ran out of addresses at pc {pc}",
-                            self.trace.name()
-                        ))
-                    })?);
-                    self.addr_idx += 1;
-                }
-                InstClass::CondBranch => {
-                    if self.taken_idx >= self.trace.taken_len() {
-                        return Err(TraceError::Corrupt(format!(
-                            "replay of `{}` ran out of branch bits at pc {pc}",
-                            self.trace.name()
-                        )));
-                    }
-                    let t = self.trace.bit(self.taken_idx);
-                    self.taken_idx += 1;
-                    taken = Some(t);
-                    if t {
-                        next_pc = inst.imm as u32;
-                    }
-                }
-                InstClass::Jump => {
-                    taken = Some(true);
-                    next_pc = inst.imm as u32;
-                }
-                _ => {}
-            }
+    fn sampling(&self) -> Option<Sampling> {
+        self.sampling
+    }
 
-            let emit = self.sampling.is_none_or(|s| s.contains(self.pos));
-            self.pos += 1;
-            self.pc = next_pc;
-            if emit {
-                observer(&TraceEvent {
-                    pc,
-                    opcode: inst.opcode,
-                    class,
-                    dst: inst.writes(),
-                    sources: inst.sources(),
-                    eff_addr,
-                    taken,
-                    next_pc,
-                });
-            }
+    fn drive_phased(
+        &mut self,
+        observer: &mut dyn FnMut(SamplePhase, &TraceEvent),
+    ) -> Result<RunOutcome, TraceError> {
+        if self.driven {
+            return Err(TraceError::Exhausted {
+                source: self.trace.name().to_string(),
+            });
         }
+        self.driven = true;
+        let total = self.trace.events().min(self.limit);
+        let mut cursor = MaterializedCursor {
+            trace: self.trace,
+            taken_idx: 0,
+            addr_idx: 0,
+        };
+        walk_trace(
+            self.program,
+            self.trace.name(),
+            total,
+            self.sampling,
+            &mut cursor,
+            observer,
+        )?;
 
         // Mirror Vm::run_with: `Halted` only when the program halted
         // strictly before the limit; hitting the limit exactly on the last
@@ -303,4 +390,128 @@ impl TraceSource for Replay<'_> {
             })
         }
     }
+}
+
+/// Sequential access to a trace's two recorded streams — branch direction
+/// bits and effective addresses — whether materialized in memory
+/// ([`Replay`]) or decoded incrementally from storage
+/// ([`StreamingReplay`](crate::StreamingReplay)).
+///
+/// Both replay flavours share [`walk_trace`], so their event streams are
+/// identical by construction.
+pub(crate) trait StreamCursor {
+    /// The next branch direction bit, or `None` if the stream is out.
+    fn next_bit(&mut self) -> Result<Option<bool>, TraceError>;
+
+    /// The next effective address, or `None` if the stream is out.
+    fn next_addr(&mut self) -> Result<Option<u64>, TraceError>;
+}
+
+/// Cursor over an in-memory [`Trace`].
+struct MaterializedCursor<'a> {
+    trace: &'a Trace,
+    taken_idx: u64,
+    addr_idx: usize,
+}
+
+impl StreamCursor for MaterializedCursor<'_> {
+    fn next_bit(&mut self) -> Result<Option<bool>, TraceError> {
+        if self.taken_idx >= self.trace.taken_len() {
+            return Ok(None);
+        }
+        let bit = self.trace.bit(self.taken_idx);
+        self.taken_idx += 1;
+        Ok(Some(bit))
+    }
+
+    fn next_addr(&mut self) -> Result<Option<u64>, TraceError> {
+        let addr = self.trace.addr(self.addr_idx);
+        if addr.is_some() {
+            self.addr_idx += 1;
+        }
+        Ok(addr)
+    }
+}
+
+/// The shared replay walk: reconstructs `total` events of the dynamic
+/// instruction stream from the program text plus the cursor's two recorded
+/// streams, delivering each non-[`Skip`](SamplePhase::Skip) event to
+/// `observer` tagged with its phase under `sampling`.
+///
+/// Skipped events are still walked (the control-flow chain must advance)
+/// but their [`TraceEvent`] is never materialized.
+pub(crate) fn walk_trace(
+    program: &Program,
+    name: &str,
+    total: u64,
+    sampling: Option<Sampling>,
+    cursor: &mut dyn StreamCursor,
+    observer: &mut dyn FnMut(SamplePhase, &TraceEvent),
+) -> Result<(), TraceError> {
+    let mut pc: u32 = 0;
+    let mut pos: u64 = 0;
+    while pos < total {
+        let inst = program.fetch(pc).ok_or_else(|| {
+            TraceError::Corrupt(format!(
+                "replay of `{name}` left the program text at pc {pc}"
+            ))
+        })?;
+        let class = inst.class();
+        if class == InstClass::Halt {
+            return Err(TraceError::Corrupt(format!(
+                "replay of `{name}` reached halt at pc {pc} with {} events left",
+                total - pos
+            )));
+        }
+
+        let mut eff_addr = None;
+        let mut taken = None;
+        let mut next_pc = pc + 1;
+        match class {
+            InstClass::Load | InstClass::Store => {
+                eff_addr = Some(cursor.next_addr()?.ok_or_else(|| {
+                    TraceError::Corrupt(format!(
+                        "replay of `{name}` ran out of addresses at pc {pc}"
+                    ))
+                })?);
+            }
+            InstClass::CondBranch => {
+                let t = cursor.next_bit()?.ok_or_else(|| {
+                    TraceError::Corrupt(format!(
+                        "replay of `{name}` ran out of branch bits at pc {pc}"
+                    ))
+                })?;
+                taken = Some(t);
+                if t {
+                    next_pc = inst.imm as u32;
+                }
+            }
+            InstClass::Jump => {
+                taken = Some(true);
+                next_pc = inst.imm as u32;
+            }
+            _ => {}
+        }
+
+        let phase = sampling.map_or(SamplePhase::Measure, |s| s.phase(pos));
+        let event_pc = pc;
+        pos += 1;
+        pc = next_pc;
+        if phase != SamplePhase::Skip {
+            observer(
+                phase,
+                &TraceEvent {
+                    pc: event_pc,
+                    opcode: inst.opcode,
+                    class,
+                    dst: inst.writes(),
+                    sources: inst.sources(),
+                    eff_addr,
+                    taken,
+                    next_pc,
+                },
+            );
+        }
+    }
+    Ok(())
 }

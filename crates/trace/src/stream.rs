@@ -1,0 +1,410 @@
+//! Streaming replay: decode the serialized trace format incrementally.
+//!
+//! [`StreamingReplay`] reconstructs the same event stream as
+//! [`Replay`](crate::Replay) but reads the serialized bytes
+//! ([`Trace::to_bytes`](crate::Trace::to_bytes)) directly from an
+//! [`io::Read`]` + `[`io::Seek`] — a trace file, a store entry, or an
+//! in-memory cursor — without ever materializing the decoded trace.
+//! Memory stays bounded by two fixed-size section buffers ([`CHUNK`]
+//! bytes each) regardless of trace length, which is what makes sampled
+//! simulation of beyond-memory traces routine: a billion-instruction
+//! recording replays in the same footprint as a thousand-instruction one.
+//!
+//! The serialized layout interleaves nothing: the branch-direction
+//! bitvector and the zigzag-delta LEB128 address stream are stored as two
+//! contiguous sections, consumed here by two independently buffered
+//! cursors over the same reader (hence the `Seek` bound — replay consumes
+//! the two sections interleaved in stream order).
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+use mim_isa::{Program, RunOutcome, TraceEvent};
+
+use crate::error::TraceError;
+use crate::source::{walk_trace, SamplePhase, Sampling, StreamCursor, TraceSource};
+use crate::trace::{unzigzag, Trace, MAGIC, VERSION};
+
+/// Bytes buffered per section. Two sections are live during a replay, so
+/// peak decoder memory is `2 * CHUNK` plus a few words of cursor state —
+/// independent of trace length.
+pub const CHUNK: usize = 8 * 1024;
+
+/// Replays a serialized trace incrementally from a reader.
+///
+/// Construct with [`StreamingReplay::new`] (reader positioned at the
+/// trace magic) or [`StreamingReplay::open`] for a file written by
+/// [`Trace::write_to`](crate::Trace::write_to). The header is validated
+/// eagerly — including the program fingerprint, mirroring
+/// [`Trace::replay`](crate::Trace::replay) — and the two recorded streams
+/// are decoded lazily as the walk consumes them.
+///
+/// Produces the byte-identical event stream, outcome, and errors as a
+/// materialized [`Replay`](crate::Replay) of the same bytes: both run the
+/// same walk over the program text, differing only in where the recorded
+/// streams are read from.
+pub struct StreamingReplay<'p, R: Read + Seek> {
+    reader: R,
+    program: &'p Program,
+    name: String,
+    events: u64,
+    halted: bool,
+    taken_bits: u64,
+    addr_count: u64,
+    bits_start: u64,
+    addrs_start: u64,
+    limit: u64,
+    sampling: Option<Sampling>,
+    driven: bool,
+}
+
+impl<'p, R: Read + Seek> StreamingReplay<'p, R> {
+    /// Wraps a reader positioned at the start of a serialized trace and
+    /// validates its header against `program`.
+    ///
+    /// The trace may start at any offset (e.g. after a store entry
+    /// header); section offsets are computed relative to the reader's
+    /// position at the time of this call.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Corrupt`] for malformed headers or I/O failures,
+    /// [`TraceError::ProgramMismatch`] if the recording is not of
+    /// `program` — the same checks [`Trace::from_bytes`] and
+    /// [`Trace::replay`](crate::Trace::replay) perform.
+    pub fn new(mut reader: R, program: &'p Program) -> Result<StreamingReplay<'p, R>, TraceError> {
+        let mut magic = [0u8; 8];
+        read_exact(&mut reader, &mut magic)?;
+        if &magic != MAGIC {
+            return Err(TraceError::Corrupt("bad magic".into()));
+        }
+        let version = read_u32(&mut reader)?;
+        if version != VERSION {
+            return Err(TraceError::Corrupt(format!(
+                "unsupported version {version} (expected {VERSION})"
+            )));
+        }
+        let flags = read_u8(&mut reader)?;
+        if flags > 1 {
+            return Err(TraceError::Corrupt(format!("unknown flags {flags:#x}")));
+        }
+        let name_len = read_u32(&mut reader)? as usize;
+        if name_len > 4096 {
+            return Err(TraceError::Corrupt("unreasonable name length".into()));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        read_exact(&mut reader, &mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| TraceError::Corrupt("name is not UTF-8".into()))?;
+        let text_len = read_u32(&mut reader)?;
+        let fingerprint = read_u64(&mut reader)?;
+        let events = read_u64(&mut reader)?;
+        let taken_bits = read_u64(&mut reader)?;
+        if taken_bits > events {
+            return Err(TraceError::Corrupt("more branch bits than events".into()));
+        }
+        if text_len != program.len() as u32 || fingerprint != Trace::fingerprint_of(program) {
+            return Err(TraceError::ProgramMismatch {
+                trace: name,
+                program: program.name().to_string(),
+            });
+        }
+        let bits_start = stream_position(&mut reader)?;
+        let bits_len = taken_bits.div_ceil(64) * 8;
+        // The address count sits between the two streams; read it now so
+        // both section cursors are fully located before the walk starts.
+        reader
+            .seek(SeekFrom::Start(bits_start + bits_len))
+            .map_err(io_corrupt)?;
+        let addr_count = read_u64(&mut reader)?;
+        if addr_count > events {
+            return Err(TraceError::Corrupt("more addresses than events".into()));
+        }
+        let addrs_start = bits_start + bits_len + 8;
+        Ok(StreamingReplay {
+            reader,
+            program,
+            name,
+            events,
+            halted: flags == 1,
+            taken_bits,
+            addr_count,
+            bits_start,
+            addrs_start,
+            limit: u64::MAX,
+            sampling: None,
+            driven: false,
+        })
+    }
+
+    /// Bounds the replay to the first `limit` recorded events (same
+    /// semantics as [`Replay::with_limit`](crate::Replay::with_limit)).
+    pub fn with_limit(mut self, limit: Option<u64>) -> StreamingReplay<'p, R> {
+        self.limit = limit.unwrap_or(u64::MAX);
+        self
+    }
+
+    /// Restricts the observer to systematically sampled windows (same
+    /// semantics as
+    /// [`Replay::with_sampling`](crate::Replay::with_sampling)).
+    pub fn with_sampling(mut self, sampling: Sampling) -> StreamingReplay<'p, R> {
+        self.sampling = Some(sampling);
+        self
+    }
+
+    /// Retired instructions in the recording.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Peak decoder buffer footprint in bytes: the memory bound the
+    /// streaming path guarantees regardless of trace length (reported by
+    /// the `sampling_accuracy` bench as its memory proxy).
+    pub fn buffer_bytes(&self) -> usize {
+        2 * CHUNK
+    }
+}
+
+impl<'p> StreamingReplay<'p, File> {
+    /// Opens a trace file written by
+    /// [`Trace::write_to`](crate::Trace::write_to) for streaming replay.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures surface as [`TraceError::Corrupt`]; header validation
+    /// as in [`StreamingReplay::new`].
+    pub fn open(
+        path: impl AsRef<Path>,
+        program: &'p Program,
+    ) -> Result<StreamingReplay<'p, File>, TraceError> {
+        let file = File::open(path).map_err(io_corrupt)?;
+        StreamingReplay::new(file, program)
+    }
+}
+
+impl<R: Read + Seek> TraceSource for StreamingReplay<'_, R> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn drive(&mut self, observer: &mut dyn FnMut(&TraceEvent)) -> Result<RunOutcome, TraceError> {
+        self.drive_phased(&mut |phase, ev| {
+            if phase == SamplePhase::Measure {
+                observer(ev);
+            }
+        })
+    }
+
+    fn sampling(&self) -> Option<Sampling> {
+        self.sampling
+    }
+
+    fn drive_phased(
+        &mut self,
+        observer: &mut dyn FnMut(SamplePhase, &TraceEvent),
+    ) -> Result<RunOutcome, TraceError> {
+        if self.driven {
+            return Err(TraceError::Exhausted {
+                source: self.name.clone(),
+            });
+        }
+        self.driven = true;
+        let total = self.events.min(self.limit);
+        let mut cursor = StreamingCursor {
+            reader: &mut self.reader,
+            bits: Section::new(self.bits_start, self.taken_bits.div_ceil(64) * 8),
+            addrs: Section::new(self.addrs_start, u64::MAX),
+            word: 0,
+            word_bits: 0,
+            bits_read: 0,
+            taken_bits: self.taken_bits,
+            addrs_read: 0,
+            addr_count: self.addr_count,
+            prev_addr: 0,
+        };
+        walk_trace(
+            self.program,
+            &self.name,
+            total,
+            self.sampling,
+            &mut cursor,
+            observer,
+        )?;
+        if self.halted && self.events < self.limit {
+            Ok(RunOutcome::Halted {
+                instructions: total,
+            })
+        } else {
+            Ok(RunOutcome::LimitReached {
+                instructions: total,
+            })
+        }
+    }
+}
+
+/// One bounded region of the reader, consumed forward through a
+/// fixed-size buffer. Refills seek to the section's own position, so two
+/// sections share one reader without clobbering each other.
+struct Section {
+    /// Absolute offset of the next byte to fetch from the reader.
+    next: u64,
+    /// Absolute end of the section (`u64::MAX`: bounded by EOF).
+    end: u64,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Section {
+    fn new(start: u64, len: u64) -> Section {
+        Section {
+            next: start,
+            end: start.saturating_add(len),
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Ensures at least `n` buffered bytes, fetching another chunk from
+    /// the reader if needed. Returns `false` if the section ends first.
+    fn ensure<R: Read + Seek>(&mut self, n: usize, reader: &mut R) -> Result<bool, TraceError> {
+        while self.buf.len() - self.pos < n {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+            let want = (CHUNK - self.buf.len()).min((self.end - self.next) as usize);
+            if want == 0 {
+                return Ok(false);
+            }
+            reader
+                .seek(SeekFrom::Start(self.next))
+                .map_err(io_corrupt)?;
+            let mut tmp = vec![0u8; want];
+            let got = reader.read(&mut tmp).map_err(io_corrupt)?;
+            if got == 0 {
+                // EOF inside the section (possible only for the
+                // EOF-bounded address section or a truncated input).
+                self.end = self.next;
+                return Ok(false);
+            }
+            self.buf.extend_from_slice(&tmp[..got]);
+            self.next += got as u64;
+        }
+        Ok(true)
+    }
+
+    fn u64<R: Read + Seek>(&mut self, reader: &mut R) -> Result<u64, TraceError> {
+        if !self.ensure(8, reader)? {
+            return Err(TraceError::Corrupt("truncated input".into()));
+        }
+        let bytes: [u8; 8] = self.buf[self.pos..self.pos + 8]
+            .try_into()
+            .expect("8 bytes");
+        self.pos += 8;
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    fn byte<R: Read + Seek>(&mut self, reader: &mut R) -> Result<u8, TraceError> {
+        if !self.ensure(1, reader)? {
+            return Err(TraceError::Corrupt("truncated input".into()));
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// LEB128 varint with the same canonicality rule as the materialized
+    /// decoder: the 10th byte may only hold the top bit.
+    fn varint<R: Read + Seek>(&mut self, reader: &mut R) -> Result<u64, TraceError> {
+        let mut value = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.byte(reader)?;
+            if shift == 63 && byte > 1 {
+                return Err(TraceError::Corrupt("varint overflows 64 bits".into()));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(TraceError::Corrupt("varint overran 64 bits".into()))
+    }
+}
+
+/// The streaming [`StreamCursor`]: decodes direction bits LSB-first from
+/// the bitvector section and zigzag-delta varints from the address
+/// section, each through its own [`Section`] buffer.
+struct StreamingCursor<'r, R: Read + Seek> {
+    reader: &'r mut R,
+    bits: Section,
+    addrs: Section,
+    word: u64,
+    word_bits: u32,
+    bits_read: u64,
+    taken_bits: u64,
+    addrs_read: u64,
+    addr_count: u64,
+    prev_addr: u64,
+}
+
+impl<R: Read + Seek> StreamCursor for StreamingCursor<'_, R> {
+    fn next_bit(&mut self) -> Result<Option<bool>, TraceError> {
+        if self.bits_read >= self.taken_bits {
+            return Ok(None);
+        }
+        if self.word_bits == 0 {
+            self.word = self.bits.u64(self.reader)?;
+            self.word_bits = 64;
+        }
+        let bit = self.word & 1 == 1;
+        self.word >>= 1;
+        self.word_bits -= 1;
+        self.bits_read += 1;
+        Ok(Some(bit))
+    }
+
+    fn next_addr(&mut self) -> Result<Option<u64>, TraceError> {
+        if self.addrs_read >= self.addr_count {
+            return Ok(None);
+        }
+        let delta = unzigzag(self.addrs.varint(self.reader)?);
+        self.prev_addr = self.prev_addr.wrapping_add(delta as u64);
+        self.addrs_read += 1;
+        Ok(Some(self.prev_addr))
+    }
+}
+
+fn io_corrupt(e: std::io::Error) -> TraceError {
+    TraceError::Corrupt(format!("trace stream I/O failed: {e}"))
+}
+
+fn stream_position<R: Seek>(reader: &mut R) -> Result<u64, TraceError> {
+    reader.stream_position().map_err(io_corrupt)
+}
+
+fn read_exact<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<(), TraceError> {
+    reader.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceError::Corrupt("truncated input".into())
+        } else {
+            io_corrupt(e)
+        }
+    })
+}
+
+fn read_u8<R: Read>(reader: &mut R) -> Result<u8, TraceError> {
+    let mut b = [0u8; 1];
+    read_exact(reader, &mut b)?;
+    Ok(b[0])
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> Result<u32, TraceError> {
+    let mut b = [0u8; 4];
+    read_exact(reader, &mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> Result<u64, TraceError> {
+    let mut b = [0u8; 8];
+    read_exact(reader, &mut b)?;
+    Ok(u64::from_le_bytes(b))
+}

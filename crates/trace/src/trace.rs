@@ -12,10 +12,10 @@ use crate::error::TraceError;
 use crate::source::{Replay, Sampling};
 
 /// Magic bytes opening every serialized trace.
-const MAGIC: &[u8; 8] = b"MIMTRACE";
+pub(crate) const MAGIC: &[u8; 8] = b"MIMTRACE";
 
 /// Serialization format version.
-const VERSION: u32 = 1;
+pub(crate) const VERSION: u32 = 1;
 
 /// A recorded dynamic instruction trace: everything machine-independent
 /// about one functional execution of a [`Program`], encoded compactly.
@@ -520,7 +520,7 @@ fn zigzag(v: i64) -> u64 {
     ((v as u64) << 1) ^ ((v >> 63) as u64)
 }
 
-fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
