@@ -99,8 +99,9 @@ impl LoadRun {
     }
 }
 
-fn run_load(store: WorkloadStore, workers: usize) -> LoadRun {
+fn run_load(store: WorkloadStore, workers: usize, profile_capture: bool) -> LoadRun {
     let engine = Engine::start(store, CellMemo::new(), workers, 1024);
+    engine.set_profile_capture(profile_capture);
     let server = Server::bind("tcp:127.0.0.1:0", engine.clone()).expect("bind");
     let addr = server.addr().to_connect_string();
     let handle = std::thread::spawn(move || server.run());
@@ -177,6 +178,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
     let cold = run_load(
         WorkloadStore::persistent(&store_dir).expect("open store"),
         4,
+        true,
     );
     let hit_rate = cold.cell_hits as f64 / (cold.cell_hits + cold.cell_misses).max(1) as f64;
     assert!(
@@ -186,7 +188,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
 
     // Same storm, 1 worker, fresh in-memory state: payloads must match
     // the 4-worker run byte for byte.
-    let serial = run_load(WorkloadStore::new(), 1);
+    let serial = run_load(WorkloadStore::new(), 1, true);
     assert_eq!(
         cold.reports, serial.reports,
         "reports must be byte-identical across worker counts"
@@ -197,6 +199,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
     let warm = run_load(
         WorkloadStore::persistent(&store_dir).expect("reopen store"),
         4,
+        true,
     );
     assert_eq!(
         warm.executions, 0,
@@ -211,12 +214,12 @@ fn bench_serve_throughput(c: &mut Criterion) {
     // timestamping globally off vs on. Best-of-two per mode damps
     // scheduler noise; the comparison is wall-clock throughput.
     mim_obs::set_timing(false);
-    let off = faster_of(run_load(WorkloadStore::new(), 4), || {
-        run_load(WorkloadStore::new(), 4)
+    let off = faster_of(run_load(WorkloadStore::new(), 4, true), || {
+        run_load(WorkloadStore::new(), 4, true)
     });
     mim_obs::set_timing(true);
-    let on = faster_of(run_load(WorkloadStore::new(), 4), || {
-        run_load(WorkloadStore::new(), 4)
+    let on = faster_of(run_load(WorkloadStore::new(), 4, true), || {
+        run_load(WorkloadStore::new(), 4, true)
     });
     assert_eq!(
         off.reports, on.reports,
@@ -233,6 +236,27 @@ fn bench_serve_throughput(c: &mut Criterion) {
     assert!(
         on.run_p99_ns > 0.0,
         "the instrumented storm must populate the job latency histograms"
+    );
+
+    // Per-job profile capture: the default-on capture wraps every job in
+    // a private ProfileSink (the protocol's `profile` command). Compare
+    // the fully-instrumented storm (`on`, capture enabled) against the
+    // same storm with capture disabled — the budget is the same 5%, and
+    // payloads must not notice the sink either way.
+    let capture_off = faster_of(run_load(WorkloadStore::new(), 4, false), || {
+        run_load(WorkloadStore::new(), 4, false)
+    });
+    assert_eq!(
+        capture_off.reports, on.reports,
+        "reports must be byte-identical with profile capture off vs on"
+    );
+    let capture_overhead = 1.0 - on.requests_per_second() / capture_off.requests_per_second();
+    assert!(
+        on.requests_per_second() >= 0.95 * capture_off.requests_per_second(),
+        "profile capture costs {:.1}% throughput (off {:.0} req/s, on {:.0} req/s); budget is 5%",
+        capture_overhead * 100.0,
+        capture_off.requests_per_second(),
+        on.requests_per_second(),
     );
 
     // Criterion view: one warm submit→result round-trip over TCP.
@@ -283,6 +307,8 @@ fn bench_serve_throughput(c: &mut Criterion) {
         timing_off_requests_per_second: f64,
         timing_on_requests_per_second: f64,
         instrumentation_overhead_pct: f64,
+        profile_capture_off_requests_per_second: f64,
+        profile_capture_overhead_pct: f64,
         job_run_p50_ns: f64,
         job_run_p99_ns: f64,
         job_total_p50_ns: f64,
@@ -309,6 +335,8 @@ fn bench_serve_throughput(c: &mut Criterion) {
         timing_off_requests_per_second: off.requests_per_second(),
         timing_on_requests_per_second: on.requests_per_second(),
         instrumentation_overhead_pct: overhead * 100.0,
+        profile_capture_off_requests_per_second: capture_off.requests_per_second(),
+        profile_capture_overhead_pct: capture_overhead * 100.0,
         job_run_p50_ns: on.run_p50_ns,
         job_run_p99_ns: on.run_p99_ns,
         job_total_p50_ns: on.total_p50_ns,
@@ -325,14 +353,15 @@ fn bench_serve_throughput(c: &mut Criterion) {
     .expect("write BENCH_serve.json");
     println!(
         "{} requests cold in {:.2}s ({:.0} req/s, {:.1}% cell hits), warm {:.2}s \
-         with 0 executions, instrumentation overhead {:.1}% (p99 job run {:.1}ms) \
-         -> BENCH_serve.json",
+         with 0 executions, instrumentation overhead {:.1}%, profile capture \
+         overhead {:.1}% (p99 job run {:.1}ms) -> BENCH_serve.json",
         cold.requests,
         cold.seconds,
         cold.requests_per_second(),
         hit_rate * 100.0,
         warm.seconds,
         overhead * 100.0,
+        capture_overhead * 100.0,
         on.run_p99_ns / 1e6,
     );
 }

@@ -36,6 +36,13 @@ struct FractionRecord {
     /// Best-of-N wall seconds for the sampled run (warming included).
     wall_seconds: f64,
     speedup_vs_full: f64,
+    /// Timeline intervals the plan's windows actually measured.
+    phases_covered: u64,
+    /// Mean |sampled − full| CPI error over covered intervals, percent —
+    /// the per-phase view that localizes where sampling error lives.
+    phase_mean_error_percent: f64,
+    /// Worst single covered interval, percent.
+    phase_max_error_percent: f64,
 }
 
 #[derive(Serialize)]
@@ -50,6 +57,9 @@ struct BenchRecord {
     /// length — the peak-memory proxy for the O(sample unit) claim.
     streaming_buffer_bytes: usize,
     encoded_trace_bytes: usize,
+    /// Instruction width of the CPI-timeline intervals the per-phase
+    /// error columns compare over.
+    timeline_interval: u64,
     fractions: Vec<FractionRecord>,
 }
 
@@ -85,6 +95,21 @@ fn main() -> std::io::Result<()> {
         sim.simulate_source(&mut replay).expect("full sim")
     });
 
+    // Per-phase reference: a timeline-enabled full run (outside the timed
+    // loops, so the wall-clock columns stay timeline-free). Sampled
+    // timelines align with it interval-for-interval (walked positions),
+    // so each covered interval localizes the sampling error to a phase.
+    let timeline_interval = (trace.len() / 16).max(1_000);
+    let full_timeline = {
+        let mut replay = trace.replay(&program).expect("replay");
+        PipelineSim::new(&MachineConfig::default_config())
+            .with_timeline(timeline_interval)
+            .simulate_source(&mut replay)
+            .expect("full sim")
+            .timeline
+            .expect("timeline requested")
+    };
+
     let plans = [
         Sampling::try_new(500, 100)
             .unwrap()
@@ -104,6 +129,30 @@ fn main() -> std::io::Result<()> {
                 sim.simulate_sampled(&mut replay).expect("sampled sim")
             });
             let stats = result.sampling.expect("sampled stats");
+            let sampled_timeline = {
+                let mut replay = trace.replay(&program).expect("replay").with_sampling(*plan);
+                PipelineSim::new(&MachineConfig::default_config())
+                    .with_timeline(timeline_interval)
+                    .simulate_sampled(&mut replay)
+                    .expect("sampled sim")
+                    .timeline
+                    .expect("timeline requested")
+            };
+            let mut phase_errors = Vec::new();
+            for i in 0..sampled_timeline.len().min(full_timeline.len()) {
+                if sampled_timeline.insts_of(i) == 0 || full_timeline.insts_of(i) == 0 {
+                    continue;
+                }
+                let reference = full_timeline.cpi_of_interval(i);
+                let sampled = sampled_timeline.cpi_of_interval(i);
+                phase_errors.push(100.0 * (sampled - reference).abs() / reference);
+            }
+            let phase_mean = if phase_errors.is_empty() {
+                0.0
+            } else {
+                phase_errors.iter().sum::<f64>() / phase_errors.len() as f64
+            };
+            let phase_max = phase_errors.iter().cloned().fold(0.0, f64::max);
             FractionRecord {
                 plan: format!(
                     "p{}-l{}-w{}-o{}",
@@ -119,6 +168,9 @@ fn main() -> std::io::Result<()> {
                 ci95_half_width: stats.ci_half_width,
                 wall_seconds: wall,
                 speedup_vs_full: full_wall / wall,
+                phases_covered: phase_errors.len() as u64,
+                phase_mean_error_percent: phase_mean,
+                phase_max_error_percent: phase_max,
             }
         })
         .collect();
@@ -137,6 +189,7 @@ fn main() -> std::io::Result<()> {
         full_wall_seconds: full_wall,
         streaming_buffer_bytes: stream.buffer_bytes(),
         encoded_trace_bytes: trace.encoded_bytes(),
+        timeline_interval,
         fractions,
     };
 
@@ -151,6 +204,10 @@ fn main() -> std::io::Result<()> {
             f.cpi_error_percent,
             f.ci95_half_width,
             f.speedup_vs_full
+        );
+        println!(
+            "{:>16}  per-phase error over {} intervals: mean {:.2}%, max {:.2}%",
+            "", f.phases_covered, f.phase_mean_error_percent, f.phase_max_error_percent
         );
     }
     println!(

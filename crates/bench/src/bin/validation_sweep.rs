@@ -46,6 +46,7 @@ fn sampled_cross_check(quick: bool) {
         .size(WorkloadSize::Tiny)
         .design_space(designs)
         .evaluators([EvalKind::Sim, EvalKind::Sampled])
+        .timeline(5_000)
         .threads(0)
         .run()
         .expect("cross-check experiment");
@@ -83,6 +84,46 @@ fn sampled_cross_check(quick: bool) {
         pairs.len(),
         worst.max(0.0),
     );
+
+    // Per-phase localization: both evaluators carried CPI timelines
+    // (walked-position aligned), so sampled-vs-full error pins to the
+    // specific execution intervals where it lives instead of averaging
+    // out over the whole run.
+    let mut covered = 0usize;
+    let mut worst_phase = 0.0f64;
+    let mut worst_at = String::from("-");
+    for pair in &pairs {
+        let sampled = report
+            .get(&pair.workload, pair.machine_index, &sampled_name)
+            .expect("sampled row");
+        let full = report
+            .get(&pair.workload, pair.machine_index, "sim")
+            .expect("sim row");
+        let (Some(s_tl), Some(f_tl)) = (&sampled.timeline, &full.timeline) else {
+            panic!(
+                "{} width cell {}: timeline requested but absent",
+                pair.workload, pair.machine_index
+            );
+        };
+        assert_eq!(s_tl.interval(), f_tl.interval(), "aligned interval widths");
+        for i in 0..s_tl.len().min(f_tl.len()) {
+            if s_tl.insts_of(i) == 0 || f_tl.insts_of(i) == 0 {
+                continue;
+            }
+            let reference = f_tl.cpi_of_interval(i);
+            let err = 100.0 * (s_tl.cpi_of_interval(i) - reference).abs() / reference;
+            covered += 1;
+            if err > worst_phase {
+                worst_phase = err;
+                worst_at = format!(
+                    "{} width cell {} interval {i}",
+                    pair.workload, pair.machine_index
+                );
+            }
+        }
+    }
+    assert!(covered > 0, "per-phase view covered no intervals");
+    println!("per-phase view: {covered} covered intervals, worst {worst_phase:.2}% at {worst_at}");
 }
 
 fn main() -> std::io::Result<()> {

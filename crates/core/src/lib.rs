@@ -68,4 +68,4 @@ pub use inputs::{BranchStats, DepHistogram, InstMix, ModelInputs, MAX_DEP_DISTAN
 pub use model::MechanisticModel;
 pub use ooo::{OooConfig, OooModel};
 pub use rng::SplitMix64;
-pub use stack::{CpiStack, StackComponent};
+pub use stack::{CpiStack, CpiTimeline, StackComponent};

@@ -85,7 +85,9 @@ impl StackComponent {
         }
     }
 
-    fn index(self) -> usize {
+    /// Position of this component in [`ALL`](StackComponent::ALL) — the
+    /// row layout shared by [`CpiStack`] and [`CpiTimeline`].
+    pub fn index(self) -> usize {
         Self::ALL.iter().position(|&c| c == self).expect("in ALL")
     }
 }
@@ -228,6 +230,128 @@ impl CpiStack {
     /// fetch bubbles.
     pub fn branch_cycles(&self) -> f64 {
         self.cycles_of(StackComponent::BranchMiss) + self.cycles_of(StackComponent::TakenBranch)
+    }
+}
+
+/// A time-resolved CPI stack: cycle attribution per fixed-width
+/// instruction interval, the simulated-time analogue of a profiler
+/// timeline.
+///
+/// Intervals are `interval` instructions wide, measured over the *walked*
+/// stream. Each interval carries a compact row of attributed cycles
+/// aligned with [`StackComponent::ALL`] plus the number of instructions
+/// actually *measured* inside it — for a full simulation that equals the
+/// interval width (last interval excepted), for a sampled simulation only
+/// the in-window instructions, so sampled and full timelines of the same
+/// stream align interval-for-interval and can be compared per phase.
+///
+/// Values are integer cycles: a timeline built from the same stream is
+/// byte-identical across runs, thread counts, and timing on/off.
+///
+/// # Example
+///
+/// ```
+/// use mim_core::{CpiTimeline, StackComponent};
+///
+/// let mut tl = CpiTimeline::new(1000);
+/// let mut row = [0u64; StackComponent::COUNT];
+/// row[StackComponent::Base.index()] = 500;
+/// row[StackComponent::DL2Miss.index()] = 250;
+/// tl.push_row(1000, row);
+/// assert_eq!(tl.len(), 1);
+/// assert_eq!(tl.total_cycles(), 750);
+/// assert!((tl.cpi_of_interval(0) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpiTimeline {
+    interval: u64,
+    insts: Vec<u64>,
+    rows: Vec<Vec<u64>>,
+}
+
+impl CpiTimeline {
+    /// Creates an empty timeline with `interval`-instruction buckets
+    /// (minimum 1).
+    pub fn new(interval: u64) -> CpiTimeline {
+        CpiTimeline {
+            interval: interval.max(1),
+            insts: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Interval width in walked instructions.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Number of intervals recorded.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no interval has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends one interval: `insts` measured instructions and a cycle
+    /// row aligned with [`StackComponent::ALL`].
+    pub fn push_row(&mut self, insts: u64, row: [u64; StackComponent::COUNT]) {
+        self.insts.push(insts);
+        self.rows.push(row.to_vec());
+    }
+
+    /// Instructions measured inside interval `i`.
+    pub fn insts_of(&self, i: usize) -> u64 {
+        self.insts[i]
+    }
+
+    /// Total instructions measured across all intervals.
+    pub fn num_insts(&self) -> u64 {
+        self.insts.iter().sum()
+    }
+
+    /// Cycles attributed to `component` in interval `i`.
+    pub fn cycles_of(&self, i: usize, component: StackComponent) -> u64 {
+        self.rows[i][component.index()]
+    }
+
+    /// Total cycles charged to interval `i`.
+    pub fn interval_cycles(&self, i: usize) -> u64 {
+        self.rows[i].iter().sum()
+    }
+
+    /// Total cycles across all intervals.
+    pub fn total_cycles(&self) -> u64 {
+        self.rows.iter().flatten().sum()
+    }
+
+    /// CPI of interval `i` over its measured instructions (0 when the
+    /// interval measured nothing — e.g. a fully skipped sampled
+    /// interval).
+    pub fn cpi_of_interval(&self, i: usize) -> f64 {
+        if self.insts[i] == 0 {
+            0.0
+        } else {
+            self.interval_cycles(i) as f64 / self.insts[i] as f64
+        }
+    }
+
+    /// Per-interval CPIs (0 for unmeasured intervals), the per-phase view
+    /// the validation bins compare.
+    pub fn cpi_per_interval(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.cpi_of_interval(i)).collect()
+    }
+
+    /// Interval `i` as a named [`CpiStack`] (cycles widened to `f64`,
+    /// normalized by the interval's measured instructions).
+    pub fn sample(&self, i: usize) -> CpiStack {
+        let mut stack = CpiStack::new(format!("interval-{i}"), self.insts[i]);
+        for (c, &cycles) in StackComponent::ALL.iter().zip(&self.rows[i]) {
+            stack.add(*c, cycles as f64);
+        }
+        stack
     }
 }
 

@@ -21,7 +21,13 @@
 //!   (stderr line-JSON, in-memory [`RingSink`] for tests). With no sink
 //!   installed — the default — a span records nothing but a
 //!   timestamps-off count in the [`global`] registry; `MIM_SPANS=stderr`
-//!   or [`set_span_sink`] turns events on.
+//!   or [`set_span_sink`] turns events on, and [`with_thread_sink`]
+//!   scopes an extra sink to one thread for isolated capture.
+//! * **wall-clock profiles** — [`ProfileSink`] aggregates spans into a
+//!   deterministic call tree (per-name self/total nanoseconds, counts)
+//!   and exports Chrome trace-event JSON (Perfetto-loadable) or
+//!   flamegraph collapsed-stack text; `MIM_SPANS=chrome:<path>` /
+//!   `collapsed:<path>` auto-rewrite a file as top-level spans close.
 //! * **structured logging** — leveled, field-carrying lines in text or
 //!   JSON form (see [`log`][mod@log]), replacing bare `eprintln!` in the
 //!   binaries.
@@ -54,12 +60,17 @@
 #![warn(missing_docs)]
 
 pub mod log;
+mod profile;
 mod registry;
 mod span;
 
 pub use log::{set_log_format, set_log_level, Level, LogFormat};
+pub use profile::{BreakdownRow, ProfileNode, ProfileSink, TraceFormat};
 pub use registry::{
     bucket_bounds, bucket_index, clock, global, set_timing, timing_enabled, Counter, Gauge,
     Histogram, HistogramSnapshot, Registry, Snapshot, NUM_BUCKETS,
 };
-pub use span::{set_span_sink, RingSink, Span, SpanEvent, SpanPhase, SpanSink, StderrSink};
+pub use span::{
+    set_span_sink, sink_from_spec, with_thread_sink, FieldValue, RingSink, Span, SpanEvent,
+    SpanPhase, SpanSink, StderrSink,
+};

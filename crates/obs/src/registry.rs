@@ -402,6 +402,31 @@ impl Snapshot {
         self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
     }
 
+    /// The change from `baseline` to `self` — the payload of a live
+    /// `watch` stream. Counters and histograms subtract element-wise
+    /// (saturating, so a restarted registry never underflows); gauges
+    /// keep their current absolute value, because a gauge delta (queue
+    /// depth went from 3 to 5: "+2") is less useful than the level.
+    /// Instruments absent from `baseline` pass through unchanged.
+    pub fn delta_since(&self, baseline: &Snapshot) -> Snapshot {
+        let mut out = self.clone();
+        for (name, value) in &mut out.counters {
+            if let Some(base) = baseline.counter(name) {
+                *value = value.saturating_sub(base);
+            }
+        }
+        for (name, h) in &mut out.histograms {
+            if let Some(base) = baseline.histogram(name) {
+                h.count = h.count.saturating_sub(base.count);
+                h.sum = h.sum.saturating_sub(base.sum);
+                for (mine, theirs) in h.buckets.iter_mut().zip(&base.buckets) {
+                    *mine = mine.saturating_sub(*theirs);
+                }
+            }
+        }
+        out
+    }
+
     /// Looks up a counter value by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters

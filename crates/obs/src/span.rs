@@ -4,10 +4,17 @@
 //! By default no sink is installed and a span records nothing but a
 //! timestamps-off count (`span.<name>` in the [global](crate::global)
 //! registry) — no clock reads, no allocation beyond the counter lookup.
-//! Installing a sink ([`set_span_sink`], or the `MIM_SPANS=stderr`
-//! environment switch) turns on start/stop events with elapsed
-//! nanoseconds; the [`RingSink`] keeps them in memory for tests, the
-//! [`StderrSink`] emits line-JSON.
+//! Installing a sink ([`set_span_sink`], or the `MIM_SPANS` environment
+//! switch: `stderr`, `chrome:<path>`, `collapsed:<path>`) turns on
+//! start/stop events with elapsed nanoseconds; the [`RingSink`] keeps
+//! them in memory for tests, the [`StderrSink`] emits line-JSON, and the
+//! [`ProfileSink`](crate::ProfileSink) aggregates a call tree with
+//! Chrome-trace and flamegraph exporters.
+//!
+//! Sinks come in two scopes: the process-global sink ([`set_span_sink`])
+//! and a per-thread override ([`with_thread_sink`]) used for isolated
+//! capture (e.g. one profile per server job). A span emits to both when
+//! both are installed.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -18,7 +25,7 @@ use std::time::Instant;
 
 use serde::Value;
 
-use crate::registry::global;
+use crate::registry::{global, timing_enabled};
 
 /// Start or stop of a span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +46,55 @@ impl SpanPhase {
     }
 }
 
+/// A span field value: text, or an integer attached without any
+/// formatting allocation ([`Span::field_u64`]) — hot paths tag spans with
+/// ids and sizes, and formatting them per span would cost more than the
+/// span itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    /// Text value.
+    Str(String),
+    /// Unsigned integer value, kept numeric end-to-end.
+    U64(u64),
+}
+
+impl FieldValue {
+    /// The value as JSON (`Str` → string, `U64` → unsigned number).
+    pub fn to_value(&self) -> Value {
+        match self {
+            FieldValue::Str(s) => Value::Str(s.clone()),
+            FieldValue::U64(u) => Value::UInt(*u),
+        }
+    }
+
+    /// The value rendered as plain text (for breakdown keys and text
+    /// exports).
+    pub fn render(&self) -> String {
+        match self {
+            FieldValue::Str(s) => s.clone(),
+            FieldValue::U64(u) => u.to_string(),
+        }
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(s: &str) -> FieldValue {
+        FieldValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(s: String) -> FieldValue {
+        FieldValue::Str(s)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(u: u64) -> FieldValue {
+        FieldValue::U64(u)
+    }
+}
+
 /// One structured span event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanEvent {
@@ -50,10 +106,14 @@ pub struct SpanEvent {
     pub name: String,
     /// Start or end.
     pub phase: SpanPhase,
-    /// Wall nanoseconds between start and end (end events only).
+    /// Wall nanoseconds between start and end (end events only, and only
+    /// when [timing](crate::timing_enabled) is on — with `MIM_OBS=off`
+    /// spans carry structure but no clock readings, keeping exports
+    /// byte-deterministic).
     pub elapsed_ns: Option<u64>,
-    /// Key/value fields attached via [`Span::field`] (end events only).
-    pub fields: Vec<(String, String)>,
+    /// Key/value fields attached via [`Span::field`] /
+    /// [`Span::field_u64`] (end events only).
+    pub fields: Vec<(String, FieldValue)>,
 }
 
 impl SpanEvent {
@@ -78,7 +138,7 @@ impl SpanEvent {
             fields.push(("elapsed_ns".to_string(), Value::UInt(ns)));
         }
         for (k, v) in &self.fields {
-            fields.push((k.clone(), Value::Str(v.clone())));
+            fields.push((k.clone(), v.to_value()));
         }
         Value::Object(fields)
     }
@@ -104,10 +164,16 @@ impl SpanSink for StderrSink {
 }
 
 /// An in-memory ring buffer of the most recent events — the test sink.
+///
+/// When the ring is full the oldest event is evicted; evictions are
+/// counted on [`dropped`](RingSink::dropped) and on the global
+/// `spans.dropped` counter so lossy capture is visible in scrapes rather
+/// than silent.
 #[derive(Debug)]
 pub struct RingSink {
     events: Mutex<VecDeque<SpanEvent>>,
     capacity: usize,
+    dropped: AtomicU64,
 }
 
 impl RingSink {
@@ -116,6 +182,7 @@ impl RingSink {
         RingSink {
             events: Mutex::new(VecDeque::new()),
             capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -129,7 +196,12 @@ impl RingSink {
             .collect()
     }
 
-    /// Drops all buffered events.
+    /// Events evicted to make room since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Drops all buffered events (does not count as eviction).
     pub fn clear(&self) {
         self.events.lock().expect("ring sink poisoned").clear();
     }
@@ -140,16 +212,41 @@ impl SpanSink for RingSink {
         let mut events = self.events.lock().expect("ring sink poisoned");
         if events.len() == self.capacity {
             events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            global().counter("spans.dropped").inc();
         }
         events.push_back(event.clone());
     }
 }
 
+/// Builds a sink from a `MIM_SPANS`-style spec: `stderr` (line-JSON),
+/// `chrome:<path>` (a [`ProfileSink`](crate::ProfileSink) that rewrites
+/// `<path>` as Chrome trace-event JSON whenever the last open span
+/// closes), or `collapsed:<path>` (same, flamegraph collapsed-stack
+/// text). Returns `None` for anything else.
+pub fn sink_from_spec(spec: &str) -> Option<Arc<dyn SpanSink>> {
+    if spec == "stderr" {
+        return Some(Arc::new(StderrSink));
+    }
+    let (format, path) = spec.split_once(':')?;
+    if path.is_empty() {
+        return None;
+    }
+    let format = match format {
+        "chrome" => crate::profile::TraceFormat::Chrome,
+        "collapsed" => crate::profile::TraceFormat::Collapsed,
+        _ => return None,
+    };
+    Some(Arc::new(
+        crate::profile::ProfileSink::new().with_export(format, path),
+    ))
+}
+
 fn sink_slot() -> &'static RwLock<Option<Arc<dyn SpanSink>>> {
     static SINK: OnceLock<RwLock<Option<Arc<dyn SpanSink>>>> = OnceLock::new();
     SINK.get_or_init(|| {
-        let initial: Option<Arc<dyn SpanSink>> = match std::env::var("MIM_SPANS").as_deref() {
-            Ok("stderr") => Some(Arc::new(StderrSink)),
+        let initial = match std::env::var("MIM_SPANS").as_deref() {
+            Ok(spec) => sink_from_spec(spec),
             _ => None,
         };
         RwLock::new(initial)
@@ -170,6 +267,27 @@ static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_SINK: RefCell<Option<Arc<dyn SpanSink>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `sink` installed as this thread's span sink, restoring
+/// the previous thread sink afterwards (including on unwind).
+///
+/// Spans entered inside `f` emit to **both** the thread sink and the
+/// global sink (when one is installed), so isolated capture — e.g. one
+/// [`ProfileSink`](crate::ProfileSink) per server job — composes with a
+/// process-wide trace. The override is per-thread: work `f` spawns onto
+/// other threads is not captured.
+pub fn with_thread_sink<R>(sink: Arc<dyn SpanSink>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<dyn SpanSink>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_SINK.with(|slot| *slot.borrow_mut() = self.0.take());
+        }
+    }
+    let previous = THREAD_SINK.with(|slot| slot.borrow_mut().replace(sink));
+    let _restore = Restore(previous);
+    f()
 }
 
 /// An RAII span guard: entering counts the span (and, when a sink is
@@ -192,8 +310,8 @@ pub struct Span {
     parent: Option<u64>,
     name: String,
     started: Option<Instant>,
-    sink: Option<Arc<dyn SpanSink>>,
-    fields: Vec<(String, String)>,
+    sinks: Vec<Arc<dyn SpanSink>>,
+    fields: Vec<(String, FieldValue)>,
 }
 
 impl std::fmt::Debug for dyn SpanSink {
@@ -204,8 +322,9 @@ impl std::fmt::Debug for dyn SpanSink {
 
 impl Span {
     /// Enters a span. Always bumps the `span.<name>` counter in the
-    /// global registry; reads the clock and emits a start event only when
-    /// a sink is installed.
+    /// global registry; emits a start event only when a sink (thread or
+    /// global) is installed, and reads the clock only when, additionally,
+    /// [timing](crate::timing_enabled) is on.
     pub fn enter(name: impl Into<String>) -> Span {
         let name = name.into();
         global().counter(&format!("span.{name}")).inc();
@@ -216,24 +335,39 @@ impl Span {
             stack.push(seq);
             parent
         });
-        let sink = current_sink();
-        let started = sink.as_ref().map(|_| Instant::now());
-        if let Some(sink) = &sink {
-            sink.event(&SpanEvent {
+        let mut sinks: Vec<Arc<dyn SpanSink>> = Vec::new();
+        THREAD_SINK.with(|slot| {
+            if let Some(sink) = slot.borrow().as_ref() {
+                sinks.push(sink.clone());
+            }
+        });
+        if let Some(sink) = current_sink() {
+            sinks.push(sink);
+        }
+        let started = if sinks.is_empty() || !timing_enabled() {
+            None
+        } else {
+            Some(Instant::now())
+        };
+        if !sinks.is_empty() {
+            let event = SpanEvent {
                 seq,
                 parent,
                 name: name.clone(),
                 phase: SpanPhase::Start,
                 elapsed_ns: None,
                 fields: Vec::new(),
-            });
+            };
+            for sink in &sinks {
+                sink.event(&event);
+            }
         }
         Span {
             seq,
             parent,
             name,
             started,
-            sink,
+            sinks,
             fields: Vec::new(),
         }
     }
@@ -241,7 +375,17 @@ impl Span {
     /// Attaches a key/value field, reported on the end event.
     #[must_use]
     pub fn field(mut self, key: impl Into<String>, value: impl Into<String>) -> Span {
-        self.fields.push((key.into(), value.into()));
+        self.fields
+            .push((key.into(), FieldValue::Str(value.into())));
+        self
+    }
+
+    /// Attaches an integer field without formatting it — the value stays
+    /// numeric through [`SpanEvent::to_value`]. Use on hot spans where a
+    /// `to_string` per span would dominate the span's own cost.
+    #[must_use]
+    pub fn field_u64(mut self, key: impl Into<String>, value: u64) -> Span {
+        self.fields.push((key.into(), FieldValue::U64(value)));
         self
     }
 
@@ -259,8 +403,8 @@ impl Drop for Span {
                 stack.remove(i);
             }
         });
-        if let Some(sink) = &self.sink {
-            sink.event(&SpanEvent {
+        if !self.sinks.is_empty() {
+            let event = SpanEvent {
                 seq: self.seq,
                 parent: self.parent,
                 name: std::mem::take(&mut self.name),
@@ -269,7 +413,10 @@ impl Drop for Span {
                     .started
                     .map(|s| s.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64),
                 fields: std::mem::take(&mut self.fields),
-            });
+            };
+            for sink in &self.sinks {
+                sink.event(&event);
+            }
         }
     }
 }

@@ -1,13 +1,17 @@
 //! Integration tests for the observability layer: deterministic bucket
 //! bounds, quantile resolution, concurrent recording, snapshot
-//! serialization round-trips, Prometheus exposition, and span capture.
+//! serialization round-trips, Prometheus exposition, span capture, and
+//! the profile sink's call trees and exports.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use mim_obs::{
-    bucket_bounds, bucket_index, set_span_sink, Registry, RingSink, Snapshot, Span, SpanPhase,
+    bucket_bounds, bucket_index, set_span_sink, sink_from_spec, with_thread_sink, FieldValue,
+    ProfileSink, Registry, RingSink, Snapshot, Span, SpanEvent, SpanPhase, SpanSink, TraceFormat,
     NUM_BUCKETS,
 };
+use serde::Value;
 
 #[test]
 fn bucket_bounds_are_deterministic_powers_of_two() {
@@ -177,5 +181,244 @@ fn spans_capture_nesting_and_fields_in_a_ring_sink() {
     let outer_end = &events[3];
     assert_eq!(outer_end.name, "outer");
     assert_eq!(outer_end.phase, SpanPhase::End);
-    assert_eq!(outer_end.fields, vec![("job".to_string(), "7".to_string())]);
+    assert_eq!(
+        outer_end.fields,
+        vec![("job".to_string(), FieldValue::Str("7".to_string()))]
+    );
+}
+
+#[test]
+fn field_u64_stays_numeric_through_events() {
+    let ring = Arc::new(RingSink::new(8));
+    with_thread_sink(ring.clone(), || {
+        let _span = Span::enter("grid").field_u64("cells", 42);
+    });
+    let end = ring.events().pop().expect("end event");
+    assert_eq!(end.fields, vec![("cells".to_string(), FieldValue::U64(42))]);
+    let json = serde_json::to_string(&end.to_value()).expect("event serializes");
+    assert!(json.contains("\"cells\":42"), "unquoted integer: {json}");
+}
+
+#[test]
+fn ring_sink_counts_evictions() {
+    let ring = Arc::new(RingSink::new(2));
+    with_thread_sink(ring.clone(), || {
+        for _ in 0..3 {
+            let _span = Span::enter("tick");
+        }
+    });
+    // Three spans emit six events into a two-slot ring: four evicted.
+    assert_eq!(ring.events().len(), 2);
+    assert_eq!(ring.dropped(), 4);
+    ring.clear();
+    assert_eq!(ring.dropped(), 4, "clear() is not an eviction");
+    assert!(ring.events().is_empty());
+}
+
+#[test]
+fn delta_since_subtracts_a_baseline() {
+    let registry = Registry::new();
+    registry.counter("jobs").add(5);
+    registry.gauge("depth").set(2);
+    registry.histogram("lat").record(100);
+    let baseline = registry.snapshot();
+    registry.counter("jobs").add(3);
+    registry.counter("fresh").inc();
+    registry.gauge("depth").set(7);
+    registry.histogram("lat").record(100);
+    registry.histogram("lat").record(200);
+    let delta = registry.snapshot().delta_since(&baseline);
+    assert_eq!(delta.counter("jobs"), Some(3));
+    assert_eq!(delta.counter("fresh"), Some(1));
+    assert_eq!(
+        delta.gauge("depth"),
+        Some(7),
+        "gauges report absolute values"
+    );
+    let lat = delta.histogram("lat").expect("histogram");
+    assert_eq!(lat.count, 2);
+    assert_eq!(lat.sum, 300);
+    assert_eq!(lat.buckets.iter().sum::<u64>(), 2);
+}
+
+/// Fans events out to several sinks, so a ring and a profile observe the
+/// exact same stream.
+struct Tee(Vec<Arc<dyn SpanSink>>);
+
+impl SpanSink for Tee {
+    fn event(&self, event: &SpanEvent) {
+        for sink in &self.0 {
+            sink.event(event);
+        }
+    }
+}
+
+#[test]
+fn profile_tree_and_chrome_trace_match_ring_nesting() {
+    let ring = Arc::new(RingSink::new(64));
+    let profile = Arc::new(ProfileSink::new());
+    let tee = Arc::new(Tee(vec![ring.clone(), profile.clone()]));
+    with_thread_sink(tee, || {
+        let _run = Span::enter("run");
+        for _ in 0..2 {
+            let _step = Span::enter("step");
+            let _leaf = Span::enter("leaf");
+        }
+    });
+    // The aggregated tree collapses repeats by name path.
+    let tree = profile.tree();
+    assert_eq!(tree.len(), 1);
+    assert_eq!((tree[0].name.as_str(), tree[0].count), ("run", 1));
+    assert_eq!(tree[0].children.len(), 1);
+    let step = &tree[0].children[0];
+    assert_eq!((step.name.as_str(), step.count), ("step", 2));
+    let leaf = &step.children[0];
+    assert_eq!((leaf.name.as_str(), leaf.count), ("leaf", 2));
+    // The tree's ancestry matches the ring's parent links exactly.
+    let events = ring.events();
+    let run_seq = events
+        .iter()
+        .find(|e| e.name == "run" && e.phase == SpanPhase::Start)
+        .expect("run start")
+        .seq;
+    let step_seqs: Vec<u64> = events
+        .iter()
+        .filter(|e| e.name == "step" && e.phase == SpanPhase::Start)
+        .map(|e| {
+            assert_eq!(e.parent, Some(run_seq), "steps nest under run");
+            e.seq
+        })
+        .collect();
+    for e in events
+        .iter()
+        .filter(|e| e.name == "leaf" && e.phase == SpanPhase::Start)
+    {
+        assert!(
+            step_seqs.contains(&e.parent.expect("leaf has a parent")),
+            "leaves nest under steps"
+        );
+    }
+    // The Chrome export is well-formed JSON with one complete event per
+    // closed span.
+    let chrome = profile.to_chrome_trace();
+    let value: Value = serde_json::from_str(&chrome).expect("chrome trace parses");
+    let trace_events = value
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert_eq!(trace_events.len(), 5, "run + 2 steps + 2 leaves");
+    for event in trace_events {
+        assert!(matches!(event.get("name"), Some(Value::Str(_))));
+        assert_eq!(event.get("ph"), Some(&Value::Str("X".to_string())));
+        assert!(event.get("ts").is_some() && event.get("dur").is_some());
+    }
+}
+
+#[test]
+fn collapsed_lines_sum_to_the_root_total() {
+    // Feed a synthetic event stream so the durations are exact.
+    let profile = ProfileSink::new();
+    let feed = |seq: u64, parent: Option<u64>, name: &str, phase: SpanPhase, ns: Option<u64>| {
+        profile.event(&SpanEvent {
+            seq,
+            parent,
+            name: name.to_string(),
+            phase,
+            elapsed_ns: ns,
+            fields: Vec::new(),
+        });
+    };
+    feed(1, None, "run", SpanPhase::Start, None);
+    feed(2, Some(1), "step", SpanPhase::Start, None);
+    feed(2, Some(1), "step", SpanPhase::End, Some(300));
+    feed(3, Some(1), "step", SpanPhase::Start, None);
+    feed(3, Some(1), "step", SpanPhase::End, Some(200));
+    feed(1, None, "run", SpanPhase::End, Some(1_000));
+    let collapsed = profile.to_collapsed();
+    assert!(collapsed.contains("run 500\n"), "{collapsed}");
+    assert!(collapsed.contains("run;step 500\n"), "{collapsed}");
+    let total: u64 = collapsed
+        .lines()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(total, 1_000, "self times sum to the root total");
+}
+
+#[test]
+fn breakdown_groups_span_costs_by_field_value() {
+    let profile = Arc::new(ProfileSink::new());
+    with_thread_sink(profile.clone(), || {
+        for workload in ["sha", "sha", "crc"] {
+            let _cell = Span::enter("cell").field("workload", workload);
+        }
+    });
+    let rows = profile.breakdown("cell", "workload");
+    assert_eq!(rows.len(), 2);
+    assert_eq!((rows[0].value.as_str(), rows[0].count), ("crc", 1));
+    assert_eq!((rows[1].value.as_str(), rows[1].count), ("sha", 2));
+    assert!(profile.breakdown("cell", "nonexistent").is_empty());
+}
+
+#[test]
+fn exports_are_byte_deterministic_with_timing_off() {
+    mim_obs::set_timing(false);
+    let render = || {
+        let profile = Arc::new(ProfileSink::new());
+        with_thread_sink(profile.clone(), || {
+            let _run = Span::enter("run");
+            for _ in 0..3 {
+                let _step = Span::enter("step");
+            }
+        });
+        (profile.to_chrome_trace(), profile.to_collapsed())
+    };
+    let (chrome_a, collapsed_a) = render();
+    let (chrome_b, collapsed_b) = render();
+    mim_obs::set_timing(true);
+    assert_eq!(chrome_a, chrome_b, "chrome export is byte-deterministic");
+    assert_eq!(collapsed_a, collapsed_b);
+    assert!(
+        chrome_a.contains("\"ts\":0.000"),
+        "no clock reads: {chrome_a}"
+    );
+}
+
+#[test]
+fn export_rewrites_the_file_as_top_level_spans_close() {
+    let path = std::env::temp_dir().join(format!("mim_obs_export_{}.json", std::process::id()));
+    let profile: Arc<ProfileSink> =
+        Arc::new(ProfileSink::new().with_export(TraceFormat::Chrome, &path));
+    with_thread_sink(profile, || {
+        let _run = Span::enter("run");
+    });
+    let text = std::fs::read_to_string(&path).expect("export file written on close");
+    let value: Value = serde_json::from_str(&text).expect("export parses");
+    let events = value
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents");
+    assert_eq!(events.len(), 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn sink_specs_parse_like_mim_spans() {
+    assert!(sink_from_spec("stderr").is_some());
+    assert!(sink_from_spec("chrome:/tmp/trace.json").is_some());
+    assert!(sink_from_spec("collapsed:/tmp/stacks.folded").is_some());
+    assert!(sink_from_spec("chrome:").is_none(), "empty path rejected");
+    assert!(sink_from_spec("bogus").is_none());
+    assert!(sink_from_spec("bogus:/tmp/x").is_none());
+    assert_eq!(
+        TraceFormat::from_path(Path::new("out.folded")),
+        TraceFormat::Collapsed
+    );
+    assert_eq!(
+        TraceFormat::from_path(Path::new("out.txt")),
+        TraceFormat::Collapsed
+    );
+    assert_eq!(
+        TraceFormat::from_path(Path::new("out.json")),
+        TraceFormat::Chrome
+    );
 }

@@ -9,7 +9,7 @@
 
 use mim_bpred::BranchPredictor;
 use mim_cache::{Hierarchy, MemAccessKind, MemLevel, MissCounts};
-use mim_core::MachineConfig;
+use mim_core::{CpiTimeline, MachineConfig, StackComponent};
 use mim_isa::{InstClass, Program, TraceEvent, VmError, NUM_REGS};
 use mim_trace::{LiveVm, SamplePhase, TraceError, TraceSource};
 
@@ -56,6 +56,10 @@ pub struct SimResult {
     pub taken_correct: u64,
     /// Sampling statistics (`None` for full, unsampled runs).
     pub sampling: Option<SampledStats>,
+    /// Per-interval CPI-stack timeline (`None` unless requested via
+    /// [`PipelineSim::with_timeline`]). Strictly out-of-band: enabling it
+    /// changes no other field.
+    pub timeline: Option<CpiTimeline>,
 }
 
 impl SimResult {
@@ -119,6 +123,7 @@ impl SimIdealization {
 pub struct PipelineSim {
     machine: MachineConfig,
     ideal: SimIdealization,
+    timeline: Option<u64>,
 }
 
 impl PipelineSim {
@@ -134,6 +139,7 @@ impl PipelineSim {
         PipelineSim {
             machine: machine.clone(),
             ideal: SimIdealization::none(),
+            timeline: None,
         }
     }
 
@@ -141,6 +147,24 @@ impl PipelineSim {
     /// per-term error attribution).
     pub fn with_idealization(mut self, ideal: SimIdealization) -> PipelineSim {
         self.ideal = ideal;
+        self
+    }
+
+    /// Requests a [`CpiTimeline`] on [`SimResult`]: cycle attribution per
+    /// `interval`-instruction bucket of the walked stream (minimum 1).
+    /// Off by default; purely additive — every other result field is
+    /// unchanged.
+    ///
+    /// Attribution is first-order and event-charged: each miss/stall
+    /// event charges its nominal latency to its component within the
+    /// interval it retires in, each interval's row is clamped to the
+    /// cycles the interval actually took (overlapped latencies trim in
+    /// canonical component order), and the un-attributed remainder —
+    /// including dependence stalls — lands in
+    /// [`Base`](StackComponent::Base). Integer cycles end to end, so
+    /// timelines are byte-deterministic across runs and thread counts.
+    pub fn with_timeline(mut self, interval: u64) -> PipelineSim {
+        self.timeline = Some(interval.max(1));
         self
     }
 
@@ -199,6 +223,7 @@ impl PipelineSim {
         let mut predictor: Box<dyn BranchPredictor> = self.machine.predictor.build();
         let mut st = PipeState::new(lat.cap);
         let mut ctr = Counters::default();
+        let mut tl = self.timeline.map(TimelineAcc::new);
 
         source.drive(&mut |ev| {
             self.step(
@@ -207,8 +232,12 @@ impl PipelineSim {
                 &mut hierarchy,
                 predictor.as_mut(),
                 &mut ctr,
+                &mut tl,
                 ev,
             );
+            if let Some(acc) = tl.as_mut() {
+                acc.tick(st.watermark());
+            }
         })?;
 
         // Drain: memory + writeback stages after the last completion event.
@@ -222,6 +251,7 @@ impl PipelineSim {
             mispredicts: ctr.mispredicts,
             taken_correct: ctr.taken_correct,
             sampling: None,
+            timeline: tl.map(|acc| acc.finish(st.watermark())),
         })
     }
 
@@ -266,11 +296,18 @@ impl PipelineSim {
         // A sample unit closes after `length` measured events (window
         // end), or at the first warm event of the next window for plans
         // whose windows the stream truncates, or at stream end.
-        let unit_len = source.sampling().map_or(u64::MAX, |s| s.length());
+        let plan = source.sampling();
+        let unit_len = plan.map_or(u64::MAX, |s| s.length());
         let mut unit_cpis: Vec<f64> = Vec::new();
         let mut unit_insts: u64 = 0;
         let mut unit_base: u64 = 0; // cycle watermark at unit start
         let mut measured_cycles: u64 = 0;
+        let mut tl = self.timeline.map(TimelineAcc::new);
+        // Walked-stream position of the next delivered event. Skipped
+        // events are never delivered, but their positions are plan
+        // arithmetic, so the timeline's interval boundaries stay aligned
+        // with the full-simulation timeline of the same stream.
+        let mut pos: u64 = 0;
 
         macro_rules! close_unit {
             () => {
@@ -282,39 +319,53 @@ impl PipelineSim {
             };
         }
 
-        let outcome = source.drive_phased(&mut |phase, ev| match phase {
-            SamplePhase::Skip => {}
-            SamplePhase::Warm => {
-                if unit_insts > 0 {
-                    close_unit!();
-                }
-                hierarchy.warm(MemAccessKind::Fetch, Program::inst_addr(ev.pc));
-                match ev.class {
-                    InstClass::Load => {
-                        hierarchy.warm(MemAccessKind::Load, ev.eff_addr.expect("load address"));
-                    }
-                    InstClass::Store => {
-                        hierarchy.warm(MemAccessKind::Store, ev.eff_addr.expect("store address"));
-                    }
-                    InstClass::CondBranch => {
-                        predictor.warm(ev.pc, ev.taken == Some(true));
-                    }
-                    _ => {}
+        let outcome = source.drive_phased(&mut |phase, ev| {
+            if let (Some(acc), Some(plan)) = (tl.as_mut(), plan.as_ref()) {
+                while plan.phase(pos) == SamplePhase::Skip {
+                    pos += 1;
+                    acc.tick(st.watermark());
                 }
             }
-            SamplePhase::Measure => {
-                self.step(
-                    &lat,
-                    &mut st,
-                    &mut hierarchy,
-                    predictor.as_mut(),
-                    &mut ctr,
-                    ev,
-                );
-                unit_insts += 1;
-                if unit_insts == unit_len {
-                    close_unit!();
+            match phase {
+                SamplePhase::Skip => {}
+                SamplePhase::Warm => {
+                    if unit_insts > 0 {
+                        close_unit!();
+                    }
+                    hierarchy.warm(MemAccessKind::Fetch, Program::inst_addr(ev.pc));
+                    match ev.class {
+                        InstClass::Load => {
+                            hierarchy.warm(MemAccessKind::Load, ev.eff_addr.expect("load address"));
+                        }
+                        InstClass::Store => {
+                            hierarchy
+                                .warm(MemAccessKind::Store, ev.eff_addr.expect("store address"));
+                        }
+                        InstClass::CondBranch => {
+                            predictor.warm(ev.pc, ev.taken == Some(true));
+                        }
+                        _ => {}
+                    }
                 }
+                SamplePhase::Measure => {
+                    self.step(
+                        &lat,
+                        &mut st,
+                        &mut hierarchy,
+                        predictor.as_mut(),
+                        &mut ctr,
+                        &mut tl,
+                        ev,
+                    );
+                    unit_insts += 1;
+                    if unit_insts == unit_len {
+                        close_unit!();
+                    }
+                }
+            }
+            if let Some(acc) = tl.as_mut() {
+                pos += 1;
+                acc.tick(st.watermark());
             }
         })?;
         if unit_insts > 0 {
@@ -325,6 +376,13 @@ impl PipelineSim {
         }
 
         let walked = outcome.instructions();
+        if let Some(acc) = tl.as_mut() {
+            // Trailing skipped positions after the last delivered event.
+            while pos < walked {
+                pos += 1;
+                acc.tick(st.watermark());
+            }
+        }
         let units = unit_cpis.len() as u64;
         let mean = if units == 0 {
             0.0
@@ -361,13 +419,16 @@ impl PipelineSim {
                     ctr.retired as f64 / walked as f64
                 },
             }),
+            timeline: tl.map(|acc| acc.finish(st.watermark())),
         })
     }
 
     /// One instruction through the timing kernel: fetch, execute entry,
     /// per-class effects. This is the detailed path shared by full and
     /// sampled simulation; all pipeline state lives in `st` so callers
-    /// control its continuity.
+    /// control its continuity. When a timeline accumulator is supplied,
+    /// miss/stall events charge their nominal penalties to it (interval
+    /// bookkeeping stays with the caller).
     #[allow(clippy::too_many_arguments)]
     fn step(
         &self,
@@ -376,9 +437,13 @@ impl PipelineSim {
         hierarchy: &mut Hierarchy,
         predictor: &mut dyn BranchPredictor,
         ctr: &mut Counters,
+        tl: &mut Option<TimelineAcc>,
         ev: &TraceEvent,
     ) {
         ctr.retired += 1;
+        if let Some(acc) = tl.as_mut() {
+            acc.measured();
+        }
         st.seen += 1;
         let idx = (st.seen - 1) as usize % lat.cap;
 
@@ -405,6 +470,16 @@ impl PipelineSim {
             stall = 0;
         }
         if stall > 0 {
+            if let Some(acc) = tl.as_mut() {
+                match level {
+                    MemLevel::L1 => {}
+                    MemLevel::L2 => acc.charge(StackComponent::IL2Access, lat.l2),
+                    MemLevel::Memory => acc.charge(StackComponent::IL2Miss, lat.mem),
+                }
+                if itlb_miss {
+                    acc.charge(StackComponent::TlbMiss, lat.tlb);
+                }
+            }
             st.fetch_cycle += stall;
             st.fetch_slots = 0;
         }
@@ -463,6 +538,14 @@ impl PipelineSim {
                 if let Some(dst) = ev.dst {
                     st.avail[dst.index()] = t + l;
                 }
+                if let Some(acc) = tl.as_mut() {
+                    let component = if ev.class == InstClass::Mul {
+                        StackComponent::Mul
+                    } else {
+                        StackComponent::Div
+                    };
+                    acc.charge(component, l.saturating_sub(1));
+                }
                 // Non-pipelined: blocks EX for the full latency and, by
                 // in-order commit, all younger instructions.
                 st.ex_free_at = st.ex_free_at.max(t + l);
@@ -487,6 +570,17 @@ impl PipelineSim {
                 }
                 if self.ideal.perfect_dcache {
                     l = 1;
+                } else if let Some(acc) = tl.as_mut() {
+                    match dlevel {
+                        MemLevel::L1 => {
+                            acc.charge(StackComponent::L1HitExtra, lat.l1d.saturating_sub(1));
+                        }
+                        MemLevel::L2 => acc.charge(StackComponent::DL2Access, lat.l2),
+                        MemLevel::Memory => acc.charge(StackComponent::DL2Miss, lat.mem),
+                    }
+                    if dtlb_miss {
+                        acc.charge(StackComponent::TlbMiss, lat.tlb);
+                    }
                 }
                 // MEM entry: the group's EX-exit plus any misses already
                 // serialized within this group.
@@ -513,6 +607,10 @@ impl PipelineSim {
                 predictor.update(ev.pc, taken);
                 if pred != taken {
                     ctr.mispredicts += 1;
+                    if let Some(acc) = tl.as_mut() {
+                        // First-order flush cost: the front-end refill.
+                        acc.charge(StackComponent::BranchMiss, lat.depth);
+                    }
                     // Squash: fetch resumes after resolution in EX.
                     st.fetch_min = st.fetch_min.max(t + 1);
                     st.fetch_slots = lat.w; // current fetch group ends
@@ -520,6 +618,9 @@ impl PipelineSim {
                     ctr.taken_correct += 1;
                     // Correct taken prediction: one fetch bubble.
                     if !self.ideal.free_taken_bubbles {
+                        if let Some(acc) = tl.as_mut() {
+                            acc.charge(StackComponent::TakenBranch, 1);
+                        }
                         st.fetch_min = st.fetch_min.max(f + 2);
                         st.fetch_slots = lat.w;
                     }
@@ -528,6 +629,9 @@ impl PipelineSim {
             InstClass::Jump => {
                 // Unconditional: always taken, one fetch bubble.
                 if !self.ideal.free_taken_bubbles {
+                    if let Some(acc) = tl.as_mut() {
+                        acc.charge(StackComponent::TakenBranch, 1);
+                    }
                     st.fetch_min = st.fetch_min.max(f + 2);
                     st.fetch_slots = lat.w;
                 }
@@ -636,6 +740,87 @@ struct Counters {
     mispredicts: u64,
     taken_correct: u64,
     retired: u64,
+}
+
+/// Builds a [`CpiTimeline`] during simulation: per-interval event-charged
+/// penalties reconciled against the pipeline's watermark deltas.
+///
+/// `tick` advances the *walked* position (interval boundaries);
+/// `measured`/`charge` record the instructions and penalties the detailed
+/// kernel actually simulated. For a full run walked == measured; for a
+/// sampled run only in-window instructions measure, keeping interval
+/// indices aligned with the full run's.
+struct TimelineAcc {
+    timeline: CpiTimeline,
+    interval: u64,
+    cur: [u64; StackComponent::COUNT],
+    cur_insts: u64,
+    walked: u64,
+    last_watermark: u64,
+}
+
+impl TimelineAcc {
+    fn new(interval: u64) -> TimelineAcc {
+        let interval = interval.max(1);
+        TimelineAcc {
+            timeline: CpiTimeline::new(interval),
+            interval,
+            cur: [0; StackComponent::COUNT],
+            cur_insts: 0,
+            walked: 0,
+            last_watermark: 0,
+        }
+    }
+
+    /// Charges `cycles` of nominal penalty to `component` in the current
+    /// interval.
+    fn charge(&mut self, component: StackComponent, cycles: u64) {
+        self.cur[component.index()] += cycles;
+    }
+
+    /// Counts one instruction simulated in detail.
+    fn measured(&mut self) {
+        self.cur_insts += 1;
+    }
+
+    /// Advances one walked position; closes the interval at the boundary
+    /// using the current cycle watermark.
+    fn tick(&mut self, mark: u64) {
+        self.walked += 1;
+        if self.walked == self.interval {
+            self.flush(mark);
+        }
+    }
+
+    /// Closes the current interval: the row's total is exactly the
+    /// watermark delta. Event-charged penalties can overcount when
+    /// latencies hide under one another, so charges are trimmed in
+    /// canonical component order to fit; the un-attributed remainder
+    /// (dependence stalls included) lands in `Base`.
+    fn flush(&mut self, mark: u64) {
+        let delta = mark - self.last_watermark;
+        let mut row = [0u64; StackComponent::COUNT];
+        let mut remaining = delta;
+        for (slot, &charged) in row.iter_mut().zip(&self.cur) {
+            let take = charged.min(remaining);
+            *slot = take;
+            remaining -= take;
+        }
+        row[StackComponent::Base.index()] += remaining;
+        self.timeline.push_row(self.cur_insts, row);
+        self.last_watermark = mark;
+        self.cur = [0; StackComponent::COUNT];
+        self.cur_insts = 0;
+        self.walked = 0;
+    }
+
+    /// Closes any partial interval and returns the finished timeline.
+    fn finish(mut self, mark: u64) -> CpiTimeline {
+        if self.walked > 0 || self.cur_insts > 0 {
+            self.flush(mark);
+        }
+        self.timeline
+    }
 }
 
 #[cfg(test)]
@@ -1074,6 +1259,100 @@ mod tests {
         assert!(
             err_warm <= err_cold + 1e-9,
             "warming should not hurt: warm {err_warm} vs cold {err_cold}"
+        );
+    }
+
+    #[test]
+    fn timeline_is_off_by_default_and_strictly_out_of_band() {
+        let p = mim_workloads::mibench::sha().program(mim_workloads::WorkloadSize::Tiny);
+        let m = machine(4);
+        let plain = PipelineSim::new(&m).simulate(&p).unwrap();
+        assert!(plain.timeline.is_none());
+        let timed = PipelineSim::new(&m)
+            .with_timeline(5000)
+            .simulate(&p)
+            .unwrap();
+        let tl = timed.timeline.as_ref().expect("timeline requested");
+        // Out-of-band: every other field is untouched.
+        assert_eq!(timed.cycles, plain.cycles);
+        assert_eq!(timed.instructions, plain.instructions);
+        assert_eq!(timed.misses, plain.misses);
+        assert_eq!(timed.mispredicts, plain.mispredicts);
+        // The timeline accounts for every instruction, and with the +2
+        // pipeline-drain constant, every cycle.
+        assert_eq!(tl.interval(), 5000);
+        assert_eq!(tl.num_insts(), timed.instructions);
+        assert_eq!(tl.total_cycles() + 2, timed.cycles);
+        // Full-run intervals are full-width except possibly the last.
+        for i in 0..tl.len() - 1 {
+            assert_eq!(tl.insts_of(i), 5000, "interval {i}");
+        }
+        // Deterministic across runs (integer cycles end to end, so equal
+        // values serialize to equal bytes).
+        let again = PipelineSim::new(&m)
+            .with_timeline(5000)
+            .simulate(&p)
+            .unwrap();
+        assert_eq!(tl, again.timeline.as_ref().unwrap());
+    }
+
+    #[test]
+    fn sampled_timeline_aligns_interval_for_interval_with_full() {
+        use mim_trace::Sampling;
+        let p = mim_workloads::mibench::qsort().program(mim_workloads::WorkloadSize::Tiny);
+        let m = machine(4);
+        let full = PipelineSim::new(&m)
+            .with_timeline(2000)
+            .simulate(&p)
+            .unwrap();
+        let ftl = full.timeline.as_ref().unwrap();
+        let trace = mim_trace::Trace::record(&p, None).unwrap();
+
+        // Without a plan the sampled path walks the identical stream and
+        // must produce the identical timeline.
+        let mut replay = trace.replay(&p).unwrap();
+        let degen = PipelineSim::new(&m)
+            .with_timeline(2000)
+            .simulate_sampled(&mut replay)
+            .unwrap();
+        assert_eq!(degen.timeline.as_ref().unwrap(), ftl);
+
+        // With a plan, interval boundaries are positions in the *walked*
+        // stream, so the sampled timeline has the same shape as the full
+        // one and each interval's cycles cover exactly the measured
+        // instructions inside it.
+        let mut replay = trace
+            .replay(&p)
+            .unwrap()
+            .with_sampling(Sampling::default_plan());
+        let sampled = PipelineSim::new(&m)
+            .with_timeline(2000)
+            .simulate_sampled(&mut replay)
+            .unwrap();
+        let stl = sampled.timeline.as_ref().unwrap();
+        let stats = sampled.sampling.as_ref().unwrap();
+        assert_eq!(stl.len(), ftl.len(), "interval counts align");
+        assert_eq!(stl.num_insts(), stats.measured_instructions);
+        assert_eq!(stl.total_cycles(), stats.measured_cycles);
+        for i in 0..stl.len() {
+            assert!(
+                stl.insts_of(i) <= ftl.insts_of(i),
+                "interval {i}: sampled measures a subset"
+            );
+        }
+        // The per-phase view localizes error: on covered intervals the
+        // sampled CPI tracks the full CPI to first order.
+        let covered: Vec<usize> = (0..stl.len()).filter(|&i| stl.insts_of(i) >= 200).collect();
+        assert!(!covered.is_empty(), "plan must cover some intervals");
+        let mean_err = covered
+            .iter()
+            .map(|&i| (stl.cpi_of_interval(i) - ftl.cpi_of_interval(i)).abs())
+            .sum::<f64>()
+            / covered.len() as f64;
+        assert!(
+            mean_err <= 0.5 * full.cpi(),
+            "per-phase error {mean_err} vs full CPI {}",
+            full.cpi()
         );
     }
 

@@ -160,6 +160,7 @@ fn result_from_stack(
         stack: Some(stack),
         energy,
         sampling: None,
+        timeline: None,
         wall_seconds,
     }
 }
@@ -341,6 +342,7 @@ pub struct SimEvaluator {
     limit: Option<u64>,
     name: String,
     energy: bool,
+    timeline: Option<u64>,
 }
 
 impl SimEvaluator {
@@ -353,6 +355,7 @@ impl SimEvaluator {
             limit: None,
             name: EvalKind::Sim.label().to_string(),
             energy: false,
+            timeline: None,
         }
     }
 
@@ -392,6 +395,14 @@ impl SimEvaluator {
         self
     }
 
+    /// Also captures a per-interval [`mim_core::CpiTimeline`] at the given
+    /// instruction-interval width, populating [`EvalResult::timeline`].
+    /// `None` (the default) keeps the simulator timeline-free.
+    pub fn with_timeline(mut self, interval: Option<u64>) -> SimEvaluator {
+        self.timeline = interval;
+        self
+    }
+
     fn result_from_sim(
         &self,
         spec: &WorkloadSpec,
@@ -420,6 +431,7 @@ impl SimEvaluator {
             }),
             energy,
             sampling: None,
+            timeline: sim.timeline.clone(),
             wall_seconds,
         }
     }
@@ -448,7 +460,11 @@ impl Evaluator for SimEvaluator {
         let mut replay = trace
             .replay(&program)
             .map_err(|e| EvalError::trace(workload.name(), &self.name, &e))?;
-        let sim = PipelineSim::new(&self.machine)
+        let mut pipeline = PipelineSim::new(&self.machine);
+        if let Some(interval) = self.timeline {
+            pipeline = pipeline.with_timeline(interval);
+        }
+        let sim = pipeline
             .simulate_source(&mut replay)
             .map_err(|e| EvalError::trace(workload.name(), &self.name, &e))?;
         let inputs = if self.energy {
@@ -487,6 +503,7 @@ pub struct SampledSimEvaluator {
     name: String,
     sampling: Sampling,
     energy: bool,
+    timeline: Option<u64>,
 }
 
 impl SampledSimEvaluator {
@@ -502,6 +519,7 @@ impl SampledSimEvaluator {
             name: SampledSimEvaluator::plan_name(sampling),
             sampling,
             energy: false,
+            timeline: None,
         }
     }
 
@@ -559,13 +577,25 @@ impl SampledSimEvaluator {
         self
     }
 
+    /// Also captures a per-interval [`mim_core::CpiTimeline`] over the
+    /// measured windows, walked-position-aligned with a full run's
+    /// timeline at the same interval width (see
+    /// [`PipelineSim::with_timeline`]).
+    pub fn with_timeline(mut self, interval: Option<u64>) -> SampledSimEvaluator {
+        self.timeline = interval;
+        self
+    }
+
     fn simulate(
         &self,
         workload: &WorkloadSpec,
         size: WorkloadSize,
     ) -> Result<SimResult, EvalError> {
         let program = self.store.program(workload, size);
-        let sim = PipelineSim::new(&self.machine);
+        let mut sim = PipelineSim::new(&self.machine);
+        if let Some(interval) = self.timeline {
+            sim = sim.with_timeline(interval);
+        }
         // Prefer the persistent store's incremental read path: O(chunk)
         // memory instead of O(trace). A damaged entry degrades to the
         // materialized path, like every other DiskStore read.
@@ -642,6 +672,7 @@ impl Evaluator for SampledSimEvaluator {
                 fraction: stats.fraction,
                 cpi_ci95: stats.ci_half_width,
             }),
+            timeline: sim.timeline.clone(),
             wall_seconds: t0.elapsed().as_secs_f64(),
         })
     }

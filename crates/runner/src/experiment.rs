@@ -257,6 +257,7 @@ pub struct Experiment {
     rob_size: u32,
     sampling: mim_trace::Sampling,
     energy: bool,
+    timeline: Option<u64>,
     threads: usize,
     cache: WorkloadStore,
     cells: Option<CellMemo>,
@@ -288,6 +289,7 @@ impl Experiment {
             rob_size: 128,
             sampling: mim_trace::Sampling::default_plan(),
             energy: false,
+            timeline: None,
             threads: 0,
             cache: WorkloadStore::new(),
             cells: None,
@@ -385,6 +387,16 @@ impl Experiment {
         self
     }
 
+    /// Captures a per-interval CPI-stack timeline on [`EvalKind::Sim`] and
+    /// [`EvalKind::Sampled`] cells, sampled every `interval` retired
+    /// instructions, populating [`EvalResult::timeline`]. Off by default;
+    /// the timeline is strictly out-of-band, so serialized reports are
+    /// byte-identical with or without it.
+    pub fn timeline(mut self, interval: u64) -> Experiment {
+        self.timeline = Some(interval.max(1));
+        self
+    }
+
     /// Number of worker threads; `0` (the default) uses all available
     /// cores, `1` runs serially. Any value produces byte-identical
     /// reports.
@@ -465,13 +477,15 @@ impl Experiment {
                             SimEvaluator::for_point(space, point)
                                 .with_cache(self.cache.clone())
                                 .with_limit(self.limit)
-                                .with_energy(self.energy),
+                                .with_energy(self.energy)
+                                .with_timeline(self.timeline),
                         ),
                         (EvalKind::Sim, None) => Arc::new(
                             SimEvaluator::new(&point.machine)
                                 .with_cache(self.cache.clone())
                                 .with_limit(self.limit)
-                                .with_energy(self.energy),
+                                .with_energy(self.energy)
+                                .with_timeline(self.timeline),
                         ),
                         (EvalKind::Ooo, Some(space)) => Arc::new(
                             OooEvaluator::for_point(space, point)
@@ -492,14 +506,16 @@ impl Experiment {
                                 .with_cache(self.cache.clone())
                                 .with_limit(self.limit)
                                 .with_sampling(self.sampling)
-                                .with_energy(self.energy),
+                                .with_energy(self.energy)
+                                .with_timeline(self.timeline),
                         ),
                         (EvalKind::Sampled, None) => Arc::new(
                             SampledSimEvaluator::new(&point.machine)
                                 .with_cache(self.cache.clone())
                                 .with_limit(self.limit)
                                 .with_sampling(self.sampling)
-                                .with_energy(self.energy),
+                                .with_energy(self.energy)
+                                .with_timeline(self.timeline),
                         ),
                     };
                     evals.push(eval);
@@ -587,8 +603,8 @@ impl Experiment {
         // still record the trace their simulations replay.
         let _span = Span::enter("experiment.run")
             .field("title", self.title.clone())
-            .field("workloads", self.workloads.len().to_string())
-            .field("points", points.len().to_string());
+            .field_u64("workloads", self.workloads.len() as u64)
+            .field_u64("points", points.len() as u64);
         let t_profile = Instant::now();
         let warm_span = Span::enter("experiment.warm");
         let needs_profile = self.energy
@@ -649,7 +665,7 @@ impl Experiment {
             }
         }
         let t_eval = Instant::now();
-        let grid_span = Span::enter("experiment.grid").field("cells", cells.len().to_string());
+        let grid_span = Span::enter("experiment.grid").field_u64("cells", cells.len() as u64);
         let n_builtin = self.kinds.len();
         // Per-cell evaluate latency lands in the shared store's registry,
         // so a server merging store metrics sees the grid's distribution.
@@ -659,6 +675,17 @@ impl Experiment {
                 let cell_started = clock();
                 let spec = &self.workloads[wi];
                 let evaluator = &evaluators[pi][ei];
+                let _cell_span = Span::enter("experiment.cell")
+                    .field("workload", spec.name().to_string())
+                    .field("evaluator", evaluator.name().to_string())
+                    .field_u64("point", pi as u64);
+                // The timeline knob only reaches (and only changes) the
+                // two simulator evaluators, so model/OOO cells keep their
+                // timeline-free keys.
+                let cell_timeline = match self.kinds.get(ei) {
+                    Some(EvalKind::Sim | EvalKind::Sampled) => self.timeline,
+                    _ => None,
+                };
                 // Memoize built-in cells only: custom evaluators may close
                 // over state the content key cannot capture.
                 let mut result = match (&self.cells, ei < n_builtin) {
@@ -671,6 +698,7 @@ impl Experiment {
                             evaluator.name(),
                             self.energy,
                             self.rob_size,
+                            cell_timeline,
                         );
                         memo.get_or_compute(key, || evaluator.evaluate(spec, self.size))?
                     }

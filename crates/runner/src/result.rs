@@ -5,7 +5,7 @@ use std::error::Error;
 use std::fmt;
 
 use mim_cache::MissCounts;
-use mim_core::CpiStack;
+use mim_core::{CpiStack, CpiTimeline};
 use mim_isa::VmError;
 use mim_power::EnergyReport;
 use serde::{Deserialize, Serialize};
@@ -114,6 +114,14 @@ pub struct EvalResult {
     pub energy: Option<EnergyReport>,
     /// Sampling statistics (sampled simulator only).
     pub sampling: Option<SamplingSummary>,
+    /// Per-interval CPI-stack timeline (simulator evaluators with
+    /// [`Experiment::timeline`](crate::Experiment::timeline) enabled).
+    /// Excluded from serialization — like `wall_seconds` it is
+    /// out-of-band, so report payloads are byte-identical whether
+    /// timelines are captured or not; export it explicitly via
+    /// [`CpiTimeline`]'s own serialization when needed.
+    #[serde(skip)]
+    pub timeline: Option<CpiTimeline>,
     /// Wall-clock seconds this evaluation took. Excluded from
     /// serialization so reports stay deterministic.
     #[serde(skip)]

@@ -272,6 +272,55 @@ fn on_cell_fires_once_per_cell() {
     assert_eq!(report.to_json(), width_sweep(1).to_json());
 }
 
+/// The timeline knob is strictly out-of-band — serialized reports are
+/// byte-identical with it on or off — and the captured timelines are
+/// deterministic across worker counts.
+#[test]
+fn timelines_are_out_of_band_and_deterministic() {
+    let run = |threads: usize, timeline: bool| {
+        let mut experiment = Experiment::new()
+            .title("timeline")
+            .workloads([mibench::sha(), mibench::qsort()])
+            .size(WorkloadSize::Tiny)
+            .evaluators([EvalKind::Model, EvalKind::Sim, EvalKind::Sampled])
+            .threads(threads);
+        if timeline {
+            experiment = experiment.timeline(5_000);
+        }
+        experiment.run().expect("experiment")
+    };
+    let plain = run(1, false);
+    let timed = run(1, true);
+    assert_eq!(
+        plain.to_json(),
+        timed.to_json(),
+        "timelines never touch the serialized payload"
+    );
+    assert!(plain.rows.iter().all(|r| r.timeline.is_none()));
+    for row in &timed.rows {
+        match row.kind {
+            EvalKind::Sim => {
+                let tl = row.timeline.as_ref().expect("sim rows carry timelines");
+                assert_eq!(tl.interval(), 5_000);
+                assert_eq!(tl.num_insts(), row.instructions);
+                assert!(!tl.is_empty());
+            }
+            EvalKind::Sampled => {
+                let tl = row.timeline.as_ref().expect("sampled rows carry timelines");
+                let sampling = row.sampling.as_ref().expect("sampling stats");
+                assert_eq!(tl.num_insts(), sampling.measured_instructions);
+            }
+            _ => assert!(row.timeline.is_none(), "analytical rows stay timeline-free"),
+        }
+    }
+    // Integer cycle counts end to end: structural equality across worker
+    // counts means byte equality of any timeline export.
+    let timed_parallel = run(8, true);
+    for (a, b) in timed.rows.iter().zip(&timed_parallel.rows) {
+        assert_eq!(a.timeline, b.timeline);
+    }
+}
+
 /// Names key the report and the program cache, so duplicates are
 /// rejected instead of silently aliasing to the first entry.
 #[test]

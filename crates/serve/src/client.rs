@@ -6,6 +6,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 
+use mim_obs::Snapshot;
 use serde::Value;
 
 use crate::error::ServeError;
@@ -184,6 +185,39 @@ impl Client {
         }
     }
 
+    /// Fetches a finished job's wall-clock span profile
+    /// (`{"total_ns":…,"spans":[…],"cells":{…}}`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] for unknown ids, unfinished jobs, and
+    /// jobs that ran with profile capture disabled.
+    pub fn profile(&mut self, id: u64) -> Result<Value, ServeError> {
+        let response = self.request(&Request::Profile(id))?;
+        response
+            .get("profile")
+            .cloned()
+            .ok_or_else(|| ServeError::Protocol("profile reply has no `profile`".into()))
+    }
+
+    /// Streams `count` metrics-delta snapshots, one per `interval_ms`
+    /// tick: each returned [`Snapshot`] is the change since the previous
+    /// tick (counters and histograms as differences, gauges as current
+    /// values). Blocks for roughly `count * interval_ms` milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] if the server begins shutting down
+    /// mid-stream; [`ServeError::Io`]/[`ServeError::Protocol`] on
+    /// transport trouble.
+    pub fn watch(&mut self, interval_ms: u64, count: u64) -> Result<Vec<Snapshot>, ServeError> {
+        let line = Request::Watch { interval_ms, count }.to_line() + "\n";
+        match &mut self.stream {
+            Stream::Tcp(s) => watch_stream(s, &line, count),
+            Stream::Unix(s) => watch_stream(s, &line, count),
+        }
+    }
+
     /// Asks the server to drain and stop.
     ///
     /// # Errors
@@ -201,6 +235,46 @@ fn response_u64(value: &Value, key: &str) -> Result<u64, ServeError> {
         Some(Value::Int(i)) if *i >= 0 => Ok(*i as u64),
         _ => Err(ServeError::Protocol(format!("reply has no `{key}`"))),
     }
+}
+
+/// Drives one `watch` stream: writes the request, then reads exactly
+/// `count` delta lines through a single persistent reader (unlike
+/// [`exchange`], which builds a fresh reader per request and must not be
+/// used for multi-line replies).
+fn watch_stream<S: std::io::Read + Write>(
+    stream: &mut S,
+    line: &str,
+    count: u64,
+) -> Result<Vec<Snapshot>, ServeError> {
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| ServeError::Io(e.to_string()))?;
+    let mut reader = BufReader::new(stream);
+    let mut deltas = Vec::new();
+    for _ in 0..count.max(1) {
+        let mut response = String::new();
+        let n = reader
+            .read_line(&mut response)
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(ServeError::Protocol("server closed the connection".into()));
+        }
+        let value: Value = serde_json::from_str(&response)
+            .map_err(|e| ServeError::Protocol(format!("malformed response: {e}")))?;
+        if let Some(Value::Bool(false)) = value.get("ok") {
+            let message = match value.get("error") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => "unspecified error".to_string(),
+            };
+            return Err(ServeError::Rejected(message));
+        }
+        let metrics = value
+            .get("metrics")
+            .ok_or_else(|| ServeError::Protocol("watch line has no `metrics`".into()))?;
+        deltas.push(Snapshot::from_value(metrics).map_err(ServeError::Protocol)?);
+    }
+    Ok(deltas)
 }
 
 fn exchange<S: std::io::Read + Write>(stream: &mut S, line: &str) -> Result<String, ServeError> {

@@ -24,7 +24,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use mim_obs::{clock, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, Span};
+use mim_obs::{
+    clock, with_thread_sink, Counter, Gauge, Histogram, HistogramSnapshot, ProfileSink, Registry,
+    Snapshot, Span,
+};
 use mim_runner::{CellMemo, WorkloadStore};
 use serde::{Serialize, Value};
 
@@ -61,6 +64,9 @@ struct JobRecord {
     result: Option<Arc<Value>>,
     /// Error message once `Failed`.
     error: Option<String>,
+    /// Wall-clock span profile of the job's execution, captured by the
+    /// worker when profile capture is enabled (shared: re-fetchable).
+    profile: Option<Arc<Value>>,
 }
 
 /// A queued job: id, spec, and (when timing is on) its admission
@@ -120,6 +126,9 @@ struct EngineInner {
     dedup: Mutex<HashMap<u64, u64>>,
     next_id: AtomicU64,
     stop: AtomicBool,
+    /// Whether workers wrap job execution in a per-job [`ProfileSink`]
+    /// (the protocol's `profile` command). On by default.
+    profile_capture: AtomicBool,
     registry: Registry,
     m: EngineInstruments,
 }
@@ -154,6 +163,7 @@ impl Engine {
             dedup: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             stop: AtomicBool::new(false),
+            profile_capture: AtomicBool::new(true),
             m: EngineInstruments::new(&registry),
             registry,
         });
@@ -241,6 +251,7 @@ impl Engine {
                 status: JobStatus::Queued,
                 result: None,
                 error: None,
+                profile: None,
             },
         );
         dedup.insert(fingerprint, id);
@@ -292,6 +303,41 @@ impl Engine {
                     }
                 },
             }
+        }
+    }
+
+    /// Enables or disables per-job profile capture. When enabled (the
+    /// default), each worker runs its job under a job-private
+    /// [`ProfileSink`], and the resulting span tree plus cell-level cost
+    /// breakdowns are kept on the job record for the protocol's `profile`
+    /// command. Disabling removes the capture entirely from the execution
+    /// path (no sink is installed), which is what the throughput bench
+    /// compares against.
+    pub fn set_profile_capture(&self, capture: bool) {
+        self.inner.profile_capture.store(capture, Ordering::SeqCst);
+    }
+
+    /// The wall-clock profile of a finished job: a deterministic-shape
+    /// object `{"total_ns":…,"spans":[…],"cells":{…}}` whose span tree
+    /// aggregates the job's `job.run`/`experiment.*` spans and whose
+    /// `cells` section breaks `experiment.cell` cost down by workload and
+    /// by evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown ids, jobs that have not finished
+    /// yet, and jobs that ran while capture was disabled.
+    pub fn profile(&self, id: u64) -> Result<Arc<Value>, String> {
+        let jobs = self.inner.jobs.lock().expect("job table poisoned");
+        match jobs.get(&id) {
+            None => Err(format!("unknown job id {id}")),
+            Some(record) => match (&record.profile, record.status) {
+                (Some(profile), _) => Ok(Arc::clone(profile)),
+                (None, JobStatus::Queued | JobStatus::Running) => {
+                    Err(format!("job {id} has not finished yet"))
+                }
+                (None, _) => Err(format!("job {id} has no profile (capture was disabled)")),
+            },
         }
     }
 
@@ -387,18 +433,33 @@ fn worker_loop(inner: &EngineInner) {
         set_status(inner, id, JobStatus::Running);
         inner.m.running.add(1);
         let run_started = clock();
-        let span = Span::enter("job.run").field("id", id.to_string());
-        // A panicking evaluator fails its job, never the worker pool.
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            spec.execute(&inner.store, &inner.cells)
-        }))
-        .unwrap_or_else(|_| Err("job panicked".into()));
-        drop(span);
+        let run = || {
+            let span = Span::enter("job.run").field_u64("id", id);
+            // A panicking evaluator fails its job, never the worker pool.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                spec.execute(&inner.store, &inner.cells)
+            }))
+            .unwrap_or_else(|_| Err("job panicked".into()));
+            drop(span);
+            outcome
+        };
+        // Jobs execute single-threaded (see `JobSpec::execute`), so a
+        // thread-local sink sees every span the job emits.
+        let sink = inner
+            .profile_capture
+            .load(Ordering::SeqCst)
+            .then(|| Arc::new(ProfileSink::new()));
+        let outcome = match &sink {
+            Some(sink) => with_thread_sink(Arc::clone(sink) as _, run),
+            None => run(),
+        };
+        let profile = sink.map(|sink| Arc::new(job_profile(&sink)));
         inner.m.run_ns.observe_since(run_started);
         inner.m.total_ns.observe_since(submitted_at);
         inner.m.running.add(-1);
         let mut jobs = inner.jobs.lock().expect("job table poisoned");
         let record = jobs.get_mut(&id).expect("running job has a record");
+        record.profile = profile;
         match outcome {
             Ok(report) => {
                 record.status = JobStatus::Done;
@@ -414,6 +475,44 @@ fn worker_loop(inner: &EngineInner) {
         drop(jobs);
         inner.job_changed.notify_all();
     }
+}
+
+/// Builds a job's profile payload from its private sink: the aggregated
+/// span tree (`total_ns`/`spans`, as [`ProfileSink::to_value`] shapes it)
+/// plus cell-level cost breakdowns of the `experiment.cell` span grouped
+/// by its `workload` and `evaluator` fields.
+fn job_profile(sink: &ProfileSink) -> Value {
+    let rows = |rows: Vec<mim_obs::BreakdownRow>| {
+        Value::Array(
+            rows.into_iter()
+                .map(|row| {
+                    Value::Object(vec![
+                        ("value".into(), Value::Str(row.value)),
+                        ("count".into(), row.count.to_value()),
+                        ("total_ns".into(), row.total_ns.to_value()),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    let mut fields = match sink.to_value() {
+        Value::Object(fields) => fields,
+        other => vec![("spans".into(), other)],
+    };
+    fields.push((
+        "cells".into(),
+        Value::Object(vec![
+            (
+                "by_workload".into(),
+                rows(sink.breakdown("experiment.cell", "workload")),
+            ),
+            (
+                "by_evaluator".into(),
+                rows(sink.breakdown("experiment.cell", "evaluator")),
+            ),
+        ]),
+    ));
+    Value::Object(fields)
 }
 
 fn set_status(inner: &EngineInner, id: u64, status: JobStatus) {
@@ -480,6 +579,40 @@ mod tests {
             b.is_err() || c.is_err(),
             "capacity-1 queue admitted three jobs"
         );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn jobs_capture_profiles_unless_disabled() {
+        let engine = Engine::start(WorkloadStore::new(), CellMemo::new(), 1, 8);
+        let (id, _) = engine.submit(quick_job("profiled")).expect("submits");
+        engine.wait_result(id).expect("job succeeds");
+        let profile = engine.profile(id).expect("profile captured");
+        let spans = profile
+            .get("spans")
+            .and_then(Value::as_array)
+            .expect("spans array");
+        assert_eq!(spans.len(), 1, "one top-level span");
+        assert_eq!(spans[0].get("name"), Some(&Value::Str("job.run".into())));
+        let cells = profile.get("cells").expect("cells section");
+        let by_workload = cells
+            .get("by_workload")
+            .and_then(Value::as_array)
+            .expect("workload rows");
+        assert_eq!(by_workload.len(), 1);
+        assert_eq!(by_workload[0].get("value"), Some(&Value::Str("sha".into())));
+        let by_eval = cells
+            .get("by_evaluator")
+            .and_then(Value::as_array)
+            .expect("evaluator rows");
+        assert_eq!(by_eval[0].get("value"), Some(&Value::Str("model".into())));
+        // With capture off, execution installs no sink and later jobs
+        // have no profile; unknown ids stay errors.
+        engine.set_profile_capture(false);
+        let (id2, _) = engine.submit(quick_job("unprofiled")).expect("submits");
+        engine.wait_result(id2).expect("job succeeds");
+        assert!(engine.profile(id2).is_err());
+        assert!(engine.profile(999).is_err());
         engine.shutdown();
     }
 

@@ -20,8 +20,15 @@
 //!   `text`).
 //! * `--log-level {error,warn,info,debug}` — maximum emitted level
 //!   (default `info`).
-//! * `--spans stderr` — emit span start/stop events as line-JSON on
-//!   stderr (equivalent to `MIM_SPANS=stderr`; off by default).
+//! * `--spans <spec>` — route span start/stop events to a sink:
+//!   `stderr` (line-JSON events), `chrome:<path>` (Chrome trace-event
+//!   JSON, load in `chrome://tracing` or Perfetto), or
+//!   `collapsed:<path>` (collapsed stacks for `flamegraph.pl`).
+//!   Equivalent to `MIM_SPANS=<spec>`; off by default.
+//! * `--trace-out <path>` — aggregate every span into a wall-clock
+//!   profile and write it to `<path>` on each completed top-level span;
+//!   `.json` writes Chrome trace events, `.folded`/`.txt` collapsed
+//!   stacks. Composable with `--spans`.
 //! * `--smoke [--quick]` — run the self-test: serve on a private unix
 //!   socket, submit the same experiment twice, assert the second
 //!   submission coalesces and the report bytes match, scrape the
@@ -37,9 +44,24 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use mim_obs::log::{error, info};
-use mim_obs::{set_log_format, set_log_level, set_span_sink, Level, LogFormat, StderrSink};
+use mim_obs::{
+    set_log_format, set_log_level, set_span_sink, sink_from_spec, Level, LogFormat, ProfileSink,
+    SpanEvent, SpanSink, TraceFormat,
+};
 use mim_serve::{CellMemo, Client, Engine, JobSpec, Server, WorkloadStore};
 use serde::Value;
+
+/// Fans one span event stream out to several sinks (`--spans` plus
+/// `--trace-out` on the same process).
+struct FanOut(Vec<Arc<dyn SpanSink>>);
+
+impl SpanSink for FanOut {
+    fn event(&self, event: &SpanEvent) {
+        for sink in &self.0 {
+            sink.event(event);
+        }
+    }
+}
 
 fn value_flag(args: &[String], flag: &str) -> Result<Option<String>, String> {
     match args.iter().position(|a| a == flag) {
@@ -75,11 +97,23 @@ fn run(args: &[String]) -> Result<(), String> {
             format!("--log-level wants error, warn, info, or debug, got `{level}`")
         })?);
     }
-    if let Some(sink) = value_flag(args, "--spans")? {
-        if sink != "stderr" {
-            return Err(format!("--spans supports only `stderr`, got `{sink}`"));
-        }
-        set_span_sink(Some(Arc::new(StderrSink)));
+    let mut sinks: Vec<Arc<dyn SpanSink>> = Vec::new();
+    if let Some(spec) = value_flag(args, "--spans")? {
+        sinks.push(sink_from_spec(&spec).ok_or_else(|| {
+            format!(
+                "--spans supports `stderr`, `chrome:<path>`, or `collapsed:<path>`, got `{spec}`"
+            )
+        })?);
+    }
+    if let Some(path) = value_flag(args, "--trace-out")? {
+        let path = std::path::PathBuf::from(path);
+        let format = TraceFormat::from_path(&path);
+        sinks.push(Arc::new(ProfileSink::new().with_export(format, path)));
+    }
+    match sinks.len() {
+        0 => {}
+        1 => set_span_sink(sinks.pop()),
+        _ => set_span_sink(Some(Arc::new(FanOut(sinks)))),
     }
     let addr = value_flag(args, "--addr")?.unwrap_or_else(|| "tcp:127.0.0.1:7171".into());
     let store_dir = value_flag(args, "--store-dir")?;

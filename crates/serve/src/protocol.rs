@@ -12,6 +12,8 @@
 //! | `{"cmd":"stats"}`                         | `{"ok":true,"stats":{"store":{...},"cells":{...},"jobs":{...},"latency":{...}}}` |
 //! | `{"cmd":"metrics"}`                       | `{"ok":true,"metrics":{"counters":{...},"gauges":{...},"histograms":{...}}}` |
 //! | `{"cmd":"metrics","format":"prometheus"}` | `{"ok":true,"metrics_text":"..."}` (Prometheus exposition text) |
+//! | `{"cmd":"profile","id":N}`                | `{"ok":true,"id":N,"profile":{"total_ns":…,"spans":[...],"cells":{...}}}` (finished jobs) |
+//! | `{"cmd":"watch","interval_ms":T,"count":K}` | `K` lines `{"ok":true,"seq":I,"metrics":{...delta...}}`, one per interval |
 //! | `{"cmd":"shutdown"}`                      | `{"ok":true}` then the server drains and exits |
 //!
 //! The `result` payload is byte-deterministic: reports serialize wall
@@ -47,6 +49,19 @@ pub enum Request {
     /// Fetch the merged metrics snapshot (counters, gauges, latency
     /// histograms) in the requested format.
     Metrics(MetricsFormat),
+    /// Fetch a finished job's wall-clock span profile.
+    Profile(u64),
+    /// Stream metrics-snapshot deltas: one response line per interval,
+    /// `count` lines total, each carrying the change since the previous
+    /// line (counters/histograms as differences, gauges as current
+    /// values).
+    Watch {
+        /// Milliseconds between consecutive delta lines.
+        interval_ms: u64,
+        /// Number of delta lines to stream before the connection returns
+        /// to request/response mode.
+        count: u64,
+    },
     /// Drain and stop the server.
     Shutdown,
 }
@@ -87,6 +102,11 @@ impl Request {
                 )),
                 Some(v) => Err(format!("`format` must be a string, got {}", v.kind())),
             },
+            "profile" => Ok(Request::Profile(request_id(&value)?)),
+            "watch" => Ok(Request::Watch {
+                interval_ms: request_u64(&value, "interval_ms", 1000)?,
+                count: request_u64(&value, "count", 10)?.max(1),
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown command `{other}`")),
         }
@@ -118,9 +138,27 @@ impl Request {
                     ("format".to_string(), Value::Str(label.into())),
                 ]
             }
+            Request::Profile(id) => vec![
+                ("cmd".to_string(), Value::Str("profile".into())),
+                ("id".to_string(), Value::UInt(*id)),
+            ],
+            Request::Watch { interval_ms, count } => vec![
+                ("cmd".to_string(), Value::Str("watch".into())),
+                ("interval_ms".to_string(), Value::UInt(*interval_ms)),
+                ("count".to_string(), Value::UInt(*count)),
+            ],
             Request::Shutdown => vec![("cmd".to_string(), Value::Str("shutdown".into()))],
         };
         to_line(&Value::Object(fields))
+    }
+}
+
+fn request_u64(value: &Value, key: &str, default: u64) -> Result<u64, String> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(Value::UInt(u)) => Ok(*u),
+        Some(Value::Int(i)) if *i >= 0 => Ok(*i as u64),
+        Some(v) => Err(format!("`{key}` must be an integer, got {}", v.kind())),
     }
 }
 
@@ -179,6 +217,29 @@ mod tests {
                 r#"{"cmd":"metrics","format":"prometheus"}"#,
                 Request::Metrics(MetricsFormat::Prometheus),
             ),
+            (r#"{"cmd":"profile","id":4}"#, Request::Profile(4)),
+            (
+                r#"{"cmd":"watch"}"#,
+                Request::Watch {
+                    interval_ms: 1000,
+                    count: 10,
+                },
+            ),
+            (
+                r#"{"cmd":"watch","interval_ms":50,"count":3}"#,
+                Request::Watch {
+                    interval_ms: 50,
+                    count: 3,
+                },
+            ),
+            // `count` is clamped to at least one streamed line.
+            (
+                r#"{"cmd":"watch","count":0}"#,
+                Request::Watch {
+                    interval_ms: 1000,
+                    count: 1,
+                },
+            ),
             (r#"{"cmd":"shutdown"}"#, Request::Shutdown),
         ] {
             let request = Request::parse(line).expect(line);
@@ -194,6 +255,11 @@ mod tests {
             (r#"{"id":1}"#, "missing the `cmd`"),
             (r#"{"cmd":"frobnicate"}"#, "unknown command"),
             (r#"{"cmd":"status"}"#, "missing the `id`"),
+            (r#"{"cmd":"profile"}"#, "missing the `id`"),
+            (
+                r#"{"cmd":"watch","count":"lots"}"#,
+                "`count` must be an integer",
+            ),
             (r#"{"cmd":"submit"}"#, "missing the `job`"),
             (
                 r#"{"cmd":"metrics","format":"xml"}"#,

@@ -179,6 +179,14 @@ where
         if line.trim().is_empty() {
             continue;
         }
+        // `watch` is the protocol's one multi-line response: stream the
+        // delta lines here, then fall back to request/response mode.
+        if let Ok(Request::Watch { interval_ms, count }) = Request::parse(&line) {
+            if stream_watch(&stream, engine, interval_ms, count).is_err() {
+                return;
+            }
+            continue;
+        }
         let (response, shutdown) = respond(engine, &line);
         let mut writer = &stream;
         if writer
@@ -245,8 +253,62 @@ fn respond(engine: &Engine, line: &str) -> (Value, bool) {
             };
             (ok_response(fields), false)
         }
+        Request::Profile(id) => match engine.profile(id) {
+            Ok(profile) => (
+                ok_response(vec![
+                    ("id".into(), Value::UInt(id)),
+                    ("profile".into(), (*profile).clone()),
+                ]),
+                false,
+            ),
+            Err(message) => (error_response(message), false),
+        },
+        // Streamed by `handle_connection` before `respond` is reached;
+        // kept total so a direct call still answers sensibly.
+        Request::Watch { .. } => (
+            error_response("watch is a streaming command; connect over a socket"),
+            false,
+        ),
         Request::Shutdown => (ok_response(vec![]), true),
     }
+}
+
+/// Streams one `watch` reply: `count` lines of metrics deltas, each
+/// covering one `interval_ms` tick ([`Snapshot::delta_since`] semantics —
+/// counters and histograms as differences, gauges as current values).
+/// Stops early, with an error line, if the server begins shutting down.
+///
+/// An `Err` return means the client went away: the caller drops the
+/// connection.
+fn stream_watch<S>(stream: &S, engine: &Engine, interval_ms: u64, count: u64) -> std::io::Result<()>
+where
+    for<'a> &'a S: std::io::Read + Write,
+{
+    let mut writer = stream;
+    let mut write_line = move |value: &Value| {
+        writer
+            .write_all((to_line(value) + "\n").as_bytes())
+            .and_then(|()| writer.flush())
+    };
+    let mut baseline = engine.metrics();
+    for seq in 0..count.max(1) {
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        if engine.stopping() {
+            // Answer the remaining expectation with one terminal error
+            // line so a blocked reader is released, then drop the
+            // connection.
+            write_line(&error_response("server is shutting down"))?;
+            return Err(std::io::Error::other("watch interrupted by shutdown"));
+        }
+        let current = engine.metrics();
+        let delta = current.delta_since(&baseline);
+        baseline = current;
+        write_line(&ok_response(vec![
+            ("seq".into(), Value::UInt(seq)),
+            ("metrics".into(), delta.to_value()),
+        ]))?;
+    }
+    Ok(())
 }
 
 /// Unblocks the accept loop after `stop` is set by making one throwaway

@@ -214,6 +214,82 @@ fn metrics_command_scrapes_live_registries() {
 }
 
 #[test]
+fn profile_command_returns_the_job_span_tree() {
+    with_server("tcp:127.0.0.1:0", |addr, _| {
+        let mut client = Client::connect(addr).expect("connect");
+        // Unknown ids are rejected without dropping the connection.
+        let err = client.profile(4242).expect_err("unknown id");
+        assert!(err.to_string().contains("unknown"), "got `{err}`");
+        let submitted = client.submit(&quick_experiment("profile")).expect("submit");
+        client.result(submitted.id).expect("result");
+        let profile = client.profile(submitted.id).expect("profile");
+        let spans = profile
+            .get("spans")
+            .and_then(Value::as_array)
+            .expect("spans array");
+        assert_eq!(spans.len(), 1, "one top-level span");
+        assert_eq!(spans[0].get("name"), Some(&Value::Str("job.run".into())));
+        // The job's experiment spans nest under job.run, and the cell
+        // section attributes cost to the one (sha, model) cell.
+        let children = spans[0]
+            .get("children")
+            .and_then(Value::as_array)
+            .expect("children");
+        assert!(
+            children
+                .iter()
+                .any(|c| c.get("name") == Some(&Value::Str("experiment.run".into()))),
+            "experiment.run nests under job.run: {children:?}"
+        );
+        let cells = profile.get("cells").expect("cells section");
+        let by_workload = cells
+            .get("by_workload")
+            .and_then(Value::as_array)
+            .expect("workload rows");
+        assert_eq!(by_workload.len(), 1);
+        assert_eq!(by_workload[0].get("value"), Some(&Value::Str("sha".into())));
+        let by_evaluator = cells
+            .get("by_evaluator")
+            .and_then(Value::as_array)
+            .expect("evaluator rows");
+        assert_eq!(
+            by_evaluator[0].get("value"),
+            Some(&Value::Str("model".into()))
+        );
+    });
+}
+
+#[test]
+fn watch_streams_metric_deltas() {
+    with_server("tcp:127.0.0.1:0", |addr, _| {
+        let mut watcher = Client::connect(addr).expect("connect watcher");
+        let mut driver = Client::connect(addr).expect("connect driver");
+        // Run a job concurrently with the stream so the deltas have
+        // something to show.
+        let handle = thread::spawn(move || {
+            let submitted = driver.submit(&quick_experiment("watched")).expect("submit");
+            driver.result(submitted.id).expect("result");
+        });
+        let deltas = watcher.watch(30, 8).expect("watch streams");
+        handle.join().expect("driver thread");
+        assert_eq!(deltas.len(), 8, "one delta per requested tick");
+        // The job completed during (or before) the stream; summed deltas
+        // cover it. Gauges carry current values, so queue depth is sane.
+        let completed: u64 = deltas
+            .iter()
+            .map(|d| d.counter("jobs.completed").unwrap_or(0))
+            .sum();
+        assert!(completed <= 1, "one job ran, deltas never double-count");
+        // The connection returns to request/response mode afterwards.
+        let metrics = watcher.metrics().expect("metrics after watch");
+        assert_eq!(
+            stat(metrics.get("counters").expect("counters"), "jobs.completed"),
+            1
+        );
+    });
+}
+
+#[test]
 fn result_bytes_identical_with_timing_off() {
     // Same job, two fresh servers: one with latency timestamping on (the
     // default), one with it globally off. Telemetry is out-of-band, so

@@ -1,0 +1,80 @@
+//! A `top`-style live view of a running evaluation server: boot an
+//! engine on a private port, submit a sweep, and stream `watch` deltas —
+//! one metrics snapshot per tick, counters and histograms as differences,
+//! gauges as current values — while the job executes. Afterwards, fetch
+//! the finished job's wall-clock profile and print where its time went.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example top
+//! ```
+//!
+//! Against an out-of-process server the same stream is one request line:
+//! `{"cmd":"watch","interval_ms":1000,"count":10}`.
+
+use mim::prelude::*;
+use mim::serve::{Client, Engine, JobSpec, Server};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = Engine::start(WorkloadStore::new(), CellMemo::new(), 2, 64);
+    let server = Server::bind("tcp:127.0.0.1:0", engine)?;
+    let addr = server.addr().to_connect_string();
+    println!("serving on {addr}");
+    let handle = std::thread::spawn(move || server.run());
+
+    let job: mim::serve::protocol::Value = serde_json::from_str(
+        r#"{"kind":"experiment","title":"watched sweep",
+            "workloads":["sha","qsort","crc32"],"size":"tiny","limit":100000,
+            "evaluators":["model","sim"]}"#,
+    )?;
+    let job = JobSpec::from_value(&job)?;
+
+    // Submit from one connection, watch from another — the stream shows
+    // the job's cells completing tick by tick.
+    let mut submitter = Client::connect(&addr)?;
+    let submitted = submitter.submit(&job)?;
+    println!("submitted job {}", submitted.id);
+
+    let mut watcher = Client::connect(&addr)?;
+    println!(
+        "{:<6} {:>10} {:>10} {:>9}",
+        "tick", "cells/s", "hits/s", "running"
+    );
+    for (tick, delta) in watcher.watch(250, 8)?.iter().enumerate() {
+        let evaluated = delta.counter("cells.miss").unwrap_or(0) * 4;
+        let hits = delta.counter("cells.hit").unwrap_or(0) * 4;
+        let running = delta.gauge("jobs.running").unwrap_or(0);
+        println!("{tick:<6} {evaluated:>10} {hits:>10} {running:>9}");
+    }
+
+    // The report is ready (or nearly so) by now; block until done, then
+    // ask where the wall-clock went.
+    submitter.result(submitted.id)?;
+    let profile = submitter.profile(submitted.id)?;
+    println!("\njob {} profile:", submitted.id);
+    if let Some(rows) = profile
+        .get("cells")
+        .and_then(|c| c.get("by_workload"))
+        .and_then(|v| v.as_array())
+    {
+        for row in rows {
+            let name = match row.get("value") {
+                Some(mim::serve::protocol::Value::Str(s)) => s.clone(),
+                _ => "?".into(),
+            };
+            let ns = match row.get("total_ns") {
+                Some(mim::serve::protocol::Value::UInt(n)) => *n,
+                Some(mim::serve::protocol::Value::Int(n)) => (*n).max(0) as u64,
+                _ => 0,
+            };
+            println!("  {name:<12} {:>8.3} ms", ns as f64 / 1e6);
+        }
+    }
+
+    watcher.shutdown()?;
+    drop(watcher);
+    drop(submitter);
+    handle.join().expect("server thread")?;
+    Ok(())
+}
